@@ -1,0 +1,24 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples report clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done
+
+report:
+	$(PYTHON) -m repro report
+
+clean:
+	rm -rf results/*.txt .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

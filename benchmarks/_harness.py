@@ -1,0 +1,51 @@
+"""Shared plumbing for the benchmark/experiment suite.
+
+Each benchmark module reproduces one paper artifact (a theorem's scaling
+claim or a figure's phenomenon).  The pattern:
+
+* the heavy computation runs inside ``benchmark.pedantic(..., rounds=1)`` so
+  ``pytest benchmarks/ --benchmark-only`` both times it and collects it;
+* the resulting paper-vs-measured table is printed *and* archived under
+  ``results/`` so EXPERIMENTS.md can quote it verbatim;
+* soft shape assertions (who wins, bounded ratios) make regressions loud
+  without pretending the simulator matches the authors' constants.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+from repro.analysis.series import Series, Table, ascii_plot
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def emit(experiment_id: str, *blocks: object) -> None:
+    """Print experiment output and archive it under ``results/``.
+
+    Each block may be a :class:`Table`, a :class:`Series` (rendered as CSV),
+    a pre-rendered string (e.g. an ascii plot), or anything with ``str``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rendered = []
+    for block in blocks:
+        if isinstance(block, Table):
+            rendered.append(block.render())
+            rendered.append("")
+            rendered.append("CSV:")
+            rendered.append(block.to_csv().rstrip())
+        elif isinstance(block, Series):
+            rendered.append(block.to_csv().rstrip())
+        else:
+            rendered.append(str(block))
+        rendered.append("")
+    text = "\n".join(rendered)
+    banner = f"\n===== {experiment_id} =====\n"
+    print(banner + text)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(banner + text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

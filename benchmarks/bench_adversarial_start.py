@@ -1,0 +1,92 @@
+"""E15 — the adversary's view: worst starts vs the Theorem-12 witness.
+
+The problem statement lets an adversary pick the initial configuration.
+The exact chain (small ``n``) gives the true worst expected convergence
+time from every admissible start; this experiment compares that optimum
+with the Theorem-12 witness configuration, per protocol:
+
+* Voter (Lemma 11): the worst start is the wrong consensus, and expected
+  times decay smoothly toward the target — no metastability;
+* Minority (Case 1): everything below the escape interval collapses into
+  one metastable well with an essentially flat, exponentially large
+  profile, and the witness sits on the same plateau as the optimum;
+* Majority (Case 2-shaped drift): wrong-majority starts are the well.
+
+The per-start expected-time profile is the experiment's "figure".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import emit, run_once
+from repro.analysis.series import Series, Table, ascii_plot
+from repro.core.lower_bound import lower_bound_certificate
+from repro.dynamics.adversary import exact_worst_start
+from repro.protocols import majority, minority, voter
+
+N = 56  # exact O(n^3) analysis, within extended-precision conditioning
+
+
+def _measure():
+    results = []
+    for protocol in (voter(1), minority(3), majority(3)):
+        worst = exact_worst_start(protocol, N, 1)
+        certificate = lower_bound_certificate(protocol)
+        witness = certificate.witness_configuration(N)
+        witness_time = float(
+            worst.profile[np.searchsorted(worst.probed_counts, witness.x0)]
+        )
+        results.append((protocol, worst, witness, witness_time))
+    return results
+
+
+def test_adversarial_start_profiles(benchmark):
+    results = run_once(benchmark, _measure)
+
+    table = Table(
+        f"E15 / adversarial starts — exact E[tau] profiles at n={N}, z=1",
+        [
+            "protocol",
+            "worst x0",
+            "worst E[tau]",
+            "witness x0",
+            "witness E[tau]",
+            "witness/worst",
+        ],
+    )
+    series = []
+    for protocol, worst, witness, witness_time in results:
+        ratio = witness_time / worst.expected_rounds
+        table.add_row(
+            protocol.name,
+            worst.config.x0,
+            worst.expected_rounds,
+            witness.x0,
+            witness_time,
+            round(ratio, 4),
+        )
+        profile = np.minimum(worst.profile, 1e12)  # clip for plotting
+        series.append(
+            Series(
+                f"log10 E[tau] {protocol.name}",
+                worst.probed_counts.astype(float) / N,
+                np.log10(np.maximum(profile, 1.0)),
+            )
+        )
+    emit(
+        "E15_adversarial_start",
+        table,
+        ascii_plot(series, width=64, height=14),
+        *series,
+    )
+
+    by_name = {p.name: (w, wit, wt) for p, w, wit, wt in results}
+    voter_worst, _, _ = by_name["voter(ell=1)"]
+    assert voter_worst.config.x0 == 1  # wrong consensus is the Voter's worst
+    minority_worst, _, minority_witness_time = by_name["minority(ell=3)"]
+    # The witness sits on the metastable plateau: within 10% of the optimum.
+    assert minority_witness_time > 0.9 * minority_worst.expected_rounds
+    assert minority_worst.expected_rounds > 1e8  # the exp(Omega(n)) well
+    # Minority's well is astronomically deeper than the Voter's linear time.
+    assert minority_worst.expected_rounds > 1e4 * voter_worst.expected_rounds

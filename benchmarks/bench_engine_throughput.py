@@ -1,0 +1,67 @@
+"""E13 — engine micro-benchmarks (the conventional pytest-benchmark use).
+
+Timing of the hot paths the experiments lean on: the O(1)-per-round
+count-level step at large ``n``, the batched replica step, the agent-level
+ground truth (for the n-scaling contrast), and the exact-chain row builder.
+These guard against performance regressions that would silently shrink the
+reachable experiment sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamics.agentwise import initial_opinions, step_opinions
+from repro.dynamics.config import Configuration
+from repro.dynamics.engine import step_count, step_counts_batch
+from repro.dynamics.rng import make_rng
+from repro.markov.exact import transition_row
+from repro.protocols import minority
+
+
+def test_count_step_large_n(benchmark):
+    protocol = minority(3)
+    rng = make_rng(0)
+    n = 10**7
+
+    def run():
+        return step_count(protocol, n, 1, n // 2, rng)
+
+    result = benchmark(run)
+    assert 1 <= result <= n
+
+
+def test_batched_step_1000_replicas(benchmark):
+    protocol = minority(3)
+    rng = make_rng(1)
+    n = 10**5
+    counts = np.full(1000, n // 2, dtype=np.int64)
+
+    def run():
+        return step_counts_batch(protocol, n, 1, counts, rng)
+
+    result = benchmark(run)
+    assert result.shape == (1000,)
+
+
+def test_agentwise_step_n4096(benchmark):
+    protocol = minority(3)
+    rng = make_rng(2)
+    config = Configuration(n=4096, z=1, x0=2048)
+    opinions = initial_opinions(config, rng)
+
+    def run():
+        return step_opinions(protocol, 1, opinions, rng)
+
+    result = benchmark(run)
+    assert len(result) == 4096
+
+
+def test_exact_transition_row_n512(benchmark):
+    protocol = minority(3)
+
+    def run():
+        return transition_row(protocol, 512, 1, 300)
+
+    row = benchmark(run)
+    assert abs(row.sum() - 1.0) < 1e-9

@@ -1,0 +1,115 @@
+"""E20 — the well depth's exponent, predicted from first principles.
+
+E18 measured the Minority(3) metastable well growing like ``exp(c n)``.
+This experiment *predicts* ``c`` with no reference to the chain itself:
+the Freidlin-Wentzell quasi-potential
+
+    V = min-action path cost from the well bottom (p = 1/2)
+        to the escape threshold (p = 0.875),
+
+computed from the per-round large-deviation rate (a KL-divergence
+minimization) on a fraction grid.  The measured slope
+``log(depth(n2)/depth(n1)) / (n2 - n1)`` from the exact solves must match
+``V`` — two completely independent routes to the same constant.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from _harness import emit, run_once
+from repro.analysis.series import Series, Table, ascii_plot
+from repro.markov.exact import count_chain
+from repro.markov.large_deviations import quasi_potential
+from repro.protocols import minority
+
+SIZES = (16, 24, 32, 40, 48)
+THRESHOLD = 0.875
+GRID_POINTS = 81
+
+
+def _measure():
+    depths = []
+    for n in SIZES:
+        chain = count_chain(minority(3), n, 1)
+        threshold = int(THRESHOLD * n)
+        escape = chain.expected_hitting_times(list(range(threshold, n + 1)))
+        depths.append(float(escape[n // 2]))
+    slopes = [
+        math.log(depths[i + 1] / depths[i]) / (SIZES[i + 1] - SIZES[i])
+        for i in range(len(SIZES) - 1)
+    ]
+    predicted, potential_on_grid = quasi_potential(
+        minority(3), 0.5, THRESHOLD, grid_points=GRID_POINTS
+    )
+    return depths, slopes, predicted, potential_on_grid
+
+
+def test_large_deviation_prediction(benchmark):
+    depths, slopes, predicted, potential_on_grid = run_once(benchmark, _measure)
+
+    table = Table(
+        "E20 / Freidlin-Wentzell — Minority(3) well depth exponent: "
+        "measured (exact chain) vs predicted (KL action, no chain)",
+        ["n-interval", "log-depth slope"],
+    )
+    for i in range(len(slopes)):
+        table.add_row(f"{SIZES[i]}..{SIZES[i + 1]}", round(slopes[i], 4))
+    table.add_row("predicted V(1/2 -> 0.875)", round(predicted, 4))
+
+    grid = np.linspace(0.0, 1.0, GRID_POINTS)
+    finite = np.isfinite(potential_on_grid)
+    series = Series(
+        "quasi-potential V(p) to reach 0.875",
+        grid[finite],
+        potential_on_grid[finite],
+    )
+    emit(
+        "E20_large_deviations",
+        table,
+        ascii_plot([series], width=60, height=12),
+        series,
+        f"asymptotic measured slope {slopes[-1]:.4f} vs predicted {predicted:.4f} "
+        f"({100 * abs(slopes[-1] - predicted) / predicted:.1f}% apart)",
+    )
+
+    # The slopes converge to the predicted action from below (finite-n
+    # corrections are sub-exponential).
+    assert slopes == sorted(slopes) or max(slopes) - min(slopes) < 0.05
+    assert abs(slopes[-1] - predicted) / predicted < 0.08
+
+
+def test_action_zero_iff_with_the_drift(benchmark):
+    """Sanity at bench scale: moving with the drift is free, against it isn't."""
+
+    def _run():
+        from repro.core.mean_field import mean_field_map
+        from repro.markov.large_deviations import step_rate
+
+        protocol = minority(3)
+        rows = []
+        for p in (0.2, 0.4, 0.6, 0.8):
+            drift_q = float(mean_field_map(protocol, p))
+            rows.append(
+                (
+                    p,
+                    drift_q,
+                    step_rate(protocol, p, drift_q),
+                    step_rate(protocol, p, min(1.0, drift_q + 0.15)),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, _run)
+    table = Table(
+        "E20b — per-round action: along the mean-field drift vs 0.15 above it",
+        ["p", "phi(p)", "I(p -> phi(p))", "I(p -> phi(p)+0.15)"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    emit("E20b_action_sanity", table)
+    for _, _, along, against in rows:
+        assert along < 1e-8
+        assert against > 1e-3

@@ -1,0 +1,102 @@
+"""E16 — the mean-field skeleton: fixed points, overshoot, and tracking.
+
+As ``n`` grows the count chain concentrates on the deterministic map
+``phi(p) = p + F(p)`` (Proposition 5 + Hoeffding).  This experiment makes
+three things measurable:
+
+* the fixed-point structure that drives the Theorem-12 case analysis
+  (attracting mid-point for Minority => metastable well; repelling
+  mid-point for Majority => wrong consensus locks in);
+* the [15] overshoot, in mean field: for large ``ell``, one application of
+  ``phi`` maps a near-unanimous wrong configuration straight across 1/2;
+* quantitative tracking: the per-round gap between a simulated run and its
+  mean-field shadow shrinks like ``1/sqrt(n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import emit, run_once
+from repro.analysis.series import Table
+from repro.core.mean_field import fixed_points, mean_field_map, tracking_error
+from repro.dynamics.config import Configuration
+from repro.dynamics.rng import make_rng
+from repro.dynamics.run import simulate
+from repro.protocols import majority, minority
+
+TRACK_SIZES = (1_000, 10_000, 100_000, 1_000_000)
+TRACK_ROUNDS = 30
+
+
+def _measure():
+    structure_rows = []
+    for protocol in (minority(3), minority(15), majority(3)):
+        for point in fixed_points(protocol):
+            structure_rows.append(
+                (
+                    protocol.name,
+                    round(point.location, 4),
+                    round(point.multiplier, 3),
+                    point.stability,
+                    point.is_oscillatory,
+                )
+            )
+
+    overshoot_rows = []
+    for ell in (3, 15, 63, 255):
+        image = mean_field_map(minority(ell), 0.05)
+        overshoot_rows.append((ell, 0.05, round(float(image), 4)))
+
+    tracking_rows = []
+    protocol = minority(3)
+    for n in TRACK_SIZES:
+        config = Configuration(n=n, z=1, x0=int(0.2 * n))
+        result = simulate(protocol, config, TRACK_ROUNDS, make_rng(n), record=True)
+        gaps = tracking_error(protocol, n, 1, result.trajectory)
+        tracking_rows.append((n, float(gaps.max()), float(gaps.max() * np.sqrt(n))))
+    return structure_rows, overshoot_rows, tracking_rows
+
+
+def test_mean_field(benchmark):
+    structure_rows, overshoot_rows, tracking_rows = run_once(benchmark, _measure)
+
+    structure = Table(
+        "E16a — fixed points of phi(p) = p + F(p) and their stability",
+        ["protocol", "p*", "phi'(p*)", "stability", "oscillatory"],
+    )
+    for row in structure_rows:
+        structure.add_row(*row)
+
+    overshoot = Table(
+        "E16b — the [15] overshoot in mean field: phi(0.05) for Minority",
+        ["ell", "p", "phi(p)"],
+    )
+    for row in overshoot_rows:
+        overshoot.add_row(*row)
+
+    tracking = Table(
+        f"E16c — max |X_t/n - p_t| over {TRACK_ROUNDS} rounds "
+        "(Minority(3) from p=0.2); the sqrt(n)-scaled column must be flat",
+        ["n", "max gap", "max gap * sqrt(n)"],
+    )
+    for row in tracking_rows:
+        tracking.add_row(*row)
+
+    emit("E16_mean_field", structure, overshoot, tracking)
+
+    by_protocol = {}
+    for name, location, multiplier, stability, _ in structure_rows:
+        by_protocol.setdefault(name, {})[location] = stability
+    assert by_protocol["minority(ell=3)"][0.5] == "attracting"
+    assert by_protocol["majority(ell=3)"][0.5] == "repelling"
+    assert by_protocol["majority(ell=3)"][0.0] == "attracting"
+
+    # Overshoot strengthens with ell: phi(0.05) crosses 1/2 and approaches 1.
+    images = [image for _, _, image in overshoot_rows]
+    assert images[-1] > 0.9
+    assert images == sorted(images)
+
+    # Tracking: sqrt(n)-normalized gaps bounded (no drift with n).
+    scaled = [row[2] for row in tracking_rows]
+    assert max(scaled) / min(scaled) < 20

@@ -1,0 +1,79 @@
+"""E8 — the open question: how small can the sample size be?
+
+Section 1.2 asks for the minimal ``ell`` letting the Minority dynamics
+converge in polylogarithmic time, notes the gap between the ``Omega(1)``
+lower bound (this paper) and the ``O(sqrt(n log n))`` upper bound ([15]),
+and remarks that "simulations suggest that its convergence might be fast
+even when the sample size is qualitatively small".  This experiment *is*
+that simulation: ``n`` fixed, ``ell`` swept across decades, convergence
+from the all-wrong configuration under a generous round budget.
+
+Expected picture: censored (non-converging) runs at constant ``ell``, a
+transition to fast convergence somewhere well below ``sqrt(n log n)``, and
+round counts collapsing to O(log n) past it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from _harness import emit, run_once
+from repro.analysis.series import Series, Table
+from repro.core.theory import minority_sqrt_sample_size
+from repro.dynamics.config import wrong_consensus_configuration
+from repro.dynamics.rng import make_rng
+from repro.dynamics.run import simulate_ensemble
+from repro.protocols import minority
+
+N = 4096
+SAMPLE_SIZES = (3, 7, 15, 31, 63, 127, 185, 255)
+REPLICAS = 10
+BUDGET = 3000
+
+
+def _measure():
+    config = wrong_consensus_configuration(N, z=1)
+    rows = []
+    for ell in SAMPLE_SIZES:
+        times = simulate_ensemble(
+            minority(ell), config, BUDGET, make_rng(100 + ell), REPLICAS
+        )
+        censored = int(np.isnan(times).sum())
+        finite = times[~np.isnan(times)]
+        median = float(np.median(finite)) if len(finite) else float("inf")
+        rows.append((ell, median, censored))
+    return rows
+
+
+def test_sample_size_sweep(benchmark):
+    rows = run_once(benchmark, _measure)
+
+    reference = minority_sqrt_sample_size(N)
+    table = Table(
+        f"E8 / open question — Minority at n={N}, all-wrong start, budget "
+        f"{BUDGET} rounds; [15]'s sample size would be ell={reference}",
+        ["ell", "median tau", f"censored (of {REPLICAS})"],
+    )
+    for row in rows:
+        table.add_row(*row)
+
+    converged = [(ell, median) for ell, median, censored in rows if censored == 0]
+    threshold = min(ell for ell, _ in converged) if converged else None
+    summary = (
+        f"empirical fast-convergence threshold at n={N}: ell ~ {threshold} "
+        f"(vs [15]'s sqrt(n log n) = {reference}).  Matches the paper's "
+        "remark that simulations show fast convergence at qualitatively "
+        "small sample sizes — the gap between Omega(1) and O(sqrt(n log n)) "
+        "is wide open."
+    )
+    emit("E8_sample_size_sweep", table, summary)
+
+    # Constant ell: no convergence within the budget (the Theorem-1 regime).
+    assert rows[0][2] == REPLICAS
+    # [15]'s ell converges in every run.
+    by_ell = {ell: (median, censored) for ell, median, censored in rows}
+    assert by_ell[185][1] == 0
+    # The empirical threshold is strictly below sqrt(n log n).
+    assert threshold is not None and threshold < reference

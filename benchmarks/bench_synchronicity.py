@@ -1,0 +1,85 @@
+"""E17 — the power of synchronicity, as a dial.
+
+[15]'s title phenomenon: the Minority overshoot needs *simultaneity*.  The
+k-activation model (k uniformly chosen non-source agents update per step,
+``n/k`` steps = one parallel round) interpolates between the sequential
+setting (k=1, Omega(n) floor) and the parallel one (k=n-1, O(log^2 n) with
+a sqrt-size sample).  The experiment sweeps k on the [15] workload and
+locates where the speedup switches on.
+
+Expected shape: convergence within the budget only once k is a large
+fraction of n — small batches re-equilibrate toward the mixed fixed point
+before a coherent overshoot can form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import emit, run_once
+from repro.analysis.series import Table
+from repro.core.theory import minority_sqrt_sample_size
+from repro.dynamics.config import wrong_consensus_configuration
+from repro.dynamics.kactivation import simulate_k_activation
+from repro.dynamics.rng import make_rng
+from repro.protocols import minority
+
+N = 1024
+BUDGET_ROUNDS = 300.0
+REPLICAS = 5
+FRACTIONS = (1 / N, 0.01, 0.05, 0.25, 0.5, 0.75, 1.0)
+
+
+def _measure():
+    protocol = minority(minority_sqrt_sample_size(N))
+    config = wrong_consensus_configuration(N, z=1)
+    rows = []
+    for fraction in FRACTIONS:
+        k = max(1, min(N - 1, int(round(fraction * (N - 1)))))
+        rounds = []
+        converged = 0
+        for i in range(REPLICAS):
+            result = simulate_k_activation(
+                protocol, config, k, BUDGET_ROUNDS, make_rng(1000 * k + i)
+            )
+            if result.converged:
+                converged += 1
+                rounds.append(result.parallel_rounds)
+        median = float(np.median(rounds)) if rounds else float("inf")
+        rows.append((k, round(k / (N - 1), 4), converged, median))
+    return rows
+
+
+def test_synchronicity_dial(benchmark):
+    rows = run_once(benchmark, _measure)
+
+    table = Table(
+        f"E17 / the synchronicity dial — Minority(ell=sqrt(n log n)) at "
+        f"n={N}, all-wrong start, budget {BUDGET_ROUNDS:.0f} parallel rounds",
+        ["k (agents/step)", "k / (n-1)", f"converged (of {REPLICAS})", "median parallel rounds"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    emit(
+        "E17_synchronicity",
+        table,
+        "Reading: the overshoot mechanism is a *collective* jump — it exists "
+        "only when most of the population updates on the same snapshot.  "
+        "Small activation batches keep relaxing toward the mixed "
+        "equilibrium, recovering the sequential-like slowness; this is the "
+        "paper's parallel/sequential dichotomy with the crossover made "
+        "visible.",
+    )
+
+    by_fraction = {round(k / (N - 1), 4): (conv, med) for k, _, conv, med in [
+        (r[0], r[1], r[2], r[3]) for r in rows
+    ]}
+    # Sequential-like end: no convergence within the budget.
+    assert rows[0][2] == 0
+    # Fully parallel end: converges in every run, fast.
+    assert rows[-1][2] == REPLICAS and rows[-1][3] < 50
+    # Convergence counts are monotone-ish across the dial: the parallel half
+    # dominates the sequential half.
+    first_half = sum(r[2] for r in rows[: len(rows) // 2])
+    second_half = sum(r[2] for r in rows[len(rows) // 2 :])
+    assert second_half > first_half

@@ -1,0 +1,91 @@
+"""E21 — extension: topology as a hidden resource.
+
+The paper's agents sample from the *whole* population — the well-mixed /
+complete-graph assumption.  Replacing global sampling by neighbour
+sampling on a fixed graph shows how much that assumption buys: the Voter's
+``O(n log n)`` bound relies on the source being one uniform sample away
+from everyone.  The experiment runs the Voter workload across topologies
+at fixed ``n``:
+
+* complete graph — the paper's setting (minus self-samples);
+* random 4-regular graph — an expander: constant-degree locality, but
+  still logarithmic diameter; near-complete behaviour expected;
+* cycle — diameter ``n/2``: consensus needs poly(n) extra rounds;
+* star with an ordinary hub — two hops from the source to anyone, but the
+  hub bottleneck makes leaf opinions churn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import emit, run_once
+from repro.analysis.series import Table
+from repro.dynamics.graphs import (
+    complete_graph,
+    cycle_graph,
+    random_regular_graph,
+    simulate_on_graph,
+    star_graph,
+)
+from repro.dynamics.rng import make_rng
+from repro.protocols import voter
+
+N = 64
+REPLICAS = 10
+BUDGET = 200_000
+
+TOPOLOGIES = (
+    ("complete", complete_graph),
+    ("random 4-regular", lambda n: random_regular_graph(n, 4, seed=7)),
+    ("cycle", cycle_graph),
+    ("star (ordinary hub)", star_graph),
+)
+
+
+def _measure():
+    rows = []
+    medians = {}
+    for label, builder in TOPOLOGIES:
+        graph = builder(N)
+        times = []
+        censored = 0
+        for i in range(REPLICAS):
+            initial = np.zeros(N, dtype=np.int8)  # all wrong, z = 1
+            rounds = simulate_on_graph(
+                voter(1), graph, 1, initial, BUDGET, make_rng(500 + i)
+            )
+            if rounds is None:
+                censored += 1
+            else:
+                times.append(rounds)
+        median = float(np.median(times)) if times else float("inf")
+        rows.append((label, graph.number_of_edges(), median, censored))
+        medians[label] = median
+    return rows, medians
+
+
+def test_topology(benchmark):
+    rows, medians = run_once(benchmark, _measure)
+
+    table = Table(
+        f"E21 / extension — Voter bit-dissemination across topologies "
+        f"(n={N}, all-wrong start, budget {BUDGET} rounds)",
+        ["topology", "edges", "median tau (rounds)", f"censored (of {REPLICAS})"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    emit(
+        "E21_topology",
+        table,
+        "Reading: the paper's O(n log n) Voter bound silently uses the "
+        "complete graph.  Expanders with constant degree track it within a "
+        "small factor — locality per se is cheap — but low-conductance "
+        "topologies (cycle) pay polynomially, and the star funnels all "
+        "information through one churning hub.",
+    )
+
+    assert all(row[3] == 0 for row in rows), "a topology failed to converge"
+    # The expander is within a small factor of complete; the cycle is far.
+    assert medians["random 4-regular"] < 10 * medians["complete"]
+    assert medians["cycle"] > 3 * medians["complete"]

@@ -1,0 +1,8 @@
+"""Make the benchmarks directory importable as a flat module set."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

@@ -1,0 +1,66 @@
+"""Scenario: watching the Voter proof run backwards (Appendix B / Figure 4).
+
+Theorem 2's proof never looks at opinions: it drops one walker on every
+agent at the horizon, slides them backwards along the sampling arrows, and
+observes that a walker absorbed by the source pins its agent's final
+opinion to the correct one.  This example makes that visible: the
+coalescence profile, the absorption-time distribution against the
+``2 n ln n`` horizon, and the exact per-run duality check on shared
+randomness.
+
+Run:  python examples/dual_walks.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import make_rng
+from repro.analysis.series import Series, ascii_plot
+from repro.dual import coalescence_profile, dual_absorption_times, paired_forward_dual_run
+
+N = 512
+
+
+def main() -> None:
+    rng = make_rng(12)
+    horizon = int(2 * N * math.log(N))
+
+    profile = coalescence_profile(N, horizon, rng)
+    series = Series(
+        "distinct unabsorbed walkers", np.arange(len(profile), dtype=float), profile.astype(float)
+    )
+    print(f"Coalescing dual for n={N} (horizon 2 n ln n = {horizon}):\n")
+    print(ascii_plot([series], width=60, height=12))
+    print(f"\nall {N - 1} walkers absorbed by the source after "
+          f"{len(profile) - 1} backward rounds")
+
+    times = dual_absorption_times(N, horizon, rng)
+    print(f"absorption times: median {np.median(times):.0f}, "
+          f"max {times.max():.0f} (vs horizon {horizon})")
+
+    print("\nExact duality on shared randomness (30 adversarial starts):")
+    held = 0
+    consensus_given_absorbed = 0
+    absorbed_runs = 0
+    for i in range(30):
+        run_rng = make_rng(100 + i)
+        initial = run_rng.integers(0, 2, size=N).astype(np.int8)
+        run = paired_forward_dual_run(initial, z=1, horizon=horizon, rng=run_rng)
+        held += run.duality_holds()
+        if run.all_absorbed():
+            absorbed_runs += 1
+            consensus_given_absorbed += run.consensus_reached()
+    print(f"  Eq. 17 (absorbed => correct opinion) held in {held}/30 runs")
+    print(f"  full absorption => forward consensus in "
+          f"{consensus_given_absorbed}/{absorbed_runs} runs")
+    print("\nThat is the whole of Theorem 2: each walker is a uniform random")
+    print("walk hitting the source at rate 1/n, so 2 n ln n rounds absorb")
+    print("all n of them with probability >= 1 - 1/n — from ANY initial")
+    print("opinions, which is exactly the self-stabilization requirement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Scenario: a flock choosing a direction with one informed individual.
+
+The paper's motivation (Section 1): birds in a flock attend to only ~7
+nearest neighbours regardless of flock size [19, 20], interactions are
+passive (you see a neighbour's heading, nothing else), and individuals are
+plausibly memory-less.  Can a single informed bird steer the whole flock —
+and how does the answer depend on how many neighbours each bird watches?
+
+This example runs that question as an experiment: a flock of ``n`` birds
+with binary headings, one informed bird, constant "neighbourhood" sizes
+ell = 1 (Voter-like copying), ell = 7 (the empirical bird number) under
+both minority and majority rules, and the large-sample regime for
+contrast.
+
+Run:  python examples/flock_alignment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    make_rng,
+    minority,
+    majority,
+    simulate_ensemble,
+    voter,
+    wrong_consensus_configuration,
+)
+from repro.analysis.ensemble import summarize_times
+from repro.core.theory import minority_sqrt_sample_size
+
+FLOCK_SIZE = 2048
+BUDGET = 20_000  # parallel rounds
+REPLICAS = 10
+
+
+def main() -> None:
+    rng = make_rng(7)
+    config = wrong_consensus_configuration(FLOCK_SIZE, z=1)
+    ell_big = minority_sqrt_sample_size(FLOCK_SIZE)
+
+    rules = [
+        ("copy one neighbour (Voter, ell=1)", voter(1)),
+        ("contrarian, 7 neighbours (Minority, ell=7)", minority(7)),
+        ("conformist, 7 neighbours (Majority, ell=7)", majority(7)),
+        (f"contrarian, sqrt-size watch (Minority, ell={ell_big})", minority(ell_big)),
+    ]
+
+    print(f"Flock of {FLOCK_SIZE}, one informed bird, everyone else initially")
+    print(f"heading the wrong way; budget {BUDGET} rounds, {REPLICAS} flocks each.\n")
+    for label, protocol in rules:
+        times = simulate_ensemble(protocol, config, BUDGET, rng, REPLICAS)
+        stats = summarize_times(times, budget=BUDGET)
+        if stats.censored == stats.trials:
+            verdict = f"never aligned within {BUDGET} rounds"
+        else:
+            verdict = (
+                f"median {stats.median:.0f} rounds "
+                f"({stats.censored}/{stats.trials} flocks failed)"
+            )
+        print(f"  {label:<55s} {verdict}")
+
+    print()
+    print("Reading: copying one neighbour always works but slowly (Theorem 2,")
+    print("O(n log n)); any constant neighbourhood is fundamentally slow or")
+    print("worse (Theorem 1) — the conformist majority rule never recovers")
+    print("because the informed bird cannot tip a self-reinforcing crowd,")
+    print("and the contrarian rule with 7 neighbours stalls at the mixed")
+    print("equilibrium.  Only neighbourhood sizes growing with the flock")
+    print("(here ~sqrt(n log n), [15]) give fast alignment — a genuine limit")
+    print("on what 7-neighbour birds could do under these assumptions.")
+
+
+if __name__ == "__main__":
+    main()

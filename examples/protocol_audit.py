@@ -1,0 +1,83 @@
+"""Scenario: audit a custom protocol with the paper's machinery.
+
+You designed a memory-less opinion-update rule and want to know whether it
+can possibly spread a single informed agent's opinion fast.  This example
+walks the full analysis pipeline of the paper on a user-defined response
+table:
+
+1. sanity (Proposition 3): are the consensus states even absorbing?
+2. the bias landscape F(p) (Eq. 3), its roots and sign profile;
+3. the Theorem-12 classification and the witness configuration;
+4. numerical verification of the escape-theorem assumptions;
+5. a simulation from the witness showing the guarantee bind.
+
+Run:  python examples/protocol_audit.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    bias_value,
+    lower_bound_certificate,
+    make_rng,
+    sign_profile,
+    simulate,
+    table_protocol,
+    verify_escape_assumptions,
+)
+from repro.analysis.series import Series, ascii_plot
+from repro.dynamics.run import escape_time
+
+
+def main() -> None:
+    # A hand-designed rule with ell = 4 samples: follow strong majorities,
+    # but flip against narrow ones (a majority/minority hybrid).
+    #            k =   0     1     2     3     4
+    my_rule = [0.0, 0.15, 0.50, 0.85, 1.0]
+    protocol = table_protocol(my_rule, name="hybrid(ell=4)")
+
+    print(f"Auditing {protocol.name} with g(k) = {my_rule}\n")
+
+    # 1. Proposition 3.
+    if not protocol.satisfies_boundary_conditions():
+        print("FAIL: g(0) > 0 or g(ell) < 1 — consensus is not absorbing;")
+        print("this protocol cannot solve bit-dissemination at all (Prop 3).")
+        return
+    print("Proposition 3: boundary conditions hold (consensus is absorbing).")
+
+    # 2. The bias landscape.
+    grid = np.linspace(0.0, 1.0, 101)
+    landscape = Series("F(p)", grid, bias_value(protocol, grid))
+    print("\nBias polynomial F(p) — the expected one-round drift of the")
+    print("fraction of 1-opinions (positive = drifts toward 1):\n")
+    print(ascii_plot([landscape], width=60, height=12))
+    profile = sign_profile(protocol)
+    print(f"\nroots in [0,1]: {np.round(profile.roots, 4).tolist()}")
+    print(f"signs between roots: {list(profile.signs)}")
+
+    # 3 + 4. Theorem 12.
+    certificate = lower_bound_certificate(protocol)
+    print(f"\nTheorem-12 classification:\n  {certificate.describe()}")
+    n = 4096
+    report = verify_escape_assumptions(certificate, n)
+    print(f"\nassumptions at n={n}: drift ok = {report.drift_ok} "
+          f"(margin {report.worst_drift_margin:.2f}), "
+          f"jump tail = {report.jump_tail_bound:.2e}")
+    print(f"verdict: from the witness configuration, convergence needs at "
+          f"least n^(1-eps) = {report.predicted_rounds:.0f} rounds (eps=0.25 here)")
+
+    # 5. Watch it bind.
+    rng = make_rng(3)
+    witness = certificate.witness_configuration(n)
+    observed = escape_time(protocol, certificate, n, 4 * n, rng)
+    label = f"{observed} rounds" if observed is not None else f"> {4 * n} rounds (censored)"
+    print(f"\nsimulated escape from witness (n={n}, z={witness.z}, "
+          f"x0={witness.x0}): {label}")
+    print("\nConclusion: whatever this rule's virtues, Theorem 1 applies —")
+    print("with 4 samples and no memory it cannot beat almost-linear time.")
+
+
+if __name__ == "__main__":
+    main()

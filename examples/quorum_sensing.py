@@ -1,0 +1,86 @@
+"""Scenario: quorum sensing under the paper's lower bound, with real-world dirt.
+
+The paper motivates memory-less agents with quorum-sensing bacteria [10]
+and consensus-seeking fish schools [12]: individuals that apply a (soft)
+threshold to how many peers they observe agreeing.  This example models a
+colony whose members follow a logistic quorum rule, and asks the paper's
+question plus two practical ones:
+
+1. Can a single informed cell steer the colony?  (Theorem 1: with a
+   bounded number of observed peers — no, not quickly.)
+2. Does the *steepness* of the quorum threshold matter?  (It moves the
+   bias landscape's constants, never the case classification.)
+3. What happens when observations are noisy?  (The epsilon-consensus
+   erodes; holding beats spreading.)
+
+Run:  python examples/quorum_sensing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Configuration, lower_bound_certificate, make_rng
+from repro.analysis.series import Series, ascii_plot
+from repro.core.bias import bias_value
+from repro.dynamics.noise import noisy_occupancy
+from repro.dynamics.run import escape_time_ensemble
+from repro.protocols import quorum
+
+N = 2048
+ELL = 7  # each cell reads ~7 neighbours' signals
+
+
+def main() -> None:
+    rng = make_rng(21)
+    grid = np.linspace(0, 1, 81)
+
+    print(f"Colony of {N} cells, quorum rules over {ELL} observed peers.\n")
+
+    # 1 + 2: the lower bound across quorum steepnesses.
+    print("Bias landscapes F(p) for three quorum steepnesses:")
+    landscapes = [
+        Series(f"s={s:g}", grid, bias_value(quorum(ELL, ELL / 2, s), grid))
+        for s in (0.5, 2.0, 8.0)
+    ]
+    print(ascii_plot(landscapes, width=60, height=12))
+    print()
+    for sharpness in (0.5, 2.0, 8.0):
+        protocol = quorum(ELL, ELL / 2, sharpness)
+        certificate = lower_bound_certificate(protocol)
+        times = escape_time_ensemble(protocol, certificate, N, 2 * N, rng, 5)
+        censored = int(np.isnan(times).sum())
+        observed = np.where(np.isnan(times), 2 * N, times)
+        print(f"  steepness {sharpness:>4g}: {certificate.case.split(' (')[0]}, "
+              f"interval ({certificate.interval[0]:.2f}, {certificate.interval[1]:.2f}); "
+              f"witness escape median {np.median(observed):.0f} rounds "
+              f"({censored}/5 censored) — bound sqrt(n) = {int(N ** 0.5)}")
+    print()
+    print("Deforming the threshold can even flip which Theorem-12 case")
+    print("applies (a shallow quorum under-adopts near consensus: Case 1;")
+    print("steep ones drift with the majority: Case 2) — but every variant")
+    print("gets a certificate and every witness escape censors: the informed")
+    print("cell cannot steer a bounded-observation colony quickly, however")
+    print("the threshold is tuned.\n")
+
+    # 3: observation noise.
+    print("Observation noise (each read peer misread with prob delta):")
+    protocol = quorum(ELL, ELL / 2, 8.0)
+    for delta in (0.0, 0.05, 0.2):
+        result = noisy_occupancy(
+            protocol, Configuration(n=N, z=1, x0=N), delta=delta,
+            rounds=3000, rng=rng, burn_in=500,
+        )
+        print(f"  delta={delta:<5g} mean correct fraction "
+              f"{result.mean_correct_fraction:.3f}, 95%-consensus occupancy "
+              f"{result.occupancy:.2f}")
+    print()
+    print("A steep quorum HOLDS an existing consensus under moderate noise")
+    print("(the restoring drift), even though it cannot *establish* the")
+    print("correct one against a wrong majority — spreading and holding are")
+    print("different problems, and the paper's lower bound is about the")
+    print("former.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Scenario: the exponential parallel/sequential separation.
+
+The paper's opening puzzle: the same protocol family behaves exponentially
+differently depending on whether agents update simultaneously or one at a
+time.  Sequentially, every protocol is a birth-death chain and Omega(n)
+parallel rounds are unavoidable ([14]); in parallel, Minority with a large
+sample converges in O(log^2 n) ([15]) — and this paper shows the parallel
+advantage *requires* growing sample sizes.
+
+This example puts exact numbers on the square: {sequential, parallel} x
+{Voter, Minority(sqrt)} on one workload.
+
+Run:  python examples/sequential_vs_parallel.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import make_rng, minority, simulate_ensemble, simulate_sequential, voter
+from repro.core.theory import minority_sqrt_sample_size
+from repro.dynamics.config import wrong_consensus_configuration
+from repro.markov.birth_death import sequential_birth_death_chain
+
+N = 512
+REPLICAS = 8
+
+
+def main() -> None:
+    rng = make_rng(5)
+    config = wrong_consensus_configuration(N, z=1)
+    ell = minority_sqrt_sample_size(N)
+
+    print(f"Workload: n={N}, source opinion 1, all other agents wrong.\n")
+
+    # Sequential, exact (birth-death closed forms).
+    voter_seq = sequential_birth_death_chain(voter(1), N, 1).expected_time_to_top(1) / N
+    minority_seq = sequential_birth_death_chain(minority(ell), N, 1).expected_time_to_top(1) / N
+
+    # Parallel, simulated.
+    voter_par = np.nanmedian(
+        simulate_ensemble(voter(1), config, 100_000, rng, REPLICAS)
+    )
+    minority_par = np.nanmedian(
+        simulate_ensemble(minority(ell), config, 100_000, rng, REPLICAS)
+    )
+
+    width = 28
+    print(f"{'':{width}s}{'sequential (exact E)':>22s}{'parallel (median)':>20s}")
+    print(f"{'Voter (ell=1)':{width}s}{voter_seq:>18.0f} rds{voter_par:>16.0f} rds")
+    print(f"{f'Minority (ell={ell})':{width}s}{minority_seq:>18.0f} rds{minority_par:>16.0f} rds")
+    print()
+    print(f"reference scales: n = {N}, n ln^2 n = {N * math.log(N)**2:.0f}, "
+          f"log^2 n = {math.log(N)**2:.0f}")
+    print()
+    print("Reading: sequential activation flattens everything onto the")
+    print("Omega(n) birth-death floor — even the sqrt-sample Minority.  Only")
+    print("the synchronous parallel rounds unlock the log^2 n regime, and")
+    print("(this paper's result) only with sample sizes growing in n.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Regenerate docs/API.md from the package's public surface.
+
+Usage:  python scripts/generate_api_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import io
+import pathlib
+
+MODULES = [
+    "repro.core.protocol", "repro.core.bias", "repro.core.roots",
+    "repro.core.lower_bound", "repro.core.jump_bound", "repro.core.mean_field",
+    "repro.core.theory",
+    "repro.protocols.voter", "repro.protocols.minority", "repro.protocols.majority",
+    "repro.protocols.two_choices", "repro.protocols.blends",
+    "repro.protocols.parametric", "repro.protocols.table", "repro.protocols.registry",
+    "repro.dynamics.config", "repro.dynamics.engine", "repro.dynamics.agentwise",
+    "repro.dynamics.run", "repro.dynamics.sequential", "repro.dynamics.kactivation",
+    "repro.dynamics.multiopinion", "repro.dynamics.noise", "repro.dynamics.zealots",
+    "repro.dynamics.adversary", "repro.dynamics.graphs", "repro.dynamics.heterogeneous",
+    "repro.dynamics.rng",
+    "repro.markov.chain", "repro.markov.exact", "repro.markov.birth_death",
+    "repro.markov.doob", "repro.markov.concentration", "repro.markov.escape",
+    "repro.markov.spectral", "repro.markov.quasistationary",
+    "repro.markov.large_deviations", "repro.markov.absorption_time",
+    "repro.markov.coupling", "repro.markov.sequential_bound",
+    "repro.dual.coalescing",
+    "repro.extensions.memory", "repro.extensions.population", "repro.extensions.undecided",
+    "repro.analysis.ensemble", "repro.analysis.scaling", "repro.analysis.series",
+    "repro.analysis.traces",
+    "repro.cli",
+]
+
+
+def main() -> None:
+    out = io.StringIO()
+    out.write("# API reference\n\n")
+    out.write("One-line index of every public item, generated from docstrings\n")
+    out.write("(`python scripts/generate_api_docs.py` regenerates this file).\n")
+    for name in MODULES:
+        module = importlib.import_module(name)
+        first_line = (module.__doc__ or "").strip().splitlines()[0]
+        out.write(f"\n## `{name}`\n\n{first_line}\n\n")
+        for item_name in getattr(module, "__all__", []):
+            item = getattr(module, item_name)
+            doc = (inspect.getdoc(item) or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            kind = (
+                "class" if inspect.isclass(item)
+                else "def" if callable(item)
+                else "const"
+            )
+            out.write(f"- **`{item_name}`** ({kind}) — {summary}\n")
+    target = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
+    target.write_text(out.getvalue())
+    print(f"wrote {target} ({len(out.getvalue())} bytes)")
+
+
+if __name__ == "__main__":
+    main()

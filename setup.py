@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment is offline and has no ``wheel`` package, so PEP-517
+editable installs (which build a wheel) fail.  With this shim and no
+``[build-system]`` table in pyproject.toml, ``pip install -e .`` takes the
+legacy ``setup.py develop`` path, which works with plain setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Ensemble statistics, scaling fits, and plain-text figure rendering."""
+
+from repro.analysis.ensemble import ConvergenceStats, convergence_ensemble, summarize_times
+from repro.analysis.scaling import (
+    PowerLawFit,
+    fit_power_law,
+    is_bounded_shape,
+    normalized_ratios,
+    ratio_drift,
+)
+from repro.analysis.series import Series, Table, ascii_plot
+from repro.analysis.traces import TrajectoryFan, trajectory_fan
+
+__all__ = [
+    "ConvergenceStats",
+    "convergence_ensemble",
+    "summarize_times",
+    "PowerLawFit",
+    "fit_power_law",
+    "normalized_ratios",
+    "ratio_drift",
+    "is_bounded_shape",
+    "Series",
+    "Table",
+    "ascii_plot",
+    "TrajectoryFan",
+    "trajectory_fan",
+]

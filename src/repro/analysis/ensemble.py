@@ -1,0 +1,92 @@
+"""Ensembles of independent runs and their convergence-time statistics.
+
+Every quantitative experiment reduces to "run the chain many times from a
+configuration and summarize tau": this module owns the summary.  Censoring
+is first-class — lower-bound experiments *expect* runs to exhaust their
+budget, and a censored run is then evidence, not noise — so statistics are
+reported with explicit censored counts, and quantiles of censored samples
+are lower bounds (computed by treating censored values as ``+inf``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+from repro.dynamics.config import Configuration
+from repro.dynamics.run import simulate_ensemble
+
+__all__ = ["ConvergenceStats", "summarize_times", "convergence_ensemble"]
+
+
+@dataclass(frozen=True)
+class ConvergenceStats:
+    """Summary of an ensemble of convergence times.
+
+    Attributes:
+        trials: ensemble size.
+        censored: runs that did not converge within the budget.
+        budget: the round budget (``None`` if not applicable).
+        median: median time; ``inf`` when over half the runs were censored
+            (then the median itself is only known to exceed the budget).
+        q10, q90: decile and 90th percentile with the same convention.
+        mean_converged: mean over the *converged* runs only (``nan`` if none).
+        min, max_converged: extremes over converged runs (``nan`` if none).
+    """
+
+    trials: int
+    censored: int
+    budget: Optional[int]
+    median: float
+    q10: float
+    q90: float
+    mean_converged: float
+    min: float
+    max_converged: float
+
+    @property
+    def success_rate(self) -> float:
+        return 1.0 - self.censored / self.trials
+
+    def quantile_is_lower_bound(self, q: float) -> bool:
+        """True when the ``q``-quantile is censored (only a lower bound)."""
+        return self.censored > (1.0 - q) * self.trials
+
+
+def summarize_times(times: np.ndarray, budget: Optional[int] = None) -> ConvergenceStats:
+    """Summarize an array of times with ``nan`` marking censored runs."""
+    times = np.asarray(times, dtype=float)
+    if times.size == 0:
+        raise ValueError("times must be non-empty")
+    censored = int(np.isnan(times).sum())
+    padded = np.where(np.isnan(times), np.inf, times)
+    converged = times[~np.isnan(times)]
+    return ConvergenceStats(
+        trials=len(times),
+        censored=censored,
+        budget=budget,
+        # Order-statistic quantiles: linear interpolation against the inf of
+        # a censored run would produce nan, and "lower" matches the
+        # lower-bound reading of censored quantiles anyway.
+        median=float(np.quantile(padded, 0.5, method="lower")),
+        q10=float(np.quantile(padded, 0.1, method="lower")),
+        q90=float(np.quantile(padded, 0.9, method="lower")),
+        mean_converged=float(converged.mean()) if len(converged) else float("nan"),
+        min=float(converged.min()) if len(converged) else float("nan"),
+        max_converged=float(converged.max()) if len(converged) else float("nan"),
+    )
+
+
+def convergence_ensemble(
+    protocol: Protocol,
+    config: Configuration,
+    max_rounds: int,
+    rng: np.random.Generator,
+    replicas: int,
+) -> ConvergenceStats:
+    """Run ``replicas`` independent chains and summarize their ``tau``."""
+    times = simulate_ensemble(protocol, config, max_rounds, rng, replicas)
+    return summarize_times(times, budget=max_rounds)

@@ -1,0 +1,117 @@
+"""Asymptotic-shape fits: turning tau-vs-n tables into paper-vs-measured rows.
+
+The paper's claims are asymptotic shapes — ``Theta(n log n)``,
+``Omega(n^(1-eps))``, ``O(log^2 n)``.  Absolute constants are not expected
+to transfer from the authors' analysis to a simulator, but the *shape*
+(log-log slope, boundedness of normalized ratios, who beats whom) must.
+This module provides the fits the benchmarks print.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "PowerLawFit",
+    "fit_power_law",
+    "normalized_ratios",
+    "ratio_drift",
+    "is_bounded_shape",
+]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = c * x^alpha`` on log-log axes.
+
+    Attributes:
+        exponent: the fitted ``alpha`` (the log-log slope).
+        prefactor: the fitted ``c``.
+        r_squared: coefficient of determination of the log-log regression.
+    """
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x) -> np.ndarray:
+        return self.prefactor * np.asarray(x, dtype=float) ** self.exponent
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Fit ``y ~ c x^alpha`` by linear regression in log-log space."""
+    x_array = np.asarray(x, dtype=float)
+    y_array = np.asarray(y, dtype=float)
+    if x_array.shape != y_array.shape or x_array.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if len(x_array) < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if np.any(x_array <= 0) or np.any(y_array <= 0):
+        raise ValueError("power-law fit requires strictly positive data")
+    if np.any(~np.isfinite(y_array)):
+        raise ValueError(
+            "y contains non-finite values (censored runs?); filter them "
+            "before fitting"
+        )
+    log_x = np.log(x_array)
+    log_y = np.log(y_array)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = np.sum((log_y - predicted) ** 2)
+    total = np.sum((log_y - log_y.mean()) ** 2)
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return PowerLawFit(
+        exponent=float(slope),
+        prefactor=float(math.exp(intercept)),
+        r_squared=float(r_squared),
+    )
+
+
+def normalized_ratios(
+    n_values: Sequence[float],
+    times: Sequence[float],
+    shape: Callable[[float], float],
+) -> np.ndarray:
+    """The ratios ``times[i] / shape(n[i])`` — flat iff ``times = Theta(shape)``."""
+    n_array = np.asarray(n_values, dtype=float)
+    t_array = np.asarray(times, dtype=float)
+    if n_array.shape != t_array.shape:
+        raise ValueError("n_values and times must have the same shape")
+    denominators = np.array([shape(v) for v in n_array], dtype=float)
+    if np.any(denominators <= 0):
+        raise ValueError("shape function must be strictly positive on the data")
+    return t_array / denominators
+
+
+def ratio_drift(ratios: Sequence[float]) -> float:
+    """Log-log slope of the normalized ratios against their index.
+
+    Near 0 for a correct shape; systematically positive (negative) when the
+    proposed shape under- (over-) estimates the growth.
+    """
+    ratios = np.asarray(ratios, dtype=float)
+    if len(ratios) < 2:
+        raise ValueError("need at least two ratios")
+    index = np.arange(1, len(ratios) + 1, dtype=float)
+    fit = fit_power_law(index, ratios)
+    return fit.exponent
+
+
+def is_bounded_shape(
+    ratios: Sequence[float], spread_tolerance: float = 10.0
+) -> bool:
+    """Heuristic Theta-check: the normalized ratios stay within a decade.
+
+    Simulation noise and small-``n`` transients make exact flatness
+    unrealistic; a max/min spread below ``spread_tolerance`` across a
+    several-octave sweep of ``n`` is the operational "bounded" used when
+    EXPERIMENTS.md declares a shape confirmed.
+    """
+    ratios = np.asarray(ratios, dtype=float)
+    if np.any(ratios <= 0):
+        raise ValueError("ratios must be strictly positive")
+    return bool(ratios.max() / ratios.min() <= spread_tolerance)

@@ -1,0 +1,141 @@
+"""Plain-text data series: how figures are "drawn" in this repository.
+
+The environment is plotting-library-free by design, so every figure of the
+paper is regenerated as a :class:`Series` (or a table of them) rendered as
+aligned text and CSV.  EXPERIMENTS.md embeds these renderings; anyone with a
+plotting tool can re-plot from the CSV.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Series", "Table", "ascii_plot"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named 1-D data series ``y`` over support ``x``."""
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=float)
+        y = np.asarray(self.y, dtype=float)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ValueError(
+                f"x and y must be equal-length vectors, got {x.shape}, {y.shape}"
+            )
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+    def to_csv(self, x_label: str = "x") -> str:
+        buffer = io.StringIO()
+        buffer.write(f"{x_label},{self.name}\n")
+        for xi, yi in zip(self.x, self.y):
+            buffer.write(f"{xi:.10g},{yi:.10g}\n")
+        return buffer.getvalue()
+
+
+@dataclass
+class Table:
+    """An aligned experiment table with a caption, printable and CSV-able."""
+
+    caption: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but the table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        cells = [[_format(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[j]), *(len(r[j]) for r in cells)) if cells else len(self.columns[j])
+            for j in range(len(self.columns))
+        ]
+        lines = [self.caption]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        buffer.write(",".join(self.columns) + "\n")
+        for row in self.rows:
+            buffer.write(",".join(_format(v) for v in row) + "\n")
+        return buffer.getvalue()
+
+
+def ascii_plot(
+    series: Sequence[Series],
+    width: int = 72,
+    height: int = 18,
+    markers: str = "*+ox#@",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """A minimal ASCII scatter of one or more series on shared axes.
+
+    Good enough to eyeball the shape of a reproduced figure directly in a
+    terminal or in EXPERIMENTS.md; the CSV renderings carry the real data.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    all_x = np.concatenate([s.x for s in series])
+    all_y = np.concatenate([s.y for s in series])
+    finite = np.isfinite(all_y)
+    if not finite.any():
+        raise ValueError("no finite data to plot")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo = float(all_y[finite].min()) if y_min is None else y_min
+    y_hi = float(all_y[finite].max()) if y_max is None else y_max
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        marker = markers[index % len(markers)]
+        for xi, yi in zip(s.x, s.y):
+            if not np.isfinite(yi):
+                continue
+            col = int((xi - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((yi - y_lo) / (y_hi - y_lo) * (height - 1))
+            row = height - 1 - min(max(row, 0), height - 1)
+            col = min(max(col, 0), width - 1)
+            grid[row][col] = marker
+    lines = [f"{y_hi:>12.4g} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 13 + "|" + "".join(row))
+    lines.append(f"{y_lo:>12.4g} +" + "".join(grid[-1]))
+    lines.append(" " * 14 + f"{x_lo:<.4g}" + " " * max(1, width - 16) + f"{x_hi:>.4g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "nan"
+        if np.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,92 @@
+"""Trajectory ensembles and quantile fans.
+
+Figure-style output for stochastic processes: run many replicas of the
+count chain in lock-step, record the full count matrix, and summarize it as
+per-round quantile bands (a "fan chart") plus the mean-field shadow, ready
+for :func:`repro.analysis.series.ascii_plot` or CSV export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.series import Series
+from repro.core.mean_field import iterate_mean_field
+from repro.core.protocol import Protocol
+from repro.core.roots import is_zero_bias
+from repro.dynamics.config import Configuration
+from repro.dynamics.engine import step_counts_batch
+
+__all__ = ["TrajectoryFan", "trajectory_fan"]
+
+
+@dataclass(frozen=True)
+class TrajectoryFan:
+    """Quantile bands of an ensemble of count trajectories.
+
+    Attributes:
+        rounds: time axis (0..T).
+        q10, median, q90: per-round quantiles of the count.
+        mean_field: the deterministic shadow (``None`` for zero-bias
+            protocols, whose mean field is the identity).
+        replicas: ensemble size.
+    """
+
+    rounds: np.ndarray
+    q10: np.ndarray
+    median: np.ndarray
+    q90: np.ndarray
+    mean_field: Optional[np.ndarray]
+    replicas: int
+
+    def as_series(self, normalize: Optional[int] = None) -> List[Series]:
+        """The fan as plottable series (optionally as fractions of ``n``)."""
+        scale = 1.0 if normalize is None else 1.0 / normalize
+        series = [
+            Series("q10", self.rounds, self.q10 * scale),
+            Series("median", self.rounds, self.median * scale),
+            Series("q90", self.rounds, self.q90 * scale),
+        ]
+        if self.mean_field is not None:
+            series.append(Series("mean-field", self.rounds, self.mean_field * scale))
+        return series
+
+
+def trajectory_fan(
+    protocol: Protocol,
+    config: Configuration,
+    rounds: int,
+    rng: np.random.Generator,
+    replicas: int = 100,
+) -> TrajectoryFan:
+    """Run ``replicas`` lock-step chains for ``rounds`` and band them.
+
+    Converged replicas stay parked at the consensus (it is absorbing for
+    Proposition-3-compliant protocols, which the engine requires anyway),
+    so the bands remain meaningful past individual convergence times.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if replicas < 2:
+        raise ValueError(f"replicas must be >= 2, got {replicas}")
+    n, z = config.n, config.z
+    counts = np.full(replicas, config.x0, dtype=np.int64)
+    history = np.empty((rounds + 1, replicas), dtype=np.int64)
+    history[0] = counts
+    for t in range(1, rounds + 1):
+        counts = step_counts_batch(protocol, n, z, counts, rng)
+        history[t] = counts
+    shadow = None
+    if not is_zero_bias(protocol):
+        shadow = iterate_mean_field(protocol, config.x0 / n, rounds) * n
+    return TrajectoryFan(
+        rounds=np.arange(rounds + 1, dtype=float),
+        q10=np.quantile(history, 0.1, axis=1),
+        median=np.quantile(history, 0.5, axis=1),
+        q90=np.quantile(history, 0.9, axis=1),
+        mean_field=shadow,
+        replicas=replicas,
+    )

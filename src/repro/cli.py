@@ -1,0 +1,310 @@
+"""Command-line interface: audit, simulate, and sweep protocols.
+
+Usage (installed as ``python -m repro``):
+
+    python -m repro list
+    python -m repro audit minority-3 --n 4096
+    python -m repro audit table:0,0.2,0.8,1 --n 1024
+    python -m repro run voter --n 1000 --z 1 --x0 1 --rounds 100000
+    python -m repro sweep voter --sizes 128,256,512,1024 --replicas 10
+    python -m repro landscape minority-3
+
+Protocols are resolved from the registry (:mod:`repro.protocols.registry`)
+or given inline as ``table:<g0 entries>[;<g1 entries>]`` — comma-separated
+response probabilities, length ``ell + 1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.series import Series, Table, ascii_plot
+from repro.core.bias import bias_value
+from repro.core.lower_bound import lower_bound_certificate, verify_escape_assumptions
+from repro.core.protocol import Protocol
+from repro.core.roots import is_zero_bias, sign_profile
+from repro.dynamics.config import Configuration, wrong_consensus_configuration
+from repro.dynamics.rng import make_rng
+from repro.dynamics.run import simulate, simulate_ensemble
+from repro.protocols import available_protocols, get_family, table_protocol
+
+__all__ = ["main", "resolve_protocol"]
+
+
+def resolve_protocol(spec: str, n: int) -> Protocol:
+    """Resolve a protocol spec: a registry name or ``table:...`` literal."""
+    if spec.startswith("table:"):
+        body = spec[len("table:"):]
+        parts = body.split(";")
+        g0 = [float(v) for v in parts[0].split(",") if v.strip()]
+        g1 = (
+            [float(v) for v in parts[1].split(",") if v.strip()]
+            if len(parts) > 1
+            else None
+        )
+        return table_protocol(g0, g1, name=spec)
+    return get_family(spec).at(n)
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name in available_protocols():
+        print(name)
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    protocol = resolve_protocol(args.protocol, args.n)
+    print(f"protocol: {protocol!r}")
+    if not protocol.satisfies_boundary_conditions():
+        print("Proposition 3 VIOLATED: g[0](0) > 0 or g[1](ell) < 1.")
+        print("This protocol cannot solve bit-dissemination (tau = +inf).")
+        return 1
+    print("Proposition 3: ok (consensus absorbing)")
+    if is_zero_bias(protocol):
+        print("bias: F = 0 identically (Lemma-11 / Voter-like)")
+    else:
+        profile = sign_profile(protocol)
+        print(f"roots of F: {np.round(profile.roots, 6).tolist()}")
+        print(f"signs between roots: {list(profile.signs)}")
+    certificate = lower_bound_certificate(protocol)
+    print(certificate.describe())
+    report = verify_escape_assumptions(certificate, args.n, epsilon=args.epsilon)
+    print(
+        f"assumptions at n={args.n}: drift_ok={report.drift_ok} "
+        f"(margin {report.worst_drift_margin:.3f}), "
+        f"jump tail {report.jump_tail_bound:.3e}, "
+        f"concentration tail {report.concentration_tail_bound:.3e}"
+    )
+    witness = certificate.witness_configuration(args.n)
+    print(
+        f"witness: z={witness.z}, x0={witness.x0}; lower bound: "
+        f">= {report.predicted_rounds:.0f} rounds (eps={args.epsilon})"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    protocol = resolve_protocol(args.protocol, args.n)
+    low, high = Configuration.count_bounds(args.n, args.z)
+    x0 = args.x0 if args.x0 is not None else wrong_consensus_configuration(args.n, args.z).x0
+    config = Configuration(n=args.n, z=args.z, x0=min(max(x0, low), high))
+    result = simulate(
+        protocol, config, args.rounds, make_rng(args.seed), record=args.record
+    )
+    print(
+        f"{protocol.name} on n={args.n}, z={args.z}, x0={config.x0}: "
+        f"converged={result.converged}, rounds={result.rounds}, "
+        f"final count={result.final_count}"
+    )
+    if args.record and result.trajectory is not None:
+        series = Series(
+            "count", np.arange(len(result.trajectory), dtype=float),
+            result.trajectory.astype(float),
+        )
+        print(ascii_plot([series], width=64, height=12))
+    return 0 if result.converged else 2
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sizes = [int(v) for v in args.sizes.split(",")]
+    table = Table(
+        f"tau vs n for {args.protocol} (z={args.z}, all-wrong start, "
+        f"{args.replicas} replicas, budget {args.budget_factor}x bound)",
+        ["n", "budget", "median tau", "censored"],
+    )
+    medians = []
+    fitted_sizes = []
+    for n in sizes:
+        protocol = resolve_protocol(args.protocol, n)
+        config = wrong_consensus_configuration(n, args.z)
+        budget = int(args.budget_factor * 2 * n * max(1.0, np.log(n)))
+        times = simulate_ensemble(
+            protocol, config, budget, make_rng(args.seed + n), args.replicas
+        )
+        censored = int(np.isnan(times).sum())
+        finite = times[~np.isnan(times)]
+        median = float(np.median(finite)) if len(finite) else float("inf")
+        table.add_row(n, budget, median, censored)
+        if np.isfinite(median):
+            medians.append(median)
+            fitted_sizes.append(n)
+    print(table.render())
+    if len(medians) >= 2:
+        fit = fit_power_law(fitted_sizes, medians)
+        print(f"\nfit: tau ~ {fit.prefactor:.3g} * n^{fit.exponent:.3f} "
+              f"(r^2 = {fit.r_squared:.3f})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Assemble results/E*.txt into a single REPORT.md."""
+    import pathlib
+
+    results_dir = pathlib.Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(
+            f"no results directory at {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+        return 1
+    files = sorted(
+        results_dir.glob("E*.txt"),
+        key=lambda path: (len(path.stem.split("_")[0]), path.stem),
+    )
+    if not files:
+        print(f"no experiment outputs under {results_dir}")
+        return 1
+    sections = ["# Experiment report\n"]
+    sections.append(
+        "Assembled from the most recent `pytest benchmarks/ --benchmark-only` "
+        f"run ({len(files)} experiments).\n"
+    )
+    for path in files:
+        sections.append(f"\n## {path.stem}\n")
+        sections.append("```")
+        sections.append(path.read_text().strip())
+        sections.append("```")
+    output = pathlib.Path(args.output)
+    output.write_text("\n".join(sections) + "\n")
+    print(f"wrote {output} ({len(files)} experiments)")
+    return 0
+
+
+def _cmd_worst(args: argparse.Namespace) -> int:
+    from repro.dynamics.adversary import exact_worst_start
+
+    protocol = resolve_protocol(args.protocol, args.n)
+    worst = exact_worst_start(protocol, args.n, args.z)
+    print(
+        f"{protocol.name}, n={args.n}, z={args.z}: worst start x0="
+        f"{worst.config.x0} with exact E[tau] = {worst.expected_rounds:.6g}"
+    )
+    if args.profile:
+        series = Series(
+            "exact E[tau] by start (log10)",
+            worst.probed_counts.astype(float),
+            np.log10(np.maximum(worst.profile, 1.0)),
+        )
+        print(ascii_plot([series], width=64, height=12))
+    return 0
+
+
+def _cmd_meanfield(args: argparse.Namespace) -> int:
+    from repro.core.mean_field import fixed_points, iterate_mean_field
+    from repro.core.roots import is_zero_bias
+
+    protocol = resolve_protocol(args.protocol, args.n)
+    if is_zero_bias(protocol):
+        print(f"{protocol.name}: zero bias — the mean-field map is the identity")
+        return 0
+    print(f"fixed points of phi(p) = p + F(p) for {protocol.name}:")
+    for point in fixed_points(protocol):
+        oscillatory = " (oscillatory)" if point.is_oscillatory else ""
+        print(
+            f"  p* = {point.location:.6f}  phi' = {point.multiplier:+.4f}  "
+            f"{point.stability}{oscillatory}"
+        )
+    trajectory = iterate_mean_field(protocol, args.p0, args.rounds)
+    series = Series(
+        f"mean-field from p0={args.p0:g}",
+        np.arange(len(trajectory), dtype=float),
+        trajectory,
+    )
+    print(ascii_plot([series], width=64, height=12, y_min=0.0, y_max=1.0))
+    return 0
+
+
+def _cmd_landscape(args: argparse.Namespace) -> int:
+    protocol = resolve_protocol(args.protocol, args.n)
+    grid = np.linspace(0.0, 1.0, args.points)
+    series = Series(f"F(p) for {protocol.name}", grid, bias_value(protocol, grid))
+    print(ascii_plot([series], width=66, height=14))
+    if args.csv:
+        print()
+        print(series.to_csv(x_label="p"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory-less bit-dissemination: simulate and audit protocols.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered protocols").set_defaults(
+        handler=_cmd_list
+    )
+
+    audit = sub.add_parser("audit", help="run the Theorem-12 pipeline on a protocol")
+    audit.add_argument("protocol", help="registry name or table:<g0>[;<g1>]")
+    audit.add_argument("--n", type=int, default=4096)
+    audit.add_argument("--epsilon", type=float, default=0.25)
+    audit.set_defaults(handler=_cmd_audit)
+
+    run = sub.add_parser("run", help="simulate one run of the count chain")
+    run.add_argument("protocol")
+    run.add_argument("--n", type=int, default=1000)
+    run.add_argument("--z", type=int, default=1, choices=(0, 1))
+    run.add_argument("--x0", type=int, default=None, help="default: all wrong")
+    run.add_argument("--rounds", type=int, default=100_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--record", action="store_true", help="plot the trajectory")
+    run.set_defaults(handler=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="tau vs n with a power-law fit")
+    sweep.add_argument("protocol")
+    sweep.add_argument("--sizes", default="128,256,512,1024")
+    sweep.add_argument("--z", type=int, default=1, choices=(0, 1))
+    sweep.add_argument("--replicas", type=int, default=10)
+    sweep.add_argument("--budget-factor", type=float, default=1.0)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    report = sub.add_parser(
+        "report", help="assemble results/E*.txt into REPORT.md"
+    )
+    report.add_argument("--results-dir", default="results")
+    report.add_argument("--output", default="REPORT.md")
+    report.set_defaults(handler=_cmd_report)
+
+    worst = sub.add_parser(
+        "worst", help="exact adversarial starting configuration (small n)"
+    )
+    worst.add_argument("protocol")
+    worst.add_argument("--n", type=int, default=48)
+    worst.add_argument("--z", type=int, default=1, choices=(0, 1))
+    worst.add_argument("--profile", action="store_true", help="plot E[tau] by start")
+    worst.set_defaults(handler=_cmd_worst)
+
+    meanfield = sub.add_parser(
+        "meanfield", help="fixed points and deterministic trajectory"
+    )
+    meanfield.add_argument("protocol")
+    meanfield.add_argument("--n", type=int, default=1024)
+    meanfield.add_argument("--p0", type=float, default=0.1)
+    meanfield.add_argument("--rounds", type=int, default=30)
+    meanfield.set_defaults(handler=_cmd_meanfield)
+
+    landscape = sub.add_parser("landscape", help="ASCII plot of the bias polynomial")
+    landscape.add_argument("protocol")
+    landscape.add_argument("--n", type=int, default=1024)
+    landscape.add_argument("--points", type=int, default=101)
+    landscape.add_argument("--csv", action="store_true")
+    landscape.set_defaults(handler=_cmd_landscape)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

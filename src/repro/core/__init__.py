@@ -1,0 +1,60 @@
+"""The paper's primary contribution: bias analysis and the lower-bound pipeline."""
+
+from repro.core.bias import (
+    bias_coefficients,
+    bias_from_coefficients,
+    bias_value,
+    drift_identity_gap,
+    expected_next_count,
+)
+from repro.core.jump_bound import (
+    JumpBoundCheck,
+    check_jump_bound,
+    jump_bound_y,
+    jump_failure_probability,
+)
+from repro.core.mean_field import (
+    FixedPoint,
+    fixed_points,
+    iterate_mean_field,
+    mean_field_derivative,
+    mean_field_map,
+    tracking_error,
+)
+from repro.core.lower_bound import (
+    AssumptionReport,
+    LowerBoundCertificate,
+    lower_bound_certificate,
+    verify_escape_assumptions,
+)
+from repro.core.protocol import Protocol, ProtocolFamily, constant_family
+from repro.core.roots import SignProfile, is_zero_bias, sign_profile, unit_interval_roots
+
+__all__ = [
+    "Protocol",
+    "ProtocolFamily",
+    "constant_family",
+    "bias_value",
+    "bias_coefficients",
+    "bias_from_coefficients",
+    "expected_next_count",
+    "drift_identity_gap",
+    "unit_interval_roots",
+    "sign_profile",
+    "SignProfile",
+    "is_zero_bias",
+    "jump_bound_y",
+    "jump_failure_probability",
+    "JumpBoundCheck",
+    "check_jump_bound",
+    "LowerBoundCertificate",
+    "AssumptionReport",
+    "lower_bound_certificate",
+    "verify_escape_assumptions",
+    "FixedPoint",
+    "fixed_points",
+    "iterate_mean_field",
+    "mean_field_map",
+    "mean_field_derivative",
+    "tracking_error",
+]

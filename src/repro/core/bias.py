@@ -1,0 +1,147 @@
+"""The bias polynomial ``F_n`` (Eq. 3) and the drift identity (Proposition 5).
+
+For a protocol ``P`` with sample size ``ell``, the paper defines
+
+    F(p) = -p + sum_k C(ell, k) p^k (1-p)^(ell-k) (p g[1](k) + (1-p) g[0](k)),
+
+the expected one-round change of the *fraction* of opinion-1 agents, ignoring
+the source.  ``F`` is a polynomial of degree at most ``ell + 1``; the entire
+lower-bound argument of the paper rests on ``F`` having a constant number of
+roots when ``ell`` is constant.
+
+This module computes ``F`` both pointwise (numerically stable, via the
+binomial mixture) and as an explicit coefficient vector in the power basis
+(used by the root-finding machinery in :mod:`repro.core.roots`), and exposes
+the exact conditional drift ``E[X_{t+1} | X_t = x]`` of the count chain,
+against which Proposition 5 is verified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+
+__all__ = [
+    "bias_value",
+    "bias_coefficients",
+    "bias_from_coefficients",
+    "expected_next_count",
+    "drift_identity_gap",
+]
+
+
+def bias_value(protocol: Protocol, p):
+    """Evaluate ``F(p)`` pointwise.  Vectorized over ``p``.
+
+    Uses the binomial-mixture form directly (rather than expanded power-basis
+    coefficients), which is numerically stable even for the large ``ell`` of
+    the [15] regime where expanded coefficients overflow.
+    """
+    p_array = np.asarray(p, dtype=float)
+    p0, p1 = protocol.response_probabilities(p_array)
+    value = -p_array + p_array * p1 + (1.0 - p_array) * p0
+    if np.isscalar(p) or p_array.ndim == 0:
+        return float(value)
+    return value
+
+
+def bias_coefficients(protocol: Protocol) -> np.ndarray:
+    """Power-basis coefficients of ``F``, lowest degree first.
+
+    Returns an array ``c`` of length ``ell + 2`` with
+    ``F(p) = sum_j c[j] p^j``.  Exact up to float rounding; intended for the
+    constant-``ell`` regime of the lower bound (coefficients grow like
+    ``4^ell`` and become unreliable for ``ell`` beyond a few dozen, which the
+    root machinery guards against).
+    """
+    ell = protocol.ell
+    degree = ell + 1
+    coefficients = np.zeros(degree + 1, dtype=float)
+    binomials = _binomial_row(ell)
+    for k in range(ell + 1):
+        # basis_k(p) = C(ell, k) p^k (1-p)^(ell-k), expanded in powers of p.
+        basis = binomials[k] * _shifted_power_coefficients(k, ell - k)
+        # (1-p) g0[k] basis_k(p)  -> contributes to degrees k..ell+1
+        g0_term = np.convolve(basis, [1.0, -1.0]) * protocol.g0[k]
+        # p g1[k] basis_k(p)
+        g1_term = np.convolve(basis, [0.0, 1.0]) * protocol.g1[k]
+        coefficients += g0_term + g1_term
+    coefficients[1] -= 1.0  # the leading "-p" of Eq. 3
+    return coefficients
+
+
+def bias_from_coefficients(coefficients: np.ndarray, p):
+    """Evaluate the power-basis expansion at ``p`` (Horner scheme)."""
+    p_array = np.asarray(p, dtype=float)
+    value = np.zeros_like(p_array)
+    for c in coefficients[::-1]:
+        value = value * p_array + c
+    if np.isscalar(p) or p_array.ndim == 0:
+        return float(value)
+    return value
+
+
+def expected_next_count(protocol: Protocol, n: int, z: int, x) -> np.ndarray:
+    """Exact conditional expectation ``E[X_{t+1} | X_t = x]`` of the count chain.
+
+    ``X_t`` counts *all* agents (including the source) holding opinion 1 and
+    ``z`` is the source's (correct) opinion.  With ``p = x / n``:
+
+        E[X_{t+1}] = z + (x - z) P1(p) + (n - x - (1 - z)) P0(p)
+
+    (the source contributes ``z`` deterministically; each non-source agent
+    flips independently given ``X_t``).  Vectorized over ``x``.
+    """
+    _validate_count_arguments(n, z, x)
+    x_array = np.asarray(x, dtype=float)
+    p = x_array / n
+    p0, p1 = protocol.response_probabilities(p)
+    value = z + (x_array - z) * np.asarray(p1) + (n - x_array - (1 - z)) * np.asarray(p0)
+    if np.isscalar(x):
+        return float(value)
+    return value
+
+
+def drift_identity_gap(protocol: Protocol, n: int, z: int, x) -> np.ndarray:
+    """The gap ``E[X_{t+1} | X_t = x] - x - n F(x/n)`` of Proposition 5.
+
+    Proposition 5 asserts this gap always lies in ``[-1, +1]``; the exact
+    value is ``z (1 - P1(p)) - (1 - z) P0(p)`` (source correction).
+    """
+    x_array = np.asarray(x, dtype=float)
+    expectation = expected_next_count(protocol, n, z, x)
+    return np.asarray(expectation) - x_array - n * np.asarray(
+        bias_value(protocol, x_array / n)
+    )
+
+
+def _validate_count_arguments(n: int, z: int, x) -> None:
+    if n < 2:
+        raise ValueError(f"population size n must be >= 2, got {n}")
+    if z not in (0, 1):
+        raise ValueError(f"source opinion z must be 0 or 1, got {z}")
+    x_array = np.asarray(x)
+    low = z  # the source always holds z, so X >= z ...
+    high = n - (1 - z)  # ... and X <= n - 1 when z = 0.
+    if np.any(x_array < low) or np.any(x_array > high):
+        raise ValueError(
+            f"count x must lie in [{low}, {high}] for n={n}, z={z}; got {x}"
+        )
+
+
+def _binomial_row(ell: int) -> np.ndarray:
+    row = np.empty(ell + 1, dtype=float)
+    value = 1
+    for k in range(ell + 1):
+        row[k] = float(value)
+        value = value * (ell - k) // (k + 1)
+    return row
+
+
+def _shifted_power_coefficients(k: int, m: int) -> np.ndarray:
+    """Coefficients of ``p^k (1-p)^m`` in the power basis, lowest first."""
+    one_minus_p = np.array([1.0])
+    for _ in range(m):
+        one_minus_p = np.convolve(one_minus_p, [1.0, -1.0])
+    return np.concatenate([np.zeros(k), one_minus_p])

@@ -1,0 +1,120 @@
+"""Proposition 4: the one-round jump bound for solving protocols.
+
+If a protocol satisfies ``g[0](0) = 0`` (Proposition 3), then an agent with
+opinion 0 that samples *only* zeros keeps its opinion.  From any configuration
+with ``x_t <= c n`` ones, each of the at least ``(1 - c) n`` zero-agents keeps
+opinion 0 with probability at least ``(1 - c)^ell``, so the next count is,
+w.h.p., at most ``y(c, ell) n`` with
+
+    y(c, ell) = 1 - (1 - c)^(ell + 1) / 2
+
+and failure probability ``exp(-2 sqrt(n))``.  This is the "cannot jump over
+the interval" ingredient (assumption (ii)) of the escape theorem: with a
+*constant* sample size the process cannot leap from far below the interval to
+past it in one round — precisely what breaks for ``ell = Omega(log n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+
+__all__ = [
+    "jump_bound_y",
+    "jump_failure_probability",
+    "JumpBoundCheck",
+    "check_jump_bound",
+]
+
+
+def jump_bound_y(c: float, ell: int) -> float:
+    """The constant ``y(c, ell) = 1 - (1-c)^(ell+1) / 2`` of Proposition 4.
+
+    Satisfies ``c < y < 1`` for ``c in (0, 1)``: starting at or below a ``c``
+    fraction of ones, one parallel round cannot (w.h.p.) push the fraction
+    above ``y``.
+    """
+    if not 0 < c < 1:
+        raise ValueError(f"c must lie in (0, 1), got {c}")
+    if ell < 1:
+        raise ValueError(f"ell must be >= 1, got {ell}")
+    y = 1.0 - (1.0 - c) ** (ell + 1) / 2.0
+    # c < y always holds: 1 - y = (1-c)^(ell+1)/2 < (1-c)/2 < 1 - c.
+    return y
+
+
+def jump_failure_probability(n: int) -> float:
+    """The Proposition-4 tail ``exp(-2 sqrt(n))`` (probability of exceeding y n)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return math.exp(-2.0 * math.sqrt(n))
+
+
+@dataclass(frozen=True)
+class JumpBoundCheck:
+    """Outcome of an empirical verification of Proposition 4.
+
+    Attributes:
+        c: the starting-fraction threshold.
+        y: the bound ``y(c, ell)``.
+        n: population size used.
+        trials: number of simulated one-round transitions.
+        max_fraction_reached: largest ``X_{t+1} / n`` observed.
+        violations: how many transitions exceeded ``y n``.
+    """
+
+    c: float
+    y: float
+    n: int
+    trials: int
+    max_fraction_reached: float
+    violations: int
+
+    @property
+    def holds(self) -> bool:
+        return self.violations == 0
+
+
+def check_jump_bound(
+    protocol: Protocol,
+    n: int,
+    c: float,
+    trials: int,
+    rng: np.random.Generator,
+    z: int = 1,
+) -> JumpBoundCheck:
+    """Empirically verify Proposition 4 at the worst starting count.
+
+    Runs ``trials`` independent one-round transitions from the extreme
+    admissible count ``x = floor(c n)`` (the drift toward 1 is monotone in the
+    starting count for the bound in question, so this is the stress case) and
+    reports the largest fraction reached.
+    """
+    if not protocol.satisfies_boundary_conditions(tolerance=1e-12):
+        raise ValueError(
+            "Proposition 4 presupposes Proposition 3; protocol "
+            f"{protocol.name!r} violates the boundary conditions"
+        )
+    # Imported here to avoid a circular import (dynamics imports core).
+    from repro.dynamics.engine import step_count
+
+    x = int(math.floor(c * n))
+    x = max(x, z)  # the source holds z, so the count cannot be below z
+    y = jump_bound_y(c, protocol.ell)
+    threshold = y * n
+    next_counts = np.array(
+        [step_count(protocol, n, z, x, rng) for _ in range(trials)], dtype=float
+    )
+    violations = int(np.sum(next_counts > threshold))
+    return JumpBoundCheck(
+        c=c,
+        y=y,
+        n=n,
+        trials=trials,
+        max_fraction_reached=float(next_counts.max() / n),
+        violations=violations,
+    )

@@ -1,0 +1,148 @@
+"""Mean-field analysis of a protocol: the deterministic skeleton of the chain.
+
+As ``n -> infinity`` with ``p = X_t / n`` fixed, one parallel round
+concentrates (Hoeffding) around the deterministic map
+
+    phi(p) = p + F(p)  =  p P1(p) + (1 - p) P0(p),
+
+so the count chain is a stochastic perturbation of the discrete dynamical
+system ``p_{t+1} = phi(p_t)``.  The lower-bound proof is, in this language,
+the statement that between consecutive fixed points of ``phi`` the flow is
+monotone and the chain cannot beat it by more than diffusive fluctuations.
+
+This module computes the fixed points of ``phi`` (the roots of ``F``),
+classifies their stability (attracting / repelling / neutral / oscillatory
+via ``|phi'|``), iterates the mean-field trajectory, and measures how well
+a finite-``n`` simulation tracks it — the quantitative content of
+Proposition 5 at the trajectory level.  It also explains the Minority
+overshoot mechanism: for large ``ell``, ``phi`` maps a near-unanimous wrong
+configuration across the fixed point in one step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.bias import bias_value
+from repro.core.protocol import Protocol
+from repro.core.roots import is_zero_bias, unit_interval_roots
+
+__all__ = [
+    "mean_field_map",
+    "mean_field_derivative",
+    "FixedPoint",
+    "fixed_points",
+    "iterate_mean_field",
+    "tracking_error",
+]
+
+_DERIVATIVE_STEP = 1e-6
+_NEUTRAL_BAND = 1e-6
+
+
+def mean_field_map(protocol: Protocol, p):
+    """The one-round mean-field map ``phi(p) = p + F(p)``.  Vectorized."""
+    p_array = np.asarray(p, dtype=float)
+    value = p_array + np.asarray(bias_value(protocol, p_array))
+    if np.isscalar(p) or p_array.ndim == 0:
+        return float(value)
+    return value
+
+
+def mean_field_derivative(protocol: Protocol, p):
+    """``phi'(p)`` by central differences (clamped to [0, 1]).  Vectorized."""
+    p_array = np.asarray(p, dtype=float)
+    low = np.clip(p_array - _DERIVATIVE_STEP, 0.0, 1.0)
+    high = np.clip(p_array + _DERIVATIVE_STEP, 0.0, 1.0)
+    value = (
+        np.asarray(mean_field_map(protocol, high))
+        - np.asarray(mean_field_map(protocol, low))
+    ) / (high - low)
+    if np.isscalar(p) or p_array.ndim == 0:
+        return float(value)
+    return value
+
+
+@dataclass(frozen=True)
+class FixedPoint:
+    """A fixed point of the mean-field map with its local classification.
+
+    Attributes:
+        location: the fixed point ``p* in [0, 1]`` (a root of ``F``).
+        multiplier: ``phi'(p*)``; the fixed point is attracting when
+            ``|phi'| < 1``, repelling when ``|phi'| > 1``, and the approach
+            is oscillatory when ``phi' < 0``.
+        stability: ``"attracting"``, ``"repelling"`` or ``"neutral"``.
+    """
+
+    location: float
+    multiplier: float
+    stability: str
+
+    @property
+    def is_oscillatory(self) -> bool:
+        return self.multiplier < 0
+
+
+def fixed_points(protocol: Protocol) -> List[FixedPoint]:
+    """Fixed points of ``phi`` on ``[0, 1]``, classified by ``|phi'|``.
+
+    Raises for zero-bias protocols (every point is fixed; the Voter's
+    mean-field dynamics is the identity and Lemma 11 handles it directly).
+    """
+    if is_zero_bias(protocol):
+        raise ValueError(
+            "zero-bias protocol: every p is a mean-field fixed point "
+            "(the Lemma-11 case)"
+        )
+    points = []
+    for root in unit_interval_roots(protocol):
+        multiplier = mean_field_derivative(protocol, root)
+        if abs(multiplier) < 1.0 - _NEUTRAL_BAND:
+            stability = "attracting"
+        elif abs(multiplier) > 1.0 + _NEUTRAL_BAND:
+            stability = "repelling"
+        else:
+            stability = "neutral"
+        points.append(
+            FixedPoint(location=root, multiplier=multiplier, stability=stability)
+        )
+    return points
+
+
+def iterate_mean_field(
+    protocol: Protocol, p0: float, rounds: int
+) -> np.ndarray:
+    """The deterministic trajectory ``p0, phi(p0), phi(phi(p0)), ...``."""
+    if not 0.0 <= p0 <= 1.0:
+        raise ValueError(f"p0 must lie in [0, 1], got {p0}")
+    if rounds < 0:
+        raise ValueError(f"rounds must be >= 0, got {rounds}")
+    trajectory = np.empty(rounds + 1)
+    trajectory[0] = p0
+    for t in range(rounds):
+        trajectory[t + 1] = np.clip(mean_field_map(protocol, trajectory[t]), 0.0, 1.0)
+    return trajectory
+
+
+def tracking_error(
+    protocol: Protocol,
+    n: int,
+    z: int,
+    counts: np.ndarray,
+) -> np.ndarray:
+    """Per-round gap between a simulated run and its mean-field shadow.
+
+    Starts the deterministic iteration from the run's initial fraction and
+    returns ``|X_t / n - p_t|``.  By Proposition 5 + Hoeffding the gap stays
+    ``O(sqrt(t / n))`` over bounded horizons away from repelling fixed
+    points — the property test for the engines' faithfulness to the theory.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 1 or len(counts) < 1:
+        raise ValueError("counts must be a non-empty 1-D trajectory")
+    shadow = iterate_mean_field(protocol, counts[0] / n, len(counts) - 1)
+    return np.abs(counts / n - shadow)

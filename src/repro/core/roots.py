@@ -1,0 +1,227 @@
+"""Root and sign analysis of the bias polynomial on ``[0, 1]``.
+
+The proof of Theorem 12 hinges on two facts about ``F = F_n``:
+
+* ``F(0) = F(1) = 0`` for any protocol satisfying Proposition 3, and
+* ``F`` has degree at most ``ell + 1``, hence at most ``ell + 1`` roots in
+  ``[0, 1]``, so between consecutive roots it keeps a constant sign.
+
+This module turns that argument into code: it locates the roots of ``F`` in
+``[0, 1]``, computes the sign profile of ``F`` between them, and identifies
+the interval the paper works with — the one just below ``p = 1`` (below the
+root ``r^(k0)`` that converges to 1 along the subsequence in the paper; for
+the ``n``-independent tables in this library the interval is simply
+``(r_last, 1)`` where ``r_last`` is the largest root strictly inside
+``(0, 1)``, or ``(0, 1)`` itself when there is none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.core.bias import bias_coefficients, bias_value
+from repro.core.protocol import Protocol
+
+__all__ = [
+    "SignProfile",
+    "unit_interval_roots",
+    "sign_profile",
+    "is_zero_bias",
+]
+
+_ZERO_COEFFICIENT_TOLERANCE = 1e-12
+# Even-multiplicity roots (e.g. the double root at p = 1 of a (1-p)^2
+# factor) are split by the companion-matrix solver into conjugate-adjacent
+# estimates ~1e-8 apart; merge well above that split but far below any
+# constant-length interval the lower bound works with.
+_ROOT_MERGE_TOLERANCE = 1e-6
+_SIGN_TOLERANCE = 1e-12
+_MAX_EXPANDABLE_ELL = 40
+
+
+def is_zero_bias(protocol: Protocol, tolerance: float = 1e-12) -> bool:
+    """True when ``F`` is identically zero (the Lemma-11 case, e.g. Voter)."""
+    coefficients = bias_coefficients(protocol)
+    scale = max(1.0, float(np.max(np.abs(coefficients))))
+    if np.all(np.abs(coefficients) <= tolerance * scale):
+        return True
+    # Coefficients can be individually large yet cancel; confirm pointwise.
+    grid = np.linspace(0.0, 1.0, 257)
+    return bool(np.all(np.abs(bias_value(protocol, grid)) <= tolerance))
+
+
+def unit_interval_roots(protocol: Protocol) -> List[float]:
+    """Roots of ``F`` in ``[0, 1]``, deduplicated and sorted ascending.
+
+    Uses the companion-matrix eigenvalues of the power-basis expansion,
+    refined with bisection (``brentq``) wherever a bracketing sign change
+    exists.  Multiplicities are not reported: the lower-bound machinery only
+    needs the *locations* where ``F`` can change sign.  Raises if ``F`` is
+    identically zero (roots are then meaningless) or ``ell`` is too large for
+    a reliable coefficient expansion.
+    """
+    if protocol.ell > _MAX_EXPANDABLE_ELL:
+        raise ValueError(
+            f"root analysis supports ell <= {_MAX_EXPANDABLE_ELL} (the "
+            f"constant-sample-size regime of the lower bound); got ell="
+            f"{protocol.ell}"
+        )
+    if is_zero_bias(protocol):
+        raise ValueError(
+            "bias polynomial is identically zero (Lemma-11 case); it has no "
+            "isolated roots"
+        )
+    coefficients = bias_coefficients(protocol)
+    candidates = _polynomial_roots_in_unit_interval(coefficients)
+    refined = _refine_roots(protocol, candidates)
+    # F(0) = F(1) = 0 whenever Proposition 3 holds; include the endpoints the
+    # paper counts as roots r^(1) = 0 and r^(d) = 1.
+    if abs(bias_value(protocol, 0.0)) <= _SIGN_TOLERANCE:
+        refined.append(0.0)
+    if abs(bias_value(protocol, 1.0)) <= _SIGN_TOLERANCE:
+        refined.append(1.0)
+    return _merge_close(sorted(refined))
+
+
+@dataclass(frozen=True)
+class SignProfile:
+    """The sign of ``F`` on each open interval between consecutive roots.
+
+    Attributes:
+        roots: sorted root locations in ``[0, 1]`` (including 0 and 1 when
+            they are roots).
+        signs: ``signs[i] in {-1, 0, +1}`` is the sign of ``F`` on the open
+            interval ``(roots[i], roots[i+1])``; 0 marks an interval where
+            ``F`` stays below the numeric tolerance (a multiple-root plateau).
+    """
+
+    roots: tuple
+    signs: tuple
+
+    @property
+    def last_interval(self) -> tuple:
+        """The interval ``(r_last, 1)`` adjacent to the consensus ``p = 1``.
+
+        This is the paper's ``(r^(k0 - 1), r^(k0))`` interval: the lower-bound
+        argument always works in the last interval on which ``F`` has a
+        definite sign before ``p = 1``.  Intervals with sign 0 next to 1 are
+        skipped (they behave like the zero-bias case locally).
+        """
+        for i in range(len(self.signs) - 1, -1, -1):
+            if self.signs[i] != 0:
+                return (self.roots[i], self.roots[i + 1])
+        raise ValueError("F has no interval of definite sign (zero-bias case?)")
+
+    @property
+    def last_interval_sign(self) -> int:
+        for i in range(len(self.signs) - 1, -1, -1):
+            if self.signs[i] != 0:
+                return self.signs[i]
+        raise ValueError("F has no interval of definite sign (zero-bias case?)")
+
+
+def sign_profile(protocol: Protocol, samples_per_interval: int = 64) -> SignProfile:
+    """Compute the sign of ``F`` between consecutive roots.
+
+    Each open interval is probed on a grid; a consistent strictly-positive
+    (negative) grid yields sign +1 (-1), anything straddling the tolerance
+    yields 0.  A straddle would indicate a missed root, which the refinement
+    in :func:`unit_interval_roots` makes improbable; 0 is the safe report.
+    """
+    roots = unit_interval_roots(protocol)
+    if len(roots) < 2:
+        raise ValueError(
+            f"expected at least the endpoint roots 0 and 1, got {roots}; "
+            "does the protocol satisfy Proposition 3?"
+        )
+    signs = []
+    for left, right in zip(roots[:-1], roots[1:]):
+        offsets = (np.arange(1, samples_per_interval + 1)) / (samples_per_interval + 1)
+        grid = left + offsets * (right - left)
+        values = bias_value(protocol, grid)
+        scale = _interval_scale(left, right)
+        if np.all(values > scale):
+            signs.append(1)
+        elif np.all(values < -scale):
+            signs.append(-1)
+        else:
+            signs.append(0)
+    return SignProfile(roots=tuple(roots), signs=tuple(signs))
+
+
+def _interval_scale(left: float, right: float) -> float:
+    # Near a root, |F| shrinks linearly; use a tolerance proportional to the
+    # interval length so short intervals are not misclassified as sign 0.
+    return _SIGN_TOLERANCE * max(1.0, 1.0 / max(right - left, 1e-6))
+
+
+def _polynomial_roots_in_unit_interval(coefficients: np.ndarray) -> List[float]:
+    trimmed = np.array(coefficients, dtype=float)
+    scale = float(np.max(np.abs(trimmed)))
+    trimmed[np.abs(trimmed) <= _ZERO_COEFFICIENT_TOLERANCE * scale] = 0.0
+    # Strip trailing zero coefficients (highest degrees).
+    while len(trimmed) > 1 and trimmed[-1] == 0.0:
+        trimmed = trimmed[:-1]
+    if len(trimmed) <= 1:
+        return []
+    roots = np.polynomial.polynomial.polyroots(trimmed)
+    real = roots[np.abs(roots.imag) <= 1e-9].real
+    inside = real[(real >= -1e-9) & (real <= 1 + 1e-9)]
+    return [float(np.clip(r, 0.0, 1.0)) for r in inside]
+
+
+def _refine_roots(protocol: Protocol, candidates: Sequence[float]) -> List[float]:
+    """Polish candidate roots with bisection on the stable pointwise ``F``."""
+    refined = []
+    for candidate in candidates:
+        if candidate in (0.0, 1.0):
+            continue  # endpoint roots are handled by the caller
+        refined.append(_polish_root(protocol, candidate))
+    return refined
+
+
+def _polish_root(protocol: Protocol, candidate: float, radius: float = 1e-4) -> float:
+    left = max(candidate - radius, 1e-12)
+    right = min(candidate + radius, 1 - 1e-12)
+    f_left = bias_value(protocol, left)
+    f_right = bias_value(protocol, right)
+    if f_left == 0.0:
+        return left
+    if f_right == 0.0:
+        return right
+    if np.sign(f_left) != np.sign(f_right):
+        return float(brentq(lambda p: bias_value(protocol, p), left, right))
+    # No bracketing sign change (even-multiplicity root); keep the
+    # companion-matrix estimate.
+    return float(candidate)
+
+
+def _merge_close(values: Sequence[float]) -> List[float]:
+    """Collapse clusters of near-identical roots, snapping to the endpoints.
+
+    Clusters within the merge tolerance are represented by their mean, then
+    pulled exactly onto 0 or 1 when they touch an endpoint — the endpoint
+    roots are structural (Proposition 3) and downstream code relies on them
+    being exact.
+    """
+    merged: List[float] = []
+    cluster: List[float] = []
+    for value in sorted(values):
+        if cluster and value - cluster[-1] > _ROOT_MERGE_TOLERANCE:
+            merged.append(float(np.mean(cluster)))
+            cluster = []
+        cluster.append(value)
+    if cluster:
+        merged.append(float(np.mean(cluster)))
+    snapped = []
+    for value in merged:
+        if value <= _ROOT_MERGE_TOLERANCE:
+            value = 0.0
+        elif value >= 1.0 - _ROOT_MERGE_TOLERANCE:
+            value = 1.0
+        snapped.append(min(max(value, 0.0), 1.0))
+    return snapped

@@ -1,0 +1,15 @@
+"""The coalescing-random-walk dual of the Voter dynamics (Appendix B)."""
+
+from repro.dual.coalescing import (
+    PairedRun,
+    coalescence_profile,
+    dual_absorption_times,
+    paired_forward_dual_run,
+)
+
+__all__ = [
+    "dual_absorption_times",
+    "coalescence_profile",
+    "PairedRun",
+    "paired_forward_dual_run",
+]

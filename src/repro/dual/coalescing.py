@@ -1,0 +1,159 @@
+"""The coalescing-random-walk dual of the Voter dynamics (Appendix B, Fig 4).
+
+The proof of Theorem 2 runs time backwards: place one walker on every agent
+at the horizon ``T`` and let the walker at position ``j`` in round ``t + 1``
+move to ``S_t(j)``, the agent that ``j`` sampled in round ``t``.  Walkers at
+the same position coalesce (they share all future moves), and the source is
+a sink (``S_t(source) = source`` by convention).  The key implications,
+which this module makes checkable:
+
+* Eq. 15 — a walker that reaches the source stays there;
+* Eq. 16/17 — if walker ``i`` is absorbed at the source by round ``t = 0``,
+  then agent ``i`` holds the correct opinion at the horizon;
+* consequently, once *all* walkers are absorbed, the forward dynamics has
+  reached the correct consensus — whatever the initial opinions were.
+
+Each walker's trajectory is a uniform random walk on agent indices absorbed
+at the source, so ``P(walker i unabsorbed after T rounds) = (1 - 1/n)^T``
+and ``T = 2 n ln n`` gives failure probability ``<= 1/n`` (Theorem 2).
+
+``paired_forward_dual_run`` realizes both processes on the *same* sampling
+randomness, turning the duality into an executkable integration test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "dual_absorption_times",
+    "coalescence_profile",
+    "PairedRun",
+    "paired_forward_dual_run",
+]
+
+SOURCE_INDEX = 0
+
+
+def dual_absorption_times(
+    n: int, horizon: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Absorption time at the source for each of the ``n`` backward walkers.
+
+    Walker ``i`` starts at agent ``i``; each backward round every non-source
+    position moves to an independent uniform agent (the agent it "sampled"),
+    and positions coalesce implicitly because the move is a function of the
+    position.  Returns, per walker, the number of backward rounds until it
+    reached the source, or ``-1`` if unabsorbed within ``horizon``.
+
+    The maximum entry (when all are absorbed) is the dual's bound on the
+    Voter convergence time from *any* initial configuration.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    positions = np.arange(n)
+    absorption = np.full(n, -1, dtype=np.int64)
+    absorption[SOURCE_INDEX] = 0
+    for t in range(1, horizon + 1):
+        unabsorbed = absorption < 0
+        if not unabsorbed.any():
+            break
+        # One uniform sample per *agent*; all walkers at the same position
+        # share it (that is the coalescence).
+        samples = rng.integers(0, n, size=n)
+        samples[SOURCE_INDEX] = SOURCE_INDEX
+        positions[unabsorbed] = samples[positions[unabsorbed]]
+        newly_absorbed = unabsorbed & (positions == SOURCE_INDEX)
+        absorption[newly_absorbed] = t
+    return absorption
+
+
+def coalescence_profile(
+    n: int, horizon: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Number of distinct unabsorbed walker positions after each backward round.
+
+    The Figure-4 data series: starts at ``n - 1`` and collapses to 0; its
+    hitting time of 0 is the dual bound on the Voter convergence time.
+    """
+    positions = np.arange(n)
+    profile = [n - 1]
+    for _ in range(horizon):
+        samples = rng.integers(0, n, size=n)
+        samples[SOURCE_INDEX] = SOURCE_INDEX
+        moving = positions != SOURCE_INDEX
+        positions[moving] = samples[positions[moving]]
+        distinct = np.unique(positions[positions != SOURCE_INDEX])
+        profile.append(len(distinct))
+        if len(distinct) == 0:
+            break
+    return np.asarray(profile, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class PairedRun:
+    """A forward Voter run and its dual, built on the same sampling randomness.
+
+    Attributes:
+        final_opinions: forward opinions at the horizon.
+        absorption: per-agent dual absorption round (backward count), or -1.
+        z: the source's (correct) opinion.
+    """
+
+    final_opinions: np.ndarray
+    absorption: np.ndarray
+    z: int
+
+    def duality_holds(self) -> bool:
+        """Eq. 17: every dual-absorbed agent holds the correct opinion."""
+        absorbed = self.absorption >= 0
+        return bool(np.all(self.final_opinions[absorbed] == self.z))
+
+    def consensus_reached(self) -> bool:
+        return bool(np.all(self.final_opinions == self.z))
+
+    def all_absorbed(self) -> bool:
+        return bool(np.all(self.absorption >= 0))
+
+
+def paired_forward_dual_run(
+    initial_opinions: np.ndarray,
+    z: int,
+    horizon: int,
+    rng: np.random.Generator,
+) -> PairedRun:
+    """Run forward Voter (``ell = 1``) and its dual on shared randomness.
+
+    Draws the full ``horizon x n`` table of samples ``S_t(i)`` once; the
+    forward dynamics reads it forward (``X_{t+1}(i) = X_t(S_t(i))``, source
+    pinned to ``z``), the dual reads it backward.  The resulting
+    :class:`PairedRun` lets tests assert the exact duality of Appendix B
+    rather than a statistical shadow of it.
+    """
+    opinions = np.asarray(initial_opinions, dtype=np.int8).copy()
+    n = len(opinions)
+    if n < 2:
+        raise ValueError(f"need at least 2 agents, got {n}")
+    if z not in (0, 1):
+        raise ValueError(f"z must be 0 or 1, got {z}")
+    opinions[SOURCE_INDEX] = z
+    samples = rng.integers(0, n, size=(horizon, n))
+    samples[:, SOURCE_INDEX] = SOURCE_INDEX  # the source "samples itself"
+
+    for t in range(horizon):
+        opinions = opinions[samples[t]]
+        opinions[SOURCE_INDEX] = z  # redundant given the pinned sample; explicit
+
+    positions = np.arange(n)
+    absorption = np.full(n, -1, dtype=np.int64)
+    absorption[SOURCE_INDEX] = 0
+    for back, t in enumerate(range(horizon - 1, -1, -1), start=1):
+        unabsorbed = absorption < 0
+        if not unabsorbed.any():
+            break
+        positions[unabsorbed] = samples[t][positions[unabsorbed]]
+        newly_absorbed = unabsorbed & (positions == SOURCE_INDEX)
+        absorption[newly_absorbed] = back
+    return PairedRun(final_opinions=opinions, absorption=absorption, z=z)

@@ -1,0 +1,120 @@
+"""Simulation substrates: parallel/sequential engines, configurations, runners."""
+
+from repro.dynamics.agentwise import initial_opinions, simulate_opinions, step_opinions
+from repro.dynamics.config import (
+    Configuration,
+    adversarial_configurations,
+    balanced_configuration,
+    consensus_configuration,
+    wrong_consensus_configuration,
+)
+from repro.dynamics.engine import step_count, step_counts_batch
+from repro.dynamics.multiopinion import (
+    initial_multiopinion,
+    multi_minority_rule,
+    multi_voter_rule,
+    simulate_multiopinion,
+    step_multiopinion,
+)
+from repro.dynamics.graphs import (
+    complete_graph,
+    cycle_graph,
+    neighbor_table,
+    random_regular_graph,
+    simulate_on_graph,
+    star_graph,
+    step_opinions_on_graph,
+)
+from repro.dynamics.heterogeneous import (
+    MixedState,
+    initial_mixed_state,
+    simulate_mixed,
+    step_mixed,
+)
+from repro.dynamics.kactivation import (
+    KActivationResult,
+    simulate_k_activation,
+    step_count_k,
+)
+from repro.dynamics.noise import (
+    NoisyOccupancy,
+    distorted_fraction,
+    noisy_occupancy,
+    noisy_response_probabilities,
+    step_count_noisy,
+)
+from repro.dynamics.adversary import WorstStart, exact_worst_start, simulated_worst_start
+from repro.dynamics.zealots import (
+    ZealotPopulation,
+    stationary_profile,
+    step_count_zealots,
+)
+from repro.dynamics.rng import make_rng, rng_stream, spawn_rngs
+from repro.dynamics.run import (
+    RunResult,
+    escape_time,
+    escape_time_ensemble,
+    simulate,
+    simulate_ensemble,
+    time_to_leave_consensus,
+)
+from repro.dynamics.sequential import (
+    SequentialRunResult,
+    sequential_transition_probabilities,
+    simulate_sequential,
+)
+
+__all__ = [
+    "Configuration",
+    "consensus_configuration",
+    "wrong_consensus_configuration",
+    "balanced_configuration",
+    "adversarial_configurations",
+    "step_count",
+    "step_counts_batch",
+    "initial_opinions",
+    "step_opinions",
+    "simulate_opinions",
+    "make_rng",
+    "spawn_rngs",
+    "rng_stream",
+    "RunResult",
+    "simulate",
+    "simulate_ensemble",
+    "escape_time",
+    "escape_time_ensemble",
+    "time_to_leave_consensus",
+    "SequentialRunResult",
+    "sequential_transition_probabilities",
+    "simulate_sequential",
+    "initial_multiopinion",
+    "multi_voter_rule",
+    "multi_minority_rule",
+    "step_multiopinion",
+    "simulate_multiopinion",
+    "distorted_fraction",
+    "noisy_response_probabilities",
+    "step_count_noisy",
+    "NoisyOccupancy",
+    "noisy_occupancy",
+    "WorstStart",
+    "exact_worst_start",
+    "simulated_worst_start",
+    "KActivationResult",
+    "step_count_k",
+    "simulate_k_activation",
+    "neighbor_table",
+    "complete_graph",
+    "cycle_graph",
+    "random_regular_graph",
+    "star_graph",
+    "step_opinions_on_graph",
+    "simulate_on_graph",
+    "ZealotPopulation",
+    "step_count_zealots",
+    "stationary_profile",
+    "MixedState",
+    "initial_mixed_state",
+    "step_mixed",
+    "simulate_mixed",
+]

@@ -1,0 +1,87 @@
+"""The agent-level parallel engine (ground truth).
+
+Simulates every agent explicitly: per round, an ``n x ell`` matrix of uniform
+sample indices is drawn, each agent counts the ones among its samples and
+flips according to its response table.  This is a literal transcription of
+the model in Section 1.1 — O(n ell) per round — and exists to *validate* the
+O(1)-per-round count-level engine (:mod:`repro.dynamics.engine`): the two
+must agree in distribution, which the test suite checks with two-sample
+statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+from repro.dynamics.config import Configuration
+
+__all__ = ["initial_opinions", "step_opinions", "simulate_opinions"]
+
+SOURCE_INDEX = 0
+
+
+def initial_opinions(config: Configuration, rng: np.random.Generator) -> np.ndarray:
+    """An opinion vector realizing ``config``: the source plus a random placement.
+
+    Agent 0 is the source and holds ``config.z``; the remaining
+    ``x0 - z`` ones are placed on uniformly chosen non-source agents.  (The
+    placement is irrelevant to the dynamics — agents are exchangeable — but
+    randomizing it keeps the agent-level engine honest.)
+    """
+    n, z, x0 = config.n, config.z, config.x0
+    opinions = np.zeros(n, dtype=np.int8)
+    opinions[SOURCE_INDEX] = z
+    ones_to_place = x0 - z
+    if ones_to_place > 0:
+        chosen = rng.choice(np.arange(1, n), size=ones_to_place, replace=False)
+        opinions[chosen] = 1
+    return opinions
+
+
+def step_opinions(
+    protocol: Protocol,
+    z: int,
+    opinions: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One parallel round at the agent level.
+
+    Every agent (source included, for uniform code) draws ``ell`` uniform
+    samples with replacement from the whole population; the source's update
+    is then overwritten with ``z``, matching the model where the source never
+    changes opinion.
+    """
+    n = len(opinions)
+    samples = rng.integers(0, n, size=(n, protocol.ell))
+    ones_seen = opinions[samples].sum(axis=1)
+    adopt_probability = np.where(
+        opinions == 1, protocol.g1[ones_seen], protocol.g0[ones_seen]
+    )
+    new_opinions = (rng.random(n) < adopt_probability).astype(np.int8)
+    new_opinions[SOURCE_INDEX] = z
+    return new_opinions
+
+
+def simulate_opinions(
+    protocol: Protocol,
+    config: Configuration,
+    max_rounds: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Run the agent-level engine and return the count trajectory.
+
+    Returns the array ``[X_0, X_1, ...]`` of opinion-1 counts, stopping early
+    at absorption (correct consensus reached *and* the protocol satisfies
+    Proposition 3, so the consensus is provably held forever).
+    """
+    opinions = initial_opinions(config, rng)
+    absorbing = protocol.satisfies_boundary_conditions(tolerance=1e-12)
+    target = config.target_count
+    trajectory = [int(opinions.sum())]
+    for _ in range(max_rounds):
+        if absorbing and trajectory[-1] == target:
+            break
+        opinions = step_opinions(protocol, config.z, opinions, rng)
+        trajectory.append(int(opinions.sum()))
+    return np.asarray(trajectory)

@@ -1,0 +1,106 @@
+"""Configurations and adversarial initializers.
+
+Because agents are anonymous and memory-less, the entire system state is the
+pair ``(z, x)``: the source's correct opinion ``z`` and the number ``x`` of
+agents (source included) currently holding opinion 1 (Section 1.1).  The
+bit-dissemination problem is *self-stabilizing*: a protocol must converge
+from every configuration, which we model by letting an adversary pick the
+initial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = [
+    "Configuration",
+    "consensus_configuration",
+    "wrong_consensus_configuration",
+    "balanced_configuration",
+    "adversarial_configurations",
+]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An initial configuration ``C = (z, x0)`` for a population of size ``n``.
+
+    Attributes:
+        n: population size (including the source).
+        z: the correct opinion, held by the source at all times.
+        x0: initial number of agents with opinion 1, source included.
+    """
+
+    n: int
+    z: int
+    x0: int
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"population size n must be >= 2, got {self.n}")
+        if self.z not in (0, 1):
+            raise ValueError(f"correct opinion z must be 0 or 1, got {self.z}")
+        low, high = self.count_bounds(self.n, self.z)
+        if not low <= self.x0 <= high:
+            raise ValueError(
+                f"x0 must lie in [{low}, {high}] for n={self.n}, z={self.z}; "
+                f"got {self.x0}"
+            )
+
+    @staticmethod
+    def count_bounds(n: int, z: int) -> tuple:
+        """Admissible range of the count: the source always contributes ``z``."""
+        return (z, n - (1 - z))
+
+    @property
+    def target_count(self) -> int:
+        """The count at the correct consensus: ``n z``."""
+        return self.n * self.z
+
+    @property
+    def is_converged(self) -> bool:
+        return self.x0 == self.target_count
+
+    @property
+    def fraction(self) -> float:
+        return self.x0 / self.n
+
+
+def consensus_configuration(n: int, z: int) -> Configuration:
+    """Everyone already agrees with the source (used for absorption tests)."""
+    return Configuration(n=n, z=z, x0=n * z)
+
+
+def wrong_consensus_configuration(n: int, z: int) -> Configuration:
+    """Every non-source agent holds the wrong opinion — the classic worst case."""
+    x0 = z if z == 1 else n - 1  # only the source is right
+    return Configuration(n=n, z=z, x0=x0)
+
+
+def balanced_configuration(n: int, z: int) -> Configuration:
+    """A 50/50 split (ties broken toward the wrong opinion)."""
+    return Configuration(n=n, z=z, x0=n // 2)
+
+
+def adversarial_configurations(n: int) -> List[Configuration]:
+    """A deliberately nasty panel of initial configurations.
+
+    Covers, for both values of ``z``: the wrong consensus, the near-wrong
+    consensus, the balanced split, and a thin correct majority.  A protocol
+    claiming to solve the problem must converge from all of them.
+    """
+    panel: List[Configuration] = []
+    for z in (0, 1):
+        low, high = Configuration.count_bounds(n, z)
+        wrong = wrong_consensus_configuration(n, z)
+        candidates = {
+            wrong.x0,
+            min(max(low, wrong.x0 + (1 if z == 1 else -1)), high),
+            n // 2,
+            (n * (2 if z == 0 else 1)) // 3,
+        }
+        for x0 in sorted(candidates):
+            clipped = min(max(x0, low), high)
+            panel.append(Configuration(n=n, z=z, x0=clipped))
+    return panel

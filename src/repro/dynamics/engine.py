@@ -1,0 +1,74 @@
+"""The exact count-level parallel engine.
+
+Because agents are anonymous and memory-less and samples are uniform with
+replacement, the number ``X_t`` of opinion-1 agents is a Markov chain on
+``{z, ..., n - (1 - z)}``; conditioned on ``X_t = x``, every non-source agent
+flips independently with a probability depending only on its own opinion and
+on ``p = x / n`` (Eq. 4).  One parallel round is therefore *exactly*
+
+    X_{t+1} = z + Binomial(m1, P1(p)) + Binomial(m0, P0(p))
+
+with ``m1 = x - z`` non-source ones and ``m0 = n - x - (1 - z)`` non-source
+zeros.  This engine samples that expression directly: O(1) work per round,
+exact in distribution, and scales to populations of tens of millions — the
+agent-level engine in :mod:`repro.dynamics.agentwise` is the ground truth it
+is validated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+from repro.dynamics.config import Configuration
+
+__all__ = ["step_count", "step_counts_batch"]
+
+
+def step_count(
+    protocol: Protocol,
+    n: int,
+    z: int,
+    x: int,
+    rng: np.random.Generator,
+) -> int:
+    """Sample one parallel round of the count chain: ``X_{t+1} | X_t = x``."""
+    low, high = Configuration.count_bounds(n, z)
+    if not low <= x <= high:
+        raise ValueError(f"count x must lie in [{low}, {high}] for n={n}, z={z}; got {x}")
+    p = x / n
+    p0, p1 = protocol.response_probabilities(p)
+    m1 = x - z
+    m0 = n - x - (1 - z)
+    ones_kept = int(rng.binomial(m1, p1)) if m1 > 0 else 0
+    zeros_flipped = int(rng.binomial(m0, p0)) if m0 > 0 else 0
+    return z + ones_kept + zeros_flipped
+
+
+def step_counts_batch(
+    protocol: Protocol,
+    n: int,
+    z: int,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Advance many independent replicas of the count chain by one round.
+
+    Vectorized over replicas: used by the ensemble runner to carry hundreds
+    of independent trajectories in lock-step.  ``counts`` is an integer array
+    of current counts, one per replica.
+    """
+    counts = np.asarray(counts)
+    low, high = Configuration.count_bounds(n, z)
+    if np.any(counts < low) or np.any(counts > high):
+        raise ValueError(
+            f"counts must lie in [{low}, {high}] for n={n}, z={z}; got "
+            f"range [{counts.min()}, {counts.max()}]"
+        )
+    p = counts / n
+    p0, p1 = protocol.response_probabilities(p)
+    m1 = counts - z
+    m0 = n - counts - (1 - z)
+    ones_kept = rng.binomial(m1, np.asarray(p1))
+    zeros_flipped = rng.binomial(m0, np.asarray(p0))
+    return z + ones_kept + zeros_flipped

@@ -1,0 +1,131 @@
+"""Heterogeneous populations: two protocols sharing one arena.
+
+All agents in the paper run the same rule — anonymity forces it.  But
+mixed populations are a natural question the machinery can answer: let a
+fraction of the non-source agents run protocol A and the rest protocol B
+(think: a flock with both conformists and contrarians).  Opinions are
+still the only visible signal, so each agent samples the *global* opinion
+fraction; the sufficient statistic is now the pair of per-group counts,
+and one parallel round is four binomial draws — still exact and O(1).
+
+The E24 experiment uses this to probe an ecology question the paper's
+setting raises: can a mixture of a zero-bias spreader (Voter) and a
+fast-but-stuck contrarian (Minority) beat both pure populations?  The
+mixture's effective bias is the population-weighted blend
+``F_mix = alpha F_A + (1-alpha) F_B`` — exactly the `blends` protocols at
+the *table* level, but realized by distinct agents rather than one
+averaged rule, with the group counts visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+
+__all__ = ["MixedState", "initial_mixed_state", "step_mixed", "simulate_mixed"]
+
+
+@dataclass(frozen=True)
+class MixedState:
+    """State of a two-protocol population.
+
+    Attributes:
+        n: total population (source included).
+        z: the source's opinion (the source belongs to no group).
+        size_a: number of non-source agents running protocol A
+            (the rest of the non-source agents run protocol B).
+        ones_a: opinion-1 holders within group A.
+        ones_b: opinion-1 holders within group B.
+    """
+
+    n: int
+    z: int
+    size_a: int
+    ones_a: int
+    ones_b: int
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"population size n must be >= 2, got {self.n}")
+        if self.z not in (0, 1):
+            raise ValueError(f"z must be 0 or 1, got {self.z}")
+        if not 0 <= self.size_a <= self.n - 1:
+            raise ValueError(
+                f"size_a must lie in [0, n-1] = [0, {self.n - 1}], got {self.size_a}"
+            )
+        if not 0 <= self.ones_a <= self.size_a:
+            raise ValueError(f"ones_a must lie in [0, {self.size_a}], got {self.ones_a}")
+        size_b = self.n - 1 - self.size_a
+        if not 0 <= self.ones_b <= size_b:
+            raise ValueError(f"ones_b must lie in [0, {size_b}], got {self.ones_b}")
+
+    @property
+    def size_b(self) -> int:
+        return self.n - 1 - self.size_a
+
+    @property
+    def total_ones(self) -> int:
+        """Opinion-1 count over the whole population (source included)."""
+        return self.z + self.ones_a + self.ones_b
+
+    @property
+    def is_correct_consensus(self) -> bool:
+        return self.total_ones == self.n * self.z
+
+
+def initial_mixed_state(
+    n: int, z: int, size_a: int, ones_a: int, ones_b: int
+) -> MixedState:
+    return MixedState(n=n, z=z, size_a=size_a, ones_a=ones_a, ones_b=ones_b)
+
+
+def step_mixed(
+    protocol_a: Protocol,
+    protocol_b: Protocol,
+    state: MixedState,
+    rng: np.random.Generator,
+) -> MixedState:
+    """One parallel round: both groups sample the same global fraction."""
+    p = state.total_ones / state.n
+    a0, a1 = protocol_a.response_probabilities(p)
+    b0, b1 = protocol_b.response_probabilities(p)
+    ones_a = int(rng.binomial(state.ones_a, a1)) + int(
+        rng.binomial(state.size_a - state.ones_a, a0)
+    )
+    ones_b = int(rng.binomial(state.ones_b, b1)) + int(
+        rng.binomial(state.size_b - state.ones_b, b0)
+    )
+    return MixedState(
+        n=state.n, z=state.z, size_a=state.size_a, ones_a=ones_a, ones_b=ones_b
+    )
+
+
+def simulate_mixed(
+    protocol_a: Protocol,
+    protocol_b: Protocol,
+    state: MixedState,
+    max_rounds: int,
+    rng: np.random.Generator,
+) -> tuple:
+    """Run until the correct consensus or the budget.
+
+    Returns ``(converged, rounds, final_state)``.  Requires both protocols
+    to satisfy Proposition 3, which makes the correct consensus absorbing
+    for the mixture too (every agent's unanimous-correct sample pins it).
+    """
+    for protocol in (protocol_a, protocol_b):
+        if not protocol.satisfies_boundary_conditions(tolerance=1e-12):
+            raise ValueError(
+                f"protocol {protocol.name!r} violates Proposition 3; the "
+                "mixture cannot hold a consensus"
+            )
+    for t in range(max_rounds + 1):
+        if state.is_correct_consensus:
+            return True, t, state
+        if t == max_rounds:
+            break
+        state = step_mixed(protocol_a, protocol_b, state, rng)
+    return False, max_rounds, state

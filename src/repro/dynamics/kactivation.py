@@ -1,0 +1,99 @@
+"""Partial synchrony: k agents activated per step.
+
+The paper's two settings are the endpoints of a dial: sequential (one
+non-source agent per step) and parallel (all of them).  The intermediate
+model — a uniform random set of ``k`` non-source agents activated
+simultaneously, all sampling the *current* configuration — interpolates
+between them, and makes the title of [15] ("the power of synchronicity")
+quantitative: how much simultaneity does the Minority overshoot need?
+
+Count-level exact step: the activated set contains ``H ~ Hypergeometric``
+one-holders among the ``k`` activated; those flip to 1 with probability
+``P1(p)``, the other activated agents with ``P0(p)``, everyone else keeps
+their opinion.  Time is normalized so that ``n / k`` steps = one parallel
+round (``n`` activations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.core.protocol import Protocol
+from repro.dynamics.config import Configuration
+
+__all__ = ["step_count_k", "simulate_k_activation", "KActivationResult"]
+
+
+def step_count_k(
+    protocol: Protocol,
+    n: int,
+    z: int,
+    x: int,
+    k: int,
+    rng: np.random.Generator,
+) -> int:
+    """One step with ``k`` uniformly chosen non-source agents activated."""
+    low, high = Configuration.count_bounds(n, z)
+    if not low <= x <= high:
+        raise ValueError(f"count x must lie in [{low}, {high}] for n={n}, z={z}; got {x}")
+    if not 1 <= k <= n - 1:
+        raise ValueError(f"k must lie in [1, n-1] = [1, {n - 1}], got {k}")
+    p0, p1 = protocol.response_probabilities(x / n)
+    m1 = x - z  # non-source ones
+    m0 = n - x - (1 - z)
+    # Ones among the k activated agents: hypergeometric draw.
+    activated_ones = int(rng.hypergeometric(m1, m0, k)) if k < m1 + m0 else m1
+    activated_zeros = k - activated_ones
+    new_ones_from_ones = int(rng.binomial(activated_ones, p1)) if activated_ones else 0
+    new_ones_from_zeros = int(rng.binomial(activated_zeros, p0)) if activated_zeros else 0
+    inactive_ones = m1 - activated_ones
+    return z + inactive_ones + new_ones_from_ones + new_ones_from_zeros
+
+
+@dataclass(frozen=True)
+class KActivationResult:
+    """Outcome of a k-activation run.
+
+    Attributes:
+        config: the initial configuration.
+        k: agents activated per step.
+        converged: whether the correct consensus was reached.
+        steps: activation steps executed.
+    """
+
+    config: Configuration
+    k: int
+    converged: bool
+    steps: int
+
+    @property
+    def parallel_rounds(self) -> float:
+        """Steps scaled so that n activations = 1 round."""
+        return self.steps * self.k / self.config.n
+
+
+def simulate_k_activation(
+    protocol: Protocol,
+    config: Configuration,
+    k: int,
+    max_parallel_rounds: float,
+    rng: np.random.Generator,
+) -> KActivationResult:
+    """Run the k-activation chain up to a budget in *parallel rounds*."""
+    if not protocol.satisfies_boundary_conditions(tolerance=1e-12):
+        raise ValueError(
+            f"protocol {protocol.name!r} violates Proposition 3; its "
+            "convergence time is infinite"
+        )
+    n, z = config.n, config.z
+    target = config.target_count
+    max_steps = int(np.ceil(max_parallel_rounds * n / k))
+    x = config.x0
+    for step in range(max_steps + 1):
+        if x == target:
+            return KActivationResult(config=config, k=k, converged=True, steps=step)
+        if step == max_steps:
+            break
+        x = step_count_k(protocol, n, z, x, k, rng)
+    return KActivationResult(config=config, k=k, converged=False, steps=max_steps)

@@ -1,0 +1,155 @@
+"""More than two opinions, under the paper's footnote-2 restriction.
+
+Theorem 1 extends to ``q > 2`` opinions provided agents "may not adopt an
+opinion that they have never seen or adopted" — otherwise extra opinions
+smuggle extra communication.  With a *binary* initial configuration such a
+protocol never creates a third opinion, so the process reduces to the binary
+chain and the lower bound applies verbatim.  This module implements the
+multi-opinion engine and the two natural rules (voter and minority), and the
+test suite verifies the reduction.
+
+The engine is agent-level (there is no low-dimensional sufficient statistic
+once ``q > 2`` rules depend on full histograms in a nonlinear way... there is
+one — the opinion histogram — but keeping agents explicit keeps the
+restriction checkable per agent).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "multi_voter_rule",
+    "multi_minority_rule",
+    "step_multiopinion",
+    "simulate_multiopinion",
+    "initial_multiopinion",
+]
+
+SOURCE_INDEX = 0
+
+# A rule maps (own_opinions, sample_histograms, rng) -> new opinions, where
+# sample_histograms has shape (n, q) and counts each agent's ell samples.
+MultiOpinionRule = Callable[[np.ndarray, np.ndarray, np.random.Generator], np.ndarray]
+
+
+def multi_voter_rule(
+    own: np.ndarray, histograms: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Adopt a uniformly random sampled opinion (the multi-opinion Voter).
+
+    Equivalent to weighting opinions by their sample counts.  Only sampled
+    opinions can be adopted, so the footnote-2 restriction holds by
+    construction.
+    """
+    ell = histograms.sum(axis=1)
+    cumulative = np.cumsum(histograms, axis=1)
+    draws = rng.random(len(own)) * ell
+    return (draws[:, None] < cumulative).argmax(axis=1)
+
+
+def multi_minority_rule(
+    own: np.ndarray, histograms: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Adopt the rarest opinion *present in the sample* (ties broken u.a.r.).
+
+    With ``q = 2`` this coincides with Protocol 2: a unanimous sample has a
+    single present opinion (adopted), otherwise the strict minority (or a
+    fair coin on an exact tie).
+    """
+    counts = histograms.astype(float)
+    counts[counts == 0] = np.inf  # absent opinions may not be adopted
+    # Uniform tie-break: integer counts perturbed by noise < 1 keep order
+    # between distinct counts and randomize order between equal ones.
+    noisy = counts + rng.random(counts.shape)
+    return noisy.argmin(axis=1)
+
+
+def initial_multiopinion(
+    n: int,
+    q: int,
+    z: int,
+    histogram: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """An opinion vector over ``{0..q-1}`` with the given non-source histogram.
+
+    ``histogram[j]`` is the number of *non-source* agents initially holding
+    opinion ``j``; the source (agent 0) holds ``z``.
+    """
+    histogram = np.asarray(histogram, dtype=np.int64)
+    if histogram.shape != (q,):
+        raise ValueError(f"histogram must have shape ({q},), got {histogram.shape}")
+    if histogram.sum() != n - 1:
+        raise ValueError(
+            f"histogram must sum to n - 1 = {n - 1} non-source agents, "
+            f"got {histogram.sum()}"
+        )
+    if not 0 <= z < q:
+        raise ValueError(f"source opinion z must lie in [0, {q}), got {z}")
+    body = np.repeat(np.arange(q), histogram)
+    rng.shuffle(body)
+    return np.concatenate([[z], body]).astype(np.int64)
+
+
+def step_multiopinion(
+    rule: MultiOpinionRule,
+    q: int,
+    ell: int,
+    z: int,
+    opinions: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One parallel round of the multi-opinion dynamics."""
+    n = len(opinions)
+    samples = rng.integers(0, n, size=(n, ell))
+    sampled_opinions = opinions[samples]
+    histograms = np.zeros((n, q), dtype=np.int64)
+    rows = np.arange(n)
+    for j in range(ell):
+        np.add.at(histograms, (rows, sampled_opinions[:, j]), 1)
+    new_opinions = np.asarray(rule(opinions, histograms, rng), dtype=np.int64)
+    _check_restriction(opinions, histograms, new_opinions)
+    new_opinions[SOURCE_INDEX] = z
+    return new_opinions
+
+
+def simulate_multiopinion(
+    rule: MultiOpinionRule,
+    q: int,
+    ell: int,
+    z: int,
+    opinions: np.ndarray,
+    max_rounds: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Run the multi-opinion dynamics; returns the (rounds+1, q) histogram history.
+
+    Stops early once everyone holds the source opinion ``z``.
+    """
+    n = len(opinions)
+    history = [np.bincount(opinions, minlength=q)]
+    for _ in range(max_rounds):
+        if history[-1][z] == n:
+            break
+        opinions = step_multiopinion(rule, q, ell, z, opinions, rng)
+        history.append(np.bincount(opinions, minlength=q))
+    return np.asarray(history)
+
+
+def _check_restriction(
+    opinions: np.ndarray, histograms: np.ndarray, new_opinions: np.ndarray
+) -> None:
+    """Enforce footnote 2: agents only adopt opinions they saw or held."""
+    rows = np.arange(len(opinions))
+    seen = histograms[rows, new_opinions] > 0
+    kept = new_opinions == opinions
+    if not np.all(seen | kept):
+        offenders = np.nonzero(~(seen | kept))[0][:5]
+        raise AssertionError(
+            f"rule adopted unseen opinions at agents {offenders.tolist()}; "
+            "this violates the footnote-2 restriction under which the "
+            "multi-opinion lower bound holds"
+        )

@@ -1,0 +1,134 @@
+"""Observation noise: a robustness extension of the paper's model.
+
+The paper assumes agents read sampled opinions perfectly.  A natural
+perturbation — each observed opinion independently flipped with probability
+``delta`` (a binary symmetric channel per sample) — composes cleanly with
+the model: a sample is an i.i.d. Bernoulli(``p``) draw, so flipping it
+yields an i.i.d. Bernoulli(``p~``) draw with
+
+    p~ = p (1 - delta) + (1 - p) delta.
+
+The noisy dynamics is therefore the *same* protocol driven by the distorted
+fraction ``p~``; at the count level only the response probabilities change.
+
+Consequences this module makes measurable (experiment E14):
+
+* exact consensus is no longer absorbing for any protocol — at ``p = 1``
+  agents perceive ones with probability ``1 - delta < 1``, so Proposition
+  3's mechanism breaks the consensus; the right success notion becomes an
+  *epsilon-consensus* that the process holds most of the time;
+* the ergodic (long-run) behaviour: the chain fluctuates around a
+  quasi-stationary profile whose mass near the correct consensus degrades
+  as ``delta`` grows, until the source's signal drowns entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+from repro.dynamics.config import Configuration
+
+__all__ = [
+    "distorted_fraction",
+    "noisy_response_probabilities",
+    "step_count_noisy",
+    "NoisyOccupancy",
+    "noisy_occupancy",
+]
+
+
+def distorted_fraction(p, delta: float):
+    """The perceived fraction ``p~`` through a BSC(delta) per sample."""
+    if not 0.0 <= delta <= 0.5:
+        raise ValueError(f"noise level delta must lie in [0, 0.5], got {delta}")
+    p_array = np.asarray(p, dtype=float)
+    value = p_array * (1.0 - delta) + (1.0 - p_array) * delta
+    if np.isscalar(p) or p_array.ndim == 0:
+        return float(value)
+    return value
+
+
+def noisy_response_probabilities(protocol: Protocol, p, delta: float):
+    """``(P0, P1)`` under observation noise: the clean response at ``p~``."""
+    return protocol.response_probabilities(distorted_fraction(p, delta))
+
+
+def step_count_noisy(
+    protocol: Protocol,
+    n: int,
+    z: int,
+    x: int,
+    delta: float,
+    rng: np.random.Generator,
+) -> int:
+    """One parallel round of the count chain under observation noise."""
+    low, high = Configuration.count_bounds(n, z)
+    if not low <= x <= high:
+        raise ValueError(f"count x must lie in [{low}, {high}] for n={n}, z={z}; got {x}")
+    p0, p1 = noisy_response_probabilities(protocol, x / n, delta)
+    m1 = x - z
+    m0 = n - x - (1 - z)
+    ones_kept = int(rng.binomial(m1, p1)) if m1 > 0 else 0
+    zeros_flipped = int(rng.binomial(m0, p0)) if m0 > 0 else 0
+    return z + ones_kept + zeros_flipped
+
+
+@dataclass(frozen=True)
+class NoisyOccupancy:
+    """Long-run behaviour of a noisy run.
+
+    Attributes:
+        delta: the observation-noise level.
+        epsilon: the consensus tolerance (fraction allowed wrong).
+        occupancy: fraction of measured rounds spent within the
+            epsilon-consensus band around the correct opinion.
+        mean_correct_fraction: time-average of the correct-opinion fraction.
+    """
+
+    delta: float
+    epsilon: float
+    occupancy: float
+    mean_correct_fraction: float
+
+
+def noisy_occupancy(
+    protocol: Protocol,
+    config: Configuration,
+    delta: float,
+    rounds: int,
+    rng: np.random.Generator,
+    epsilon: float = 0.05,
+    burn_in: int = 0,
+) -> NoisyOccupancy:
+    """Run the noisy chain and measure epsilon-consensus occupancy.
+
+    The run starts at ``config`` (typically adversarial), discards
+    ``burn_in`` rounds, then records the fraction of rounds during which at
+    least ``1 - epsilon`` of the population holds the correct opinion, and
+    the average correct fraction.
+    """
+    if rounds <= burn_in:
+        raise ValueError(f"rounds ({rounds}) must exceed burn_in ({burn_in})")
+    n, z = config.n, config.z
+    x = config.x0
+    in_band = 0
+    correct_total = 0.0
+    measured = 0
+    for t in range(rounds):
+        x = step_count_noisy(protocol, n, z, x, delta, rng)
+        if t < burn_in:
+            continue
+        correct_fraction = x / n if z == 1 else 1.0 - x / n
+        correct_total += correct_fraction
+        if correct_fraction >= 1.0 - epsilon:
+            in_band += 1
+        measured += 1
+    return NoisyOccupancy(
+        delta=delta,
+        epsilon=epsilon,
+        occupancy=in_band / measured,
+        mean_correct_fraction=correct_total / measured,
+    )

@@ -1,0 +1,239 @@
+"""Trajectory runners and convergence detection.
+
+The convergence time ``tau_n`` (Section 1.1) is the first round from which
+the population holds the correct consensus *forever*.  For protocols
+satisfying Proposition 3 the correct consensus is absorbing, so ``tau_n`` is
+simply the hitting time of ``X = n z`` and the runner stops there.  For
+protocols violating Proposition 3 the consensus is left almost surely
+(``tau_n`` is infinite); :func:`time_to_leave_consensus` measures how fast,
+which is the E10 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+
+if TYPE_CHECKING:  # avoid a circular import: core.lower_bound needs dynamics.config
+    from repro.core.lower_bound import LowerBoundCertificate
+from repro.dynamics.config import Configuration
+from repro.dynamics.engine import step_count, step_counts_batch
+
+__all__ = [
+    "RunResult",
+    "simulate",
+    "simulate_ensemble",
+    "escape_time",
+    "time_to_leave_consensus",
+]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of a single run of the count chain.
+
+    Attributes:
+        config: the initial configuration.
+        converged: whether the correct consensus was reached (and, the
+            protocol being Proposition-3 compliant, held forever).
+        rounds: the convergence time ``tau`` in parallel rounds, or ``None``
+            if the run was censored at the round budget.
+        final_count: the count when the run stopped.
+        trajectory: the full count trajectory if recording was requested.
+    """
+
+    config: Configuration
+    converged: bool
+    rounds: Optional[int]
+    final_count: int
+    trajectory: Optional[np.ndarray] = None
+
+
+def simulate(
+    protocol: Protocol,
+    config: Configuration,
+    max_rounds: int,
+    rng: np.random.Generator,
+    record: bool = False,
+) -> RunResult:
+    """Run the count chain until the correct consensus or the round budget.
+
+    Raises ``ValueError`` for protocols violating Proposition 3: their
+    "consensus" is not absorbing, so a hitting time would misrepresent
+    ``tau_n`` (use :func:`time_to_leave_consensus` for those).
+    """
+    if not protocol.satisfies_boundary_conditions(tolerance=1e-12):
+        raise ValueError(
+            f"protocol {protocol.name!r} violates Proposition 3; its "
+            "convergence time is infinite (see time_to_leave_consensus)"
+        )
+    target = config.target_count
+    x = config.x0
+    trajectory = [x] if record else None
+    for t in range(max_rounds + 1):
+        if x == target:
+            return RunResult(
+                config=config,
+                converged=True,
+                rounds=t,
+                final_count=x,
+                trajectory=_as_array(trajectory),
+            )
+        if t == max_rounds:
+            break
+        x = step_count(protocol, config.n, config.z, x, rng)
+        if record:
+            trajectory.append(x)
+    return RunResult(
+        config=config,
+        converged=False,
+        rounds=None,
+        final_count=x,
+        trajectory=_as_array(trajectory),
+    )
+
+
+def simulate_ensemble(
+    protocol: Protocol,
+    config: Configuration,
+    max_rounds: int,
+    rng: np.random.Generator,
+    replicas: int,
+) -> np.ndarray:
+    """Convergence times of ``replicas`` independent runs, advanced in lock-step.
+
+    Returns a float array of length ``replicas``: the convergence time of
+    each replica, or ``nan`` where the run was censored at ``max_rounds``.
+    Vectorized across replicas via :func:`step_counts_batch`, so the cost is
+    ``O(max_rounds)`` batched binomial draws rather than ``replicas`` full
+    runs.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if not protocol.satisfies_boundary_conditions(tolerance=1e-12):
+        raise ValueError(
+            f"protocol {protocol.name!r} violates Proposition 3; its "
+            "convergence time is infinite (see time_to_leave_consensus)"
+        )
+    target = config.target_count
+    counts = np.full(replicas, config.x0, dtype=np.int64)
+    times = np.full(replicas, np.nan)
+    active = np.ones(replicas, dtype=bool)
+    newly_done = counts == target
+    times[newly_done] = 0.0
+    active &= ~newly_done
+    for t in range(1, max_rounds + 1):
+        if not active.any():
+            break
+        counts[active] = step_counts_batch(
+            protocol, config.n, config.z, counts[active], rng
+        )
+        newly_done = active & (counts == target)
+        times[newly_done] = float(t)
+        active &= ~newly_done
+    return times
+
+
+def escape_time(
+    protocol: Protocol,
+    certificate: "LowerBoundCertificate",
+    n: int,
+    max_rounds: int,
+    rng: np.random.Generator,
+) -> Optional[int]:
+    """Rounds until the chain first crosses the certificate's escape threshold.
+
+    Starts from the Theorem-12 witness configuration; the returned time
+    lower-bounds the convergence time (the chain must cross the threshold to
+    reach the correct consensus).  Returns ``None`` if the threshold was not
+    crossed within ``max_rounds`` — for the lower-bound experiment a censored
+    run is a *success* (the escape took even longer than the budget).
+    """
+    config = certificate.witness_configuration(n)
+    x = config.x0
+    if certificate.has_escaped(n, x):
+        return 0
+    for t in range(1, max_rounds + 1):
+        x = step_count(protocol, n, config.z, x, rng)
+        if certificate.has_escaped(n, x):
+            return t
+    return None
+
+
+def escape_time_ensemble(
+    protocol: Protocol,
+    certificate: "LowerBoundCertificate",
+    n: int,
+    max_rounds: int,
+    rng: np.random.Generator,
+    replicas: int,
+) -> np.ndarray:
+    """Escape times of many independent witness runs, advanced in lock-step.
+
+    Vectorized analogue of :func:`escape_time`: returns a float array with
+    ``nan`` for replicas whose threshold was not crossed within the budget
+    (which, for the lower-bound experiment, is a success).
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    config = certificate.witness_configuration(n)
+    threshold = certificate.escape_threshold(n)
+    counts = np.full(replicas, config.x0, dtype=np.int64)
+    times = np.full(replicas, np.nan)
+    active = np.ones(replicas, dtype=bool)
+
+    def escaped(values: np.ndarray) -> np.ndarray:
+        if certificate.escape_is_upward:
+            return values >= threshold
+        return values <= threshold
+
+    done = escaped(counts)
+    times[done] = 0.0
+    active &= ~done
+    for t in range(1, max_rounds + 1):
+        if not active.any():
+            break
+        counts[active] = step_counts_batch(
+            protocol, n, config.z, counts[active], rng
+        )
+        done = active & escaped(counts)
+        times[done] = float(t)
+        active &= ~done
+    return times
+
+
+def time_to_leave_consensus(
+    protocol: Protocol,
+    n: int,
+    z: int,
+    max_rounds: int,
+    rng: np.random.Generator,
+) -> Optional[int]:
+    """Rounds until the population first *leaves* the correct consensus.
+
+    Used to demonstrate Proposition 3's necessity: when ``g[0](0) > 0`` (or
+    symmetrically ``g[1](ell) < 1``), each round at consensus breaks it with
+    probability ``1 - (1 - g)**(n-1)``, so the consensus decays geometrically
+    fast.  Returns ``None`` when the consensus survived the budget (the
+    expected outcome for Proposition-3-compliant protocols, for which the
+    consensus is absorbing and the function short-circuits to ``None``).
+    """
+    if protocol.satisfies_boundary_conditions(tolerance=1e-12):
+        return None
+    target = n * z
+    x = target
+    for t in range(1, max_rounds + 1):
+        x = step_count(protocol, n, z, x, rng)
+        if x != target:
+            return t
+    return None
+
+
+def _as_array(trajectory) -> Optional[np.ndarray]:
+    if trajectory is None:
+        return None
+    return np.asarray(trajectory, dtype=np.int64)

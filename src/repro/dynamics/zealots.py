@@ -1,0 +1,105 @@
+"""Competing stubborn agents ("zealots") — the related-work setting.
+
+Section 1.3 situates the paper inside the opinion-dynamics literature on
+stubborn/biased agents [24-28], where multiple immovable individuals may
+hold *conflicting* opinions.  The bit-dissemination problem is the
+one-sided case (one source, no opposition); this module implements the
+general one at the count level:
+
+* ``s1`` zealots permanently display opinion 1 and ``s0`` permanently
+  display opinion 0; everyone else runs the memory-less protocol;
+* with opposition on both sides no consensus is absorbing — the chain is
+  ergodic and the long-run behaviour is a stationary profile.
+
+Classical results this makes reproducible (experiment E22): under the
+Voter dynamics the expected stationary fraction of opinion 1 equals the
+zealot share ``s1 / (s1 + s0)`` exactly ([25]-flavoured), and the
+fluctuations shrink as the zealot pool grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+
+__all__ = ["ZealotPopulation", "step_count_zealots", "stationary_profile"]
+
+
+@dataclass(frozen=True)
+class ZealotPopulation:
+    """A population with immovable minorities on both sides.
+
+    Attributes:
+        n: total population.
+        s1: zealots pinned to opinion 1.
+        s0: zealots pinned to opinion 0.
+    """
+
+    n: int
+    s1: int
+    s0: int
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"population size n must be >= 2, got {self.n}")
+        if self.s1 < 0 or self.s0 < 0:
+            raise ValueError("zealot counts must be non-negative")
+        if self.s1 + self.s0 > self.n:
+            raise ValueError(
+                f"zealots ({self.s1} + {self.s0}) exceed the population {self.n}"
+            )
+
+    @property
+    def free_agents(self) -> int:
+        return self.n - self.s1 - self.s0
+
+    def count_bounds(self) -> tuple:
+        """Admissible range of the opinion-1 count (zealots included)."""
+        return (self.s1, self.n - self.s0)
+
+
+def step_count_zealots(
+    protocol: Protocol,
+    population: ZealotPopulation,
+    x: int,
+    rng: np.random.Generator,
+) -> int:
+    """One parallel round: free agents update, zealots never do."""
+    low, high = population.count_bounds()
+    if not low <= x <= high:
+        raise ValueError(f"count x must lie in [{low}, {high}], got {x}")
+    p0, p1 = protocol.response_probabilities(x / population.n)
+    free_ones = x - population.s1
+    free_zeros = population.n - x - population.s0
+    kept = int(rng.binomial(free_ones, p1)) if free_ones > 0 else 0
+    flipped = int(rng.binomial(free_zeros, p0)) if free_zeros > 0 else 0
+    return population.s1 + kept + flipped
+
+
+def stationary_profile(
+    protocol: Protocol,
+    population: ZealotPopulation,
+    rounds: int,
+    rng: np.random.Generator,
+    burn_in: int = 0,
+    x0: int = None,
+) -> np.ndarray:
+    """Sample the long-run count trajectory (after burn-in).
+
+    Returns the post-burn-in counts; the caller summarizes (mean fraction,
+    spread, histograms).  Starts from the midpoint of the admissible range
+    unless ``x0`` is given.
+    """
+    if rounds <= burn_in:
+        raise ValueError(f"rounds ({rounds}) must exceed burn_in ({burn_in})")
+    low, high = population.count_bounds()
+    x = (low + high) // 2 if x0 is None else x0
+    trace = np.empty(rounds - burn_in, dtype=np.int64)
+    for t in range(rounds):
+        x = step_count_zealots(protocol, population, x, rng)
+        if t >= burn_in:
+            trace[t - burn_in] = x
+    return trace

@@ -1,0 +1,39 @@
+"""Escape hatches the paper contrasts with: memory and active communication."""
+
+from repro.extensions.memory import (
+    MemoryAgentsState,
+    initial_memory_state,
+    run_memory_protocol,
+    step_memory_protocol,
+)
+from repro.extensions.undecided import (
+    UndecidedState,
+    initial_undecided_state,
+    run_undecided,
+    step_undecided,
+)
+from repro.extensions.population import (
+    PopulationProtocol,
+    PopulationRun,
+    broadcast_initial_states,
+    broadcast_opinion,
+    run_population_protocol,
+    source_broadcast_protocol,
+)
+
+__all__ = [
+    "PopulationProtocol",
+    "PopulationRun",
+    "run_population_protocol",
+    "source_broadcast_protocol",
+    "broadcast_initial_states",
+    "broadcast_opinion",
+    "MemoryAgentsState",
+    "initial_memory_state",
+    "step_memory_protocol",
+    "run_memory_protocol",
+    "UndecidedState",
+    "initial_undecided_state",
+    "step_undecided",
+    "run_undecided",
+]

@@ -1,0 +1,136 @@
+"""Finite-memory agents in the parallel PULL setting (the [7] contrast).
+
+Section 1.3: with ``O(log log n)`` bits of memory and logarithmic sample
+sizes, bit-dissemination is solvable in polylogarithmic time ([7]) — memory
+is exactly what the paper's lower bound forbids.  To exhibit the separation
+(experiment E12) we implement a *trend-following* protocol inspired by [7]:
+
+* each agent remembers one number from the previous round — the count of
+  ones among its previous sample (a ``log(ell + 1)``-bit counter, which is
+  ``O(log log n)`` bits for ``ell = O(polylog n)``);
+* on activation it compares the fresh count to the remembered one: a rising
+  count means opinion 1 is spreading, a falling one means opinion 0 is;
+  ties fall back to following the sample majority;
+* the source ignores all of this and keeps the correct opinion.
+
+Why it works, informally: the source's fixed opinion biases the round-to-
+round trend of the sample counts, and trend-following amplifies that bias
+exponentially — so the population converges in ``O(polylog n)`` rounds with
+``ell = Theta(log n)`` samples, while every *memory-less* protocol with
+constant ``ell`` is stuck at ``n^(1-eps)`` (Theorem 1).  This module is a
+demonstration of the model separation, not a reproduction of [7]'s analysis
+(whose protocol also randomizes phase lengths to self-stabilize against
+adversarial memory contents; here the adversary sets memory at t=0 and the
+first round's comparison may be wrong, which costs one round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MemoryAgentsState", "initial_memory_state", "step_memory_protocol", "run_memory_protocol"]
+
+SOURCE_INDEX = 0
+
+
+@dataclass
+class MemoryAgentsState:
+    """Mutable state of the finite-memory population.
+
+    Attributes:
+        opinions: current opinions (length ``n``).
+        remembered_counts: previous round's sample count per agent — the
+            protocol's entire memory (integers in ``[0, ell]``).
+    """
+
+    opinions: np.ndarray
+    remembered_counts: np.ndarray
+
+
+def initial_memory_state(
+    n: int,
+    z: int,
+    x0: int,
+    ell: int,
+    rng: np.random.Generator,
+    adversarial_memory: bool = True,
+) -> MemoryAgentsState:
+    """An initial state with ``x0`` ones and adversarial memory contents."""
+    if not 0 <= x0 <= n:
+        raise ValueError(f"x0 must lie in [0, {n}], got {x0}")
+    opinions = np.zeros(n, dtype=np.int8)
+    opinions[SOURCE_INDEX] = z
+    ones_needed = x0 - z
+    if ones_needed < 0:
+        ones_needed = 0
+    if ones_needed > 0:
+        chosen = rng.choice(np.arange(1, n), size=min(ones_needed, n - 1), replace=False)
+        opinions[chosen] = 1
+    if adversarial_memory:
+        remembered = rng.integers(0, ell + 1, size=n)
+    else:
+        remembered = np.full(n, int(round(ell * opinions.mean())))
+    return MemoryAgentsState(opinions=opinions, remembered_counts=remembered.astype(np.int64))
+
+
+def step_memory_protocol(
+    state: MemoryAgentsState,
+    z: int,
+    ell: int,
+    rng: np.random.Generator,
+) -> MemoryAgentsState:
+    """One parallel round of the trend-following protocol."""
+    opinions = state.opinions
+    n = len(opinions)
+    samples = rng.integers(0, n, size=(n, ell))
+    counts = opinions[samples].sum(axis=1)
+    rising = counts > state.remembered_counts
+    falling = counts < state.remembered_counts
+    majority_one = 2 * counts > ell
+    majority_zero = 2 * counts < ell
+    new_opinions = opinions.copy()
+    new_opinions[rising] = 1
+    new_opinions[falling] = 0
+    steady = ~(rising | falling)
+    new_opinions[steady & majority_one] = 1
+    new_opinions[steady & majority_zero] = 0
+    # exact ties on steady counts keep the current opinion
+    new_opinions[SOURCE_INDEX] = z
+    return MemoryAgentsState(opinions=new_opinions, remembered_counts=counts)
+
+
+def run_memory_protocol(
+    n: int,
+    z: int,
+    x0: int,
+    ell: int,
+    max_rounds: int,
+    rng: np.random.Generator,
+    stability_rounds: int = 8,
+) -> int | None:
+    """Rounds until the population sits on the correct consensus.
+
+    The protocol is not absorbing in the memory-less sense (an agent's next
+    move depends on its counter), so "converged" is operationalized as:
+    all-correct and remaining all-correct for ``stability_rounds``
+    consecutive rounds.  At the true consensus every sample count is ``ell``
+    every round, so the trend is steady and the majority fallback holds the
+    consensus — the stability window just confirms it empirically.  Returns
+    the first round of the stable window, or ``None`` if the budget ran out.
+    """
+    state = initial_memory_state(n, z, x0, ell, rng)
+    target = n * z if z == 1 else 0
+    stable_since: int | None = None
+    for t in range(1, max_rounds + 1):
+        state = step_memory_protocol(state, z, ell, rng)
+        at_consensus = int(state.opinions.sum()) == target
+        if at_consensus:
+            if stable_since is None:
+                stable_since = t
+            if t - stable_since + 1 >= stability_rounds:
+                return stable_since
+        else:
+            stable_since = None
+    return None

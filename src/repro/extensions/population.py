@@ -1,0 +1,207 @@
+"""A population-protocol engine, and the escape hatch the paper contrasts with.
+
+Section 1.3 notes that [22] solves bit-dissemination with *constant-size
+memory* in the population-protocol model — but that model uses *active*
+communication: an interaction reveals the full state of both parties, not
+just a binary opinion.  This module provides:
+
+* a general pairwise population-protocol engine (states + transition
+  function, uniformly random ordered pairs, [18]); and
+* ``source_broadcast_protocol`` — a one-bit epidemic in which agents carry
+  an ``informed`` flag besides their opinion.  The source is always
+  informed; informed agents overwrite the opinion of whoever they meet and
+  inform them.  It converges in ``O(n log n)`` interactions = ``O(log n)``
+  parallel time from any initial configuration.
+
+This is intentionally *simpler* than [22]'s construction (which also
+self-stabilizes the informed flags themselves); the flags here are reset by
+the adversary like all other state, and the protocol still converges because
+the source re-seeds the epidemic.  What matters for experiment E12 is the
+model separation it demonstrates: constant memory plus active communication
+beats the memory-less passive lower bound by an exponential factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PopulationProtocol",
+    "PopulationRun",
+    "run_population_protocol",
+    "source_broadcast_protocol",
+    "broadcast_initial_states",
+    "broadcast_opinion",
+]
+
+SOURCE_INDEX = 0
+
+# delta(initiator_state, responder_state) -> (initiator_state', responder_state')
+TransitionFunction = Callable[[int, int], Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class PopulationProtocol:
+    """A population protocol: finite states and a pairwise transition function.
+
+    Attributes:
+        states: number of states.
+        delta: the interaction rule on ordered pairs (initiator, responder).
+        output: map from state to binary opinion (what an observer "sees").
+        name: label for experiment output.
+    """
+
+    states: int
+    delta: TransitionFunction
+    output: Callable[[int], int]
+    name: str = "population-protocol"
+
+    def transition_table(self) -> np.ndarray:
+        """Materialize delta as an ``(states, states, 2)`` integer table."""
+        table = np.empty((self.states, self.states, 2), dtype=np.int64)
+        for a in range(self.states):
+            for b in range(self.states):
+                new_a, new_b = self.delta(a, b)
+                if not (0 <= new_a < self.states and 0 <= new_b < self.states):
+                    raise ValueError(
+                        f"delta({a}, {b}) = ({new_a}, {new_b}) leaves the "
+                        f"state space [0, {self.states})"
+                    )
+                table[a, b] = (new_a, new_b)
+        return table
+
+
+@dataclass(frozen=True)
+class PopulationRun:
+    """Outcome of a population-protocol run.
+
+    Attributes:
+        converged: all agents output the target opinion at the end.
+        interactions: pairwise interactions executed.
+        final_states: the final state vector.
+    """
+
+    converged: bool
+    interactions: int
+    final_states: np.ndarray
+
+    def parallel_time(self, n: int) -> float:
+        """Interactions divided by ``n`` (the standard parallel-time unit)."""
+        return self.interactions / n
+
+
+def run_population_protocol(
+    protocol: PopulationProtocol,
+    states: np.ndarray,
+    target_opinion: int,
+    max_interactions: int,
+    rng: np.random.Generator,
+    source_state: int | None = None,
+    check_every: int = 64,
+) -> PopulationRun:
+    """Run the uniform random scheduler until consensus on ``target_opinion``.
+
+    Each step picks an ordered pair of distinct agents uniformly at random
+    and applies ``delta``.  If ``source_state`` is given, agent 0 is a source
+    whose state is pinned back after every interaction (the model's analogue
+    of the never-changing informed agent).  Convergence is checked every
+    ``check_every`` interactions (outputs, not states, must agree).
+    """
+    states = np.asarray(states, dtype=np.int64).copy()
+    n = len(states)
+    if n < 2:
+        raise ValueError(f"need at least 2 agents, got {n}")
+    table = protocol.transition_table()
+    outputs = np.array([protocol.output(s) for s in range(protocol.states)])
+    if source_state is not None:
+        states[SOURCE_INDEX] = source_state
+
+    interactions = 0
+    while interactions < max_interactions:
+        block = min(check_every, max_interactions - interactions)
+        initiators = rng.integers(0, n, size=block)
+        responders = rng.integers(0, n - 1, size=block)
+        responders[responders >= initiators] += 1  # distinct pair, uniform
+        for i, j in zip(initiators, responders):
+            new_i, new_j = table[states[i], states[j]]
+            states[i] = new_i
+            states[j] = new_j
+            if source_state is not None:
+                states[SOURCE_INDEX] = source_state
+        interactions += block
+        if np.all(outputs[states] == target_opinion):
+            return PopulationRun(
+                converged=True, interactions=interactions, final_states=states
+            )
+    return PopulationRun(
+        converged=False, interactions=interactions, final_states=states
+    )
+
+
+# ----------------------------------------------------------------------
+# The source-broadcast protocol: 4 states = (opinion, informed) pairs.
+# ----------------------------------------------------------------------
+
+def _encode(opinion: int, informed: int) -> int:
+    return opinion * 2 + informed
+
+
+def broadcast_opinion(state: int) -> int:
+    return state // 2
+
+
+def source_broadcast_protocol() -> PopulationProtocol:
+    """One-bit epidemic with an informed flag (4 states).
+
+    Interaction rule: if exactly one party is informed, the uninformed party
+    adopts the informed party's opinion and becomes informed; two informed
+    parties, or two uninformed parties, do nothing.  The source stays pinned
+    to (correct opinion, informed), so the epidemic always restarts from it
+    regardless of adversarial initialization of flags and opinions.
+    """
+
+    def delta(a: int, b: int) -> Tuple[int, int]:
+        opinion_a, informed_a = a // 2, a % 2
+        opinion_b, informed_b = b // 2, b % 2
+        if informed_a and not informed_b:
+            return a, _encode(opinion_a, 1)
+        if informed_b and not informed_a:
+            return _encode(opinion_b, 1), b
+        return a, b
+
+    return PopulationProtocol(
+        states=4,
+        delta=delta,
+        output=broadcast_opinion,
+        name="source-broadcast",
+    )
+
+
+def broadcast_initial_states(
+    n: int,
+    z: int,
+    rng: np.random.Generator,
+    adversarial_informed: bool = True,
+) -> np.ndarray:
+    """An adversarial initial state vector for the broadcast protocol.
+
+    Every non-source agent holds the wrong opinion; with
+    ``adversarial_informed`` they are additionally all (falsely) informed —
+    the worst case, since false positives never listen.  Convergence then
+    relies on informed-informed interactions doing nothing while the flags,
+    in this simplified protocol, never reset; that worst case therefore
+    *fails*, exactly the gap [22] closes with flag recycling.  Benchmarks use
+    ``adversarial_informed=False`` (flags cleared, opinions adversarial) for
+    the convergent demonstration and the flag-stuck case for the documented
+    limitation.
+    """
+    if z not in (0, 1):
+        raise ValueError(f"z must be 0 or 1, got {z}")
+    wrong = 1 - z
+    informed = 1 if adversarial_informed else 0
+    states = np.full(n, _encode(wrong, informed), dtype=np.int64)
+    states[SOURCE_INDEX] = _encode(z, 1)
+    return states

@@ -1,0 +1,137 @@
+"""The undecided-state dynamics (USD) with a source — a third-state contrast.
+
+The paper's introduction lists the undecided-state dynamics among the
+classical small-sample opinion dynamics.  USD agents display one of three
+signals — opinion 0, opinion 1, or *undecided* — and on observing a single
+uniform sample:
+
+* a decided agent meeting the opposite opinion becomes undecided;
+* an undecided agent adopts any decided opinion it sees;
+* all other meetings change nothing.
+
+USD does not fit the paper's framework (the undecided signal is a third
+displayed value, i.e. strictly more communication than one bit), which is
+exactly why it is interesting as a contrast: one extra signal value buys
+majority-consensus in ``O(log n)`` parallel rounds.  With a source pinned
+to the correct opinion, the correct consensus is absorbing while the wrong
+one is not — the source erodes it — so bit-dissemination is eventually
+solved, but the erosion route through the wrong quasi-consensus is *slow*
+(source-paced), mirroring the paper's broader point that small samples pay
+a near-linear toll somewhere.
+
+Implemented at the count level: the population state is the triple
+``(ones, zeros, undecided)`` and one parallel round is three multinomial
+draws, exact in distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["UndecidedState", "initial_undecided_state", "step_undecided", "run_undecided"]
+
+
+@dataclass(frozen=True)
+class UndecidedState:
+    """Counts of the three displayed signals, source included.
+
+    Attributes:
+        n: population size.
+        z: the source's (correct) opinion.
+        ones/zeros/undecided: displayed-signal counts summing to ``n``.
+    """
+
+    n: int
+    z: int
+    ones: int
+    zeros: int
+    undecided: int
+
+    def __post_init__(self) -> None:
+        if self.ones + self.zeros + self.undecided != self.n:
+            raise ValueError(
+                f"counts must sum to n={self.n}, got "
+                f"{self.ones}+{self.zeros}+{self.undecided}"
+            )
+        if min(self.ones, self.zeros, self.undecided) < 0:
+            raise ValueError("counts must be non-negative")
+        if self.z not in (0, 1):
+            raise ValueError(f"z must be 0 or 1, got {self.z}")
+        source_count = self.ones if self.z == 1 else self.zeros
+        if source_count < 1:
+            raise ValueError("the source's opinion class cannot be empty")
+
+    @property
+    def correct_count(self) -> int:
+        return self.ones if self.z == 1 else self.zeros
+
+    @property
+    def is_correct_consensus(self) -> bool:
+        return self.correct_count == self.n
+
+
+def initial_undecided_state(
+    n: int, z: int, ones: int, undecided: int
+) -> UndecidedState:
+    """Build a state from the counts of ones and undecided (zeros implied)."""
+    return UndecidedState(
+        n=n, z=z, ones=ones, zeros=n - ones - undecided, undecided=undecided
+    )
+
+
+def step_undecided(
+    state: UndecidedState, rng: np.random.Generator
+) -> UndecidedState:
+    """One parallel round of USD at the count level.
+
+    Each non-source agent samples one uniform agent (source included) and
+    applies the USD rule; the draw per class is multinomial over observed
+    signals.  The source never changes.
+    """
+    n, z = state.n, state.z
+    probabilities = np.array(
+        [state.ones / n, state.zeros / n, state.undecided / n]
+    )
+    non_source_ones = state.ones - (1 if z == 1 else 0)
+    non_source_zeros = state.zeros - (1 if z == 0 else 0)
+
+    # Decided agents become undecided when they observe the opposite opinion.
+    ones_seeing = rng.multinomial(non_source_ones, probabilities)
+    zeros_seeing = rng.multinomial(non_source_zeros, probabilities)
+    # Undecided agents adopt any decided opinion they observe.
+    undecided_seeing = rng.multinomial(state.undecided, probabilities)
+
+    new_ones = (
+        (1 if z == 1 else 0)
+        + (non_source_ones - ones_seeing[1])  # ones that did not meet a zero
+        + undecided_seeing[0]
+    )
+    new_zeros = (
+        (1 if z == 0 else 0)
+        + (non_source_zeros - zeros_seeing[0])
+        + undecided_seeing[1]
+    )
+    new_undecided = ones_seeing[1] + zeros_seeing[0] + undecided_seeing[2]
+    return UndecidedState(
+        n=n, z=z, ones=int(new_ones), zeros=int(new_zeros), undecided=int(new_undecided)
+    )
+
+
+def run_undecided(
+    state: UndecidedState,
+    max_rounds: int,
+    rng: np.random.Generator,
+) -> tuple[bool, int, UndecidedState]:
+    """Run USD until the correct consensus (absorbing) or the round budget.
+
+    Returns ``(converged, rounds, final_state)``.
+    """
+    for t in range(max_rounds + 1):
+        if state.is_correct_consensus:
+            return True, t, state
+        if t == max_rounds:
+            break
+        state = step_undecided(state, rng)
+    return False, max_rounds, state

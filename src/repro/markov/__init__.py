@@ -1,0 +1,69 @@
+"""Markov-chain substrate: exact chains, birth-death analysis, martingale tools."""
+
+from repro.markov.birth_death import BirthDeathChain, sequential_birth_death_chain
+from repro.markov.chain import FiniteMarkovChain
+from repro.markov.concentration import (
+    azuma_tail,
+    azuma_with_jumps_tail,
+    empirical_tail_frequency,
+    hoeffding_tail,
+    hoeffding_two_sided,
+)
+from repro.markov.coupling import is_stochastically_monotone, tables_are_monotone
+from repro.markov.doob import DoobDecomposition, count_chain_doob, doob_decomposition
+from repro.markov.escape import EscapeProblem, EscapeVerdict, verify_escape_theorem
+from repro.markov.absorption_time import (
+    AbsorptionCdf,
+    absorption_time_cdf,
+    exceedance_probability,
+)
+from repro.markov.large_deviations import bernoulli_kl, quasi_potential, step_rate
+from repro.markov.quasistationary import QuasiStationary, quasi_stationary
+from repro.markov.sequential_bound import SequentialWorstCase, sequential_worst_case
+from repro.markov.spectral import (
+    SpectralSummary,
+    mixing_time,
+    spectral_summary,
+    total_variation_distance,
+)
+from repro.markov.exact import (
+    count_chain,
+    exact_expected_convergence_time,
+    transition_row,
+)
+
+__all__ = [
+    "FiniteMarkovChain",
+    "BirthDeathChain",
+    "sequential_birth_death_chain",
+    "transition_row",
+    "count_chain",
+    "exact_expected_convergence_time",
+    "DoobDecomposition",
+    "doob_decomposition",
+    "count_chain_doob",
+    "hoeffding_tail",
+    "hoeffding_two_sided",
+    "azuma_tail",
+    "azuma_with_jumps_tail",
+    "empirical_tail_frequency",
+    "EscapeProblem",
+    "EscapeVerdict",
+    "verify_escape_theorem",
+    "SpectralSummary",
+    "spectral_summary",
+    "total_variation_distance",
+    "mixing_time",
+    "QuasiStationary",
+    "quasi_stationary",
+    "AbsorptionCdf",
+    "absorption_time_cdf",
+    "exceedance_probability",
+    "bernoulli_kl",
+    "step_rate",
+    "quasi_potential",
+    "tables_are_monotone",
+    "is_stochastically_monotone",
+    "SequentialWorstCase",
+    "sequential_worst_case",
+]

@@ -1,0 +1,114 @@
+"""Exact distribution of the convergence time (phase-type analysis).
+
+For the exact count chain the convergence time ``tau`` is a discrete
+phase-type random variable: ``P(tau <= t)`` is the mass that ``t``
+distribution pushes place on the target set.  Computing the CDF exactly
+turns the paper's "with high probability" statements into *checkable
+identities* at small ``n`` — e.g. Theorem 2's
+``P(tau_voter > 2 n ln n) <= 1/n`` is verified here with zero Monte-Carlo
+error, for every admissible starting configuration at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.markov.chain import FiniteMarkovChain
+
+__all__ = ["AbsorptionCdf", "absorption_time_cdf", "exceedance_probability"]
+
+
+@dataclass(frozen=True)
+class AbsorptionCdf:
+    """The exact law of the hitting time of a target set.
+
+    Attributes:
+        horizon: the largest time the CDF was computed to.
+        cdf: array of length ``horizon + 1``; ``cdf[t] = P(tau <= t)``.
+    """
+
+    horizon: int
+    cdf: np.ndarray
+
+    def exceedance(self, t: int) -> float:
+        """``P(tau > t)`` (t within the computed horizon)."""
+        if not 0 <= t <= self.horizon:
+            raise ValueError(f"t must lie in [0, {self.horizon}], got {t}")
+        return float(1.0 - self.cdf[t])
+
+    def quantile(self, q: float) -> Optional[int]:
+        """Smallest ``t`` with ``P(tau <= t) >= q``, or None beyond horizon."""
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must lie in (0, 1), got {q}")
+        reached = np.nonzero(self.cdf >= q)[0]
+        return int(reached[0]) if len(reached) else None
+
+    def expected_value_lower_bound(self) -> float:
+        """``sum_t P(tau > t)`` truncated at the horizon (a lower bound on E[tau])."""
+        return float(np.sum(1.0 - self.cdf[:-1]) + (1.0 - self.cdf[0]) * 0)
+
+
+def absorption_time_cdf(
+    chain: FiniteMarkovChain,
+    targets: Iterable[int],
+    start: int,
+    horizon: int,
+) -> AbsorptionCdf:
+    """Exact ``P(tau <= t)`` for ``t = 0..horizon`` from a single start.
+
+    Implemented by pushing the sub-distribution on non-target states through
+    the restricted matrix: the escaping mass per step is the hitting-time
+    pmf.  Cost: ``horizon`` sparse-ish matrix-vector products.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    if not 0 <= start < chain.size:
+        raise ValueError(f"start must lie in [0, {chain.size - 1}], got {start}")
+    target_mask = np.zeros(chain.size, dtype=bool)
+    for t in targets:
+        if not 0 <= t < chain.size:
+            raise ValueError(f"target {t} outside [0, {chain.size - 1}]")
+        target_mask[t] = True
+    others = np.nonzero(~target_mask)[0]
+    cdf = np.empty(horizon + 1)
+    if target_mask[start]:
+        cdf[:] = 1.0
+        return AbsorptionCdf(horizon=horizon, cdf=cdf)
+    restricted = chain.transition[np.ix_(others, others)]
+    index_of = {state: i for i, state in enumerate(others)}
+    mass = np.zeros(len(others))
+    mass[index_of[start]] = 1.0
+    cdf[0] = 0.0
+    for t in range(1, horizon + 1):
+        mass = mass @ restricted
+        cdf[t] = 1.0 - float(mass.sum())
+    return AbsorptionCdf(horizon=horizon, cdf=cdf)
+
+
+def exceedance_probability(
+    chain: FiniteMarkovChain,
+    targets: Iterable[int],
+    horizon: int,
+) -> np.ndarray:
+    """``P(tau > horizon)`` from *every* state simultaneously.
+
+    One backward recursion: ``u_0 = 1`` off the targets, ``u_{t+1} = Q u_t``
+    on the restricted block.  Used to check w.h.p. statements uniformly over
+    all admissible starting configurations.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    target_mask = np.zeros(chain.size, dtype=bool)
+    for t in targets:
+        target_mask[t] = True
+    others = np.nonzero(~target_mask)[0]
+    restricted = chain.transition[np.ix_(others, others)]
+    survival = np.ones(len(others))
+    for _ in range(horizon):
+        survival = restricted @ survival
+    result = np.zeros(chain.size)
+    result[others] = survival
+    return result

@@ -1,0 +1,189 @@
+"""Birth-death chains: the structure of the sequential setting.
+
+In the sequential setting the count changes by at most one per activation,
+so — *whatever the protocol* — the process is a birth-death chain.  All of
+[14]'s sequential results rest on this observation (Section 1, "Previous
+works").  This module provides the classical closed-form analysis: exact
+expected hitting times and ruin probabilities from the up/down probability
+profiles, plus a converter from a protocol to its sequential birth-death
+chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+from repro.dynamics.config import Configuration
+from repro.dynamics.sequential import sequential_transition_probabilities
+
+__all__ = ["BirthDeathChain", "sequential_birth_death_chain"]
+
+
+@dataclass(frozen=True)
+class BirthDeathChain:
+    """A birth-death chain on ``{0, ..., N}``.
+
+    Attributes:
+        up: ``up[x] = P(x -> x+1)`` (``up[N]`` must be 0).
+        down: ``down[x] = P(x -> x-1)`` (``down[0]`` must be 0).
+
+    Holding probabilities are ``1 - up - down``.
+    """
+
+    up: np.ndarray
+    down: np.ndarray
+
+    def __post_init__(self) -> None:
+        up = np.asarray(self.up, dtype=float)
+        down = np.asarray(self.down, dtype=float)
+        if up.shape != down.shape or up.ndim != 1:
+            raise ValueError(
+                f"up and down must be equal-length vectors, got {up.shape} "
+                f"and {down.shape}"
+            )
+        if np.any(up < 0) or np.any(down < 0) or np.any(up + down > 1 + 1e-12):
+            raise ValueError("up/down probabilities must be >= 0 with up + down <= 1")
+        if up[-1] != 0.0:
+            raise ValueError("up[N] must be 0 (no move past the top state)")
+        if down[0] != 0.0:
+            raise ValueError("down[0] must be 0 (no move below the bottom state)")
+        object.__setattr__(self, "up", up)
+        object.__setattr__(self, "down", down)
+        up.setflags(write=False)
+        down.setflags(write=False)
+
+    @property
+    def size(self) -> int:
+        return len(self.up)
+
+    # ------------------------------------------------------------------
+    # Closed-form hitting analysis
+    # ------------------------------------------------------------------
+
+    def expected_time_to_top(self, start: int) -> float:
+        """Exact ``E[steps to reach N]`` from ``start``.
+
+        Uses the standard ladder identity: with
+        ``rho_j = down[j] / up[j]`` and
+
+            E[T_{x -> x+1}] = (1 / up[x]) + (down[x] / up[x]) E[T_{x-1 -> x}],
+
+        accumulated bottom-up.  States with ``up[x] = 0`` below the top make
+        the expectation infinite (the chain can get stuck under the target).
+        """
+        n_top = self.size - 1
+        if not 0 <= start <= n_top:
+            raise ValueError(f"start must lie in [0, {n_top}], got {start}")
+        if start == n_top:
+            return 0.0
+        expected_up_step = np.zeros(n_top)  # E[T_{x -> x+1}]
+        for x in range(n_top):
+            if self.up[x] == 0.0:
+                expected_up_step[x] = np.inf
+                continue
+            previous = expected_up_step[x - 1] if x > 0 else 0.0
+            if self.down[x] == 0.0:
+                # The chain cannot fall back from x, so an infinite time
+                # below x (unreachable region) is irrelevant: avoid 0 * inf.
+                expected_up_step[x] = 1.0 / self.up[x]
+            else:
+                expected_up_step[x] = (1.0 + self.down[x] * previous) / self.up[x]
+        return float(np.sum(expected_up_step[start:n_top]))
+
+    def expected_times_to_top(self) -> np.ndarray:
+        """``E[steps to reach N]`` from every start, in one O(N) pass.
+
+        Shares the ladder accumulation of :meth:`expected_time_to_top`:
+        the time from ``start`` is the suffix sum of the per-rung times.
+        """
+        n_top = self.size - 1
+        expected_up_step = np.zeros(n_top)
+        for x in range(n_top):
+            if self.up[x] == 0.0:
+                expected_up_step[x] = np.inf
+                continue
+            previous = expected_up_step[x - 1] if x > 0 else 0.0
+            if self.down[x] == 0.0:
+                expected_up_step[x] = 1.0 / self.up[x]
+            else:
+                expected_up_step[x] = (1.0 + self.down[x] * previous) / self.up[x]
+        suffix = np.concatenate([np.cumsum(expected_up_step[::-1])[::-1], [0.0]])
+        return suffix
+
+    def expected_time_to_bottom(self, start: int) -> float:
+        """Exact ``E[steps to reach 0]`` from ``start`` (mirror of the above)."""
+        return self.reverse().expected_time_to_top(self.size - 1 - start)
+
+    def expected_times_to_bottom(self) -> np.ndarray:
+        """``E[steps to reach 0]`` from every start (mirror, one pass)."""
+        return self.reverse().expected_times_to_top()[::-1].copy()
+
+    def ruin_probability(self, start: int) -> float:
+        """P(reach 0 before N) from ``start`` (the classical gambler's ruin).
+
+        With ``rho_j = down[j] / up[j]`` and ``pi_k = prod_{j<=k} rho_j``:
+
+            P(ruin from x) = sum_{k=x}^{N-1} pi_k / sum_{k=0}^{N-1} pi_k
+
+        where ``pi`` products run over interior states.  Computed in log
+        space to survive the huge products of strongly drifted chains.
+        """
+        n_top = self.size - 1
+        if not 0 <= start <= n_top:
+            raise ValueError(f"start must lie in [0, {n_top}], got {start}")
+        if start == 0:
+            return 1.0
+        if start == n_top:
+            return 0.0
+        interior_up = self.up[1:n_top]
+        interior_down = self.down[1:n_top]
+        if np.any(interior_up == 0.0) or np.any(interior_down == 0.0):
+            raise ValueError(
+                "ruin probability requires strictly positive interior "
+                "up/down probabilities"
+            )
+        log_rho = np.log(interior_down) - np.log(interior_up)
+        log_pi = np.concatenate([[0.0], np.cumsum(log_rho)])  # pi_0 = 1
+        log_pi -= log_pi.max()  # stabilize
+        pi = np.exp(log_pi)
+        total = pi.sum()
+        return float(pi[start:].sum() / total)
+
+    def reverse(self) -> "BirthDeathChain":
+        """The chain with the state axis flipped (top <-> bottom)."""
+        return BirthDeathChain(up=self.down[::-1].copy(), down=self.up[::-1].copy())
+
+    def transition_matrix(self) -> np.ndarray:
+        """Materialize the full tridiagonal transition matrix."""
+        size = self.size
+        matrix = np.zeros((size, size))
+        for x in range(size):
+            if self.up[x] > 0:
+                matrix[x, x + 1] = self.up[x]
+            if self.down[x] > 0:
+                matrix[x, x - 1] = self.down[x]
+            matrix[x, x] = 1.0 - self.up[x] - self.down[x]
+        return matrix
+
+
+def sequential_birth_death_chain(
+    protocol: Protocol, n: int, z: int
+) -> BirthDeathChain:
+    """The birth-death chain induced by ``protocol`` in the sequential setting.
+
+    States are counts ``0..n``; inadmissible counts (disagreeing with the
+    source's contribution) are frozen with ``up = down = 0``.
+    """
+    low, high = Configuration.count_bounds(n, z)
+    up = np.zeros(n + 1)
+    down = np.zeros(n + 1)
+    for x in range(low, high + 1):
+        p_up, p_down = sequential_transition_probabilities(protocol, n, z, x)
+        if x < n:
+            up[x] = p_up
+        if x > 0:
+            down[x] = p_down
+    return BirthDeathChain(up=up, down=down)

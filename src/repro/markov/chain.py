@@ -1,0 +1,290 @@
+"""Generic finite Markov chains on ``{0, ..., N}``.
+
+A small, dependency-free substrate used by the exact count chain
+(:mod:`repro.markov.exact`) and the birth-death chain of the sequential
+setting: transition-matrix validation, simulation, absorbing-state analysis,
+exact hitting times and hitting probabilities via linear solves, and the
+stationary distribution of ergodic chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["FiniteMarkovChain"]
+
+_ROW_SUM_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class FiniteMarkovChain:
+    """A time-homogeneous Markov chain given by a row-stochastic matrix.
+
+    Attributes:
+        transition: the ``(N+1) x (N+1)`` transition matrix;
+            ``transition[i, j] = P(X_{t+1} = j | X_t = i)``.
+    """
+
+    transition: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.transition, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"transition matrix must be square, got {matrix.shape}")
+        if np.any(matrix < -_ROW_SUM_TOLERANCE):
+            raise ValueError("transition matrix has negative entries")
+        row_sums = matrix.sum(axis=1)
+        if np.any(np.abs(row_sums - 1.0) > _ROW_SUM_TOLERANCE):
+            worst = int(np.argmax(np.abs(row_sums - 1.0)))
+            raise ValueError(
+                f"row {worst} of the transition matrix sums to {row_sums[worst]}, "
+                "not 1"
+            )
+        normalized = np.clip(matrix, 0.0, None)
+        normalized = normalized / normalized.sum(axis=1, keepdims=True)
+        object.__setattr__(self, "transition", normalized)
+        self.transition.setflags(write=False)
+
+    @property
+    def size(self) -> int:
+        return self.transition.shape[0]
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def absorbing_states(self) -> np.ndarray:
+        """Indices ``i`` with ``P(i, i) = 1``."""
+        return np.nonzero(np.isclose(np.diag(self.transition), 1.0))[0]
+
+    def expected_change(self, state: int) -> float:
+        """One-step drift ``E[X_{t+1} - X_t | X_t = state]``."""
+        states = np.arange(self.size)
+        return float(self.transition[state] @ states - state)
+
+    def step_distribution(self, distribution: np.ndarray) -> np.ndarray:
+        """Push a distribution one step forward: ``mu P``."""
+        mu = np.asarray(distribution, dtype=float)
+        if mu.shape != (self.size,):
+            raise ValueError(
+                f"distribution must have shape ({self.size},), got {mu.shape}"
+            )
+        return mu @ self.transition
+
+    # ------------------------------------------------------------------
+    # Hitting analysis (exact, via linear solves)
+    # ------------------------------------------------------------------
+
+    def expected_hitting_times(self, targets: Iterable[int]) -> np.ndarray:
+        """Expected time to reach any state in ``targets``, from every state.
+
+        The expectation is finite exactly where the targets are hit *almost
+        surely*, which is decided structurally: from state ``i`` the hit is
+        a.s. iff no target-avoiding closed communicating class is reachable
+        from ``i``.  On that region the standard first-step system
+        ``(I - Q) h = 1`` is solved.  (Deciding almost-sureness numerically
+        from hitting probabilities is unreliable for metastable chains,
+        whose systems are ill-conditioned; so is the solve itself, but
+        there only the magnitude suffers, not the finite/infinite verdict.)
+        """
+        target_set = self._target_mask(targets)
+        others = np.nonzero(~target_set)[0]
+        times = np.zeros(self.size)
+        if len(others) == 0:
+            return times
+        certain = self.hits_almost_surely(targets)
+        solution = np.full(len(others), np.inf)
+        solvable = certain[others]
+        if solvable.any():
+            idx = np.nonzero(solvable)[0]
+            # From an almost-surely-hitting state, transitions into the
+            # complement of the almost-sure region have probability 0, so the
+            # restricted system is exact.
+            sub = np.eye(len(idx)) - self.transition[np.ix_(others[idx], others[idx])]
+            rhs = np.ones(len(idx))
+            values = np.linalg.solve(sub, rhs)
+            if np.any(values < 0):
+                # Metastable wells push the condition number past float64
+                # (expected times ~1/escape-probability); redo the
+                # elimination in extended precision.
+                values = _solve_longdouble(sub, rhs)
+            if np.any(values < 0):
+                raise np.linalg.LinAlgError(
+                    "hitting-time system is too ill-conditioned even in "
+                    "extended precision (expected times beyond ~1e16; a "
+                    "metastable well this deep should be reported as "
+                    "effectively infinite by the caller)"
+                )
+            solution[idx] = values
+        times[others] = solution
+        return times
+
+    def hits_almost_surely(self, targets: Iterable[int]) -> np.ndarray:
+        """Boolean mask: from which states are the targets hit a.s.?
+
+        A finite chain hits the targets with probability 1 from ``i`` iff
+        every closed communicating class reachable from ``i`` contains a
+        target (otherwise the chain can be absorbed into a target-free
+        class and never return).  Closed classes are found via strongly
+        connected components of the support graph.
+        """
+        target_set = self._target_mask(targets)
+        import networkx as nx
+
+        graph = nx.from_numpy_array(
+            (self.transition > 0).astype(int), create_using=nx.DiGraph
+        )
+        doomed_seeds = np.zeros(self.size, dtype=bool)
+        for component in nx.strongly_connected_components(graph):
+            states = np.fromiter(component, dtype=int)
+            if target_set[states].any():
+                continue
+            leaves = self.transition[states].sum(axis=1) - self.transition[
+                np.ix_(states, states)
+            ].sum(axis=1)
+            if np.all(leaves <= 1e-15):  # closed class, no target inside
+                doomed_seeds[states] = True
+        # Doomed: any state that can reach a doomed closed class.
+        adjacency = self.transition > 0
+        doomed = doomed_seeds.copy()
+        frontier = doomed_seeds.copy()
+        while frontier.any():
+            predecessors = adjacency[:, frontier].any(axis=1) & ~doomed
+            doomed |= predecessors
+            frontier = predecessors
+        return ~doomed
+
+    def eventual_hitting_probabilities(self, targets: Iterable[int]) -> np.ndarray:
+        """Probability of *ever* reaching ``targets``, from every state.
+
+        Computed as the minimal non-negative solution of the harmonic system:
+        0 on states that cannot reach the targets, 1 on the targets, and the
+        linear solve on the remaining (necessarily transient-relative) states
+        with leaks to the cannot-reach region contributing 0.
+        """
+        target_set = self._target_mask(targets)
+        can_reach = self._reaches_targets(target_set)
+        probabilities = np.zeros(self.size)
+        probabilities[target_set] = 1.0
+        pending = np.nonzero(can_reach & ~target_set)[0]
+        if len(pending) == 0:
+            return probabilities
+        # No closed recurrent class lies inside `pending` (a recurrent class
+        # that reaches the targets would have to leave itself), so I - Q is
+        # invertible on it.
+        q = self.transition[np.ix_(pending, pending)]
+        r = self.transition[pending][:, target_set].sum(axis=1)
+        probabilities[pending] = np.linalg.solve(np.eye(len(pending)) - q, r)
+        return np.clip(probabilities, 0.0, 1.0)
+
+    def hitting_probabilities(self, targets: Iterable[int], avoid: Iterable[int]) -> np.ndarray:
+        """Probability of reaching ``targets`` before ``avoid``, from every state.
+
+        Standard first-step analysis: ``h = 1`` on targets, ``0`` on avoided
+        states, harmonic elsewhere.
+        """
+        target_set = self._target_mask(targets)
+        avoid_set = self._target_mask(avoid)
+        if np.any(target_set & avoid_set):
+            raise ValueError("targets and avoid sets must be disjoint")
+        boundary = target_set | avoid_set
+        others = np.nonzero(~boundary)[0]
+        h = np.zeros(self.size)
+        h[target_set] = 1.0
+        if len(others) == 0:
+            return h
+        q = self.transition[np.ix_(others, others)]
+        r = self.transition[others][:, target_set].sum(axis=1)
+        h[others] = np.linalg.solve(np.eye(len(others)) - q, r)
+        return h
+
+    def stationary_distribution(self) -> np.ndarray:
+        """The stationary distribution of an irreducible chain.
+
+        Solved as the null space of ``P^T - I`` (normalized); raises when the
+        chain has several recurrent classes (non-unique stationary vector).
+        """
+        matrix = self.transition.T - np.eye(self.size)
+        _, singular_values, v = np.linalg.svd(matrix)
+        null_dim = int(np.sum(singular_values < 1e-10))
+        if null_dim != 1:
+            raise ValueError(
+                f"stationary distribution is not unique (null dimension "
+                f"{null_dim}); the chain is reducible"
+            )
+        candidate = v[-1]
+        candidate = np.abs(candidate)
+        return candidate / candidate.sum()
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def sample_path(
+        self, start: int, steps: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Simulate ``steps`` transitions from ``start``."""
+        if not 0 <= start < self.size:
+            raise ValueError(f"start must lie in [0, {self.size - 1}], got {start}")
+        path = np.empty(steps + 1, dtype=np.int64)
+        path[0] = start
+        cumulative = np.cumsum(self.transition, axis=1)
+        draws = rng.random(steps)
+        for t in range(steps):
+            path[t + 1] = int(np.searchsorted(cumulative[path[t]], draws[t]))
+        return path
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _target_mask(self, targets: Iterable[int]) -> np.ndarray:
+        mask = np.zeros(self.size, dtype=bool)
+        for t in targets:
+            if not 0 <= t < self.size:
+                raise ValueError(f"state {t} outside [0, {self.size - 1}]")
+            mask[t] = True
+        return mask
+
+    def _reaches_targets(self, target_set: np.ndarray) -> np.ndarray:
+        """States from which the target set is reachable (backward BFS)."""
+        adjacency = self.transition > 0
+        reachable = target_set.copy()
+        frontier = target_set.copy()
+        while frontier.any():
+            predecessors = adjacency[:, frontier].any(axis=1) & ~reachable
+            reachable |= predecessors
+            frontier = predecessors
+        return reachable
+
+
+def _solve_longdouble(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Gaussian elimination with partial pivoting in extended precision.
+
+    LAPACK only offers float64; for the near-singular hitting systems of
+    metastable chains the extra mantissa bits of ``np.longdouble`` (80-bit
+    on x86) decide between a ~1e16 answer and a negative one.  Row
+    operations are vectorized, so the O(n^3) cost stays practical for the
+    exact-chain sizes this library targets.
+    """
+    a = np.array(matrix, dtype=np.longdouble)
+    b = np.array(rhs, dtype=np.longdouble)
+    size = len(b)
+    order = np.arange(size)
+    for col in range(size):
+        pivot = col + int(np.argmax(np.abs(a[col:, col])))
+        if a[pivot, col] == 0:
+            raise np.linalg.LinAlgError("singular hitting-time system")
+        if pivot != col:
+            a[[col, pivot]] = a[[pivot, col]]
+            b[[col, pivot]] = b[[pivot, col]]
+        factors = a[col + 1 :, col] / a[col, col]
+        a[col + 1 :, col:] -= factors[:, None] * a[col, col:]
+        b[col + 1 :] -= factors * b[col]
+    solution = np.zeros(size, dtype=np.longdouble)
+    for row in range(size - 1, -1, -1):
+        solution[row] = (b[row] - a[row, row + 1 :] @ solution[row + 1 :]) / a[row, row]
+    return solution.astype(float)

@@ -1,0 +1,89 @@
+"""The concentration inequalities of Appendix A, as code.
+
+Theorem 15 (Hoeffding) and Theorem 16 (Azuma-Hoeffding with rare large
+jumps, after [29]) are the only probabilistic tools the paper uses.  The
+functions here return the *bound* side of each inequality so experiments can
+print "observed deviation frequency vs Hoeffding bound" rows, and so the
+escape-theorem checker (:mod:`repro.markov.escape`) can instantiate the
+paper's tail estimates with concrete numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "hoeffding_tail",
+    "hoeffding_two_sided",
+    "azuma_tail",
+    "azuma_with_jumps_tail",
+    "empirical_tail_frequency",
+]
+
+
+def hoeffding_tail(n: int, delta: float) -> float:
+    """Theorem 15: ``P(X <= mu - delta), P(X >= mu + delta) <= exp(-2 delta^2 / n)``.
+
+    ``X`` is a sum of ``n`` independent ``{0,1}`` variables.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    return math.exp(-2.0 * delta * delta / n)
+
+
+def hoeffding_two_sided(n: int, delta: float) -> float:
+    """Two-sided version: ``P(|X - mu| >= delta) <= 2 exp(-2 delta^2 / n)``."""
+    return min(1.0, 2.0 * hoeffding_tail(n, delta))
+
+
+def azuma_tail(increments_bound: Sequence[float], delta: float) -> float:
+    """Classical Azuma: ``P(|M_T - M_0| > delta) <= 2 exp(-delta^2 / (2 sum c_t^2))``.
+
+    ``increments_bound[t]`` bounds ``|M_{t+1} - M_t|`` almost surely.
+    """
+    bounds = np.asarray(increments_bound, dtype=float)
+    if np.any(bounds < 0):
+        raise ValueError("increment bounds must be non-negative")
+    denominator = 2.0 * float(np.sum(bounds * bounds))
+    if denominator == 0.0:
+        return 0.0 if delta > 0 else 1.0
+    return min(1.0, 2.0 * math.exp(-delta * delta / denominator))
+
+
+def azuma_with_jumps_tail(
+    horizon: int, increment_bound: float, delta: float, jump_probability: float
+) -> float:
+    """Theorem 16 ([29], Section 8): Azuma allowing rare large jumps.
+
+    If ``P(exists t <= T: M_t - M_{t-1} > c) <= p`` then
+
+        P(|M_T - M_0| > delta) <= 2 exp(-delta^2 / (2 T c^2)) + p.
+
+    This is the exact form used in Claim 8 of the paper, with
+    ``c = n^(1/2 + eps/4)`` and ``p = 2 T exp(-2 n^(eps/2))`` supplied by the
+    one-step Hoeffding bound.
+    """
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    if not 0 <= jump_probability <= 1:
+        raise ValueError(f"jump_probability must lie in [0, 1], got {jump_probability}")
+    base = 2.0 * math.exp(
+        -delta * delta / (2.0 * horizon * increment_bound * increment_bound)
+    )
+    return min(1.0, base + jump_probability)
+
+
+def empirical_tail_frequency(samples: np.ndarray, center: float, delta: float) -> float:
+    """Fraction of ``samples`` deviating from ``center`` by more than ``delta``.
+
+    The measured side of a Hoeffding/Azuma row in experiment output.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("samples must be non-empty")
+    return float(np.mean(np.abs(samples - center) > delta))

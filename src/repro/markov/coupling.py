@@ -1,0 +1,53 @@
+"""Stochastic monotonicity of the count chain.
+
+A chain is stochastically monotone when starting higher keeps you
+(stochastically) higher: ``P(X' >= k | x)`` non-decreasing in ``x`` for
+every ``k``.  For the count chain this holds whenever the protocol's
+response tables are non-decreasing in the observed count and
+``g1(k) >= g0(k)`` pointwise (more ones seen, or already holding 1, never
+makes adopting 1 less likely) — e.g. the Voter and Majority, but *not* the
+Minority, whose non-monotonicity is exactly what fuels the overshoot.
+
+Monotonicity is what licenses worst-case reasoning like "the all-wrong
+start is the slowest" (used for the Voter in the experiments); this module
+provides both the table-level sufficient condition and the exact
+matrix-level check, which the tests play against each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+from repro.markov.chain import FiniteMarkovChain
+
+__all__ = [
+    "tables_are_monotone",
+    "is_stochastically_monotone",
+]
+
+
+def tables_are_monotone(protocol: Protocol, tolerance: float = 1e-12) -> bool:
+    """The sufficient condition: g0, g1 non-decreasing and g1 >= g0.
+
+    Under it, one round from a higher count dominates one round from a
+    lower count (couple each agent's sample indicators monotonically).
+    """
+    g0_monotone = bool(np.all(np.diff(protocol.g0) >= -tolerance))
+    g1_monotone = bool(np.all(np.diff(protocol.g1) >= -tolerance))
+    ordered = bool(np.all(protocol.g1 - protocol.g0 >= -tolerance))
+    return g0_monotone and g1_monotone and ordered
+
+
+def is_stochastically_monotone(
+    chain: FiniteMarkovChain, tolerance: float = 1e-9
+) -> bool:
+    """Exact check on the transition matrix.
+
+    ``P(X' >= k | x)`` must be non-decreasing in ``x`` for every ``k``:
+    equivalently every column of the row-wise survival matrix is sorted.
+    """
+    survival = 1.0 - np.cumsum(chain.transition, axis=1)
+    # survival[x, k] = P(X' > k | x); monotone along x for each k.
+    differences = np.diff(survival, axis=0)
+    return bool(np.all(differences >= -tolerance))

@@ -1,0 +1,114 @@
+"""Doob decomposition of observed trajectories (the Figure-1 machinery).
+
+The proof of Theorem 6 rewrites the shifted chain ``Y_t = X_t - t`` as
+``Y_t = M_t + A_t`` with ``M`` a martingale and ``A`` the predictable
+compensator; on the supermartingale interval ``A`` is non-increasing, so
+``Y`` can never overtake ``M`` (Claim 7), while Azuma's inequality confines
+``M`` near its start for ``n^(1-eps)`` rounds (Claim 8).
+
+Because the one-step drift of the count chain is available in closed form
+(:func:`repro.core.bias.expected_next_count`), the decomposition of a
+*simulated* trajectory can be computed exactly, and the Figure-1 experiment
+plots the resulting ``X_t``, ``M_t + t`` and confinement band as data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.bias import expected_next_count
+from repro.core.protocol import Protocol
+
+__all__ = ["DoobDecomposition", "doob_decomposition", "count_chain_doob"]
+
+DriftFunction = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class DoobDecomposition:
+    """The decomposition ``Y_t = M_t + A_t`` of a trajectory.
+
+    Attributes:
+        path: the observed trajectory ``Y_0..Y_T``.
+        martingale: ``M_t = Y_0 + sum_{k<=t} (Y_k - E[Y_k | Y_{k-1}])``.
+        compensator: ``A_t = sum_{k<=t} (E[Y_k | Y_{k-1}] - Y_{k-1})``
+            (predictable; ``A_0 = 0``).
+    """
+
+    path: np.ndarray
+    martingale: np.ndarray
+    compensator: np.ndarray
+
+    def reconstruction_error(self) -> float:
+        """``max_t |Y_t - (M_t + A_t)|`` — zero up to float rounding."""
+        return float(np.max(np.abs(self.path - (self.martingale + self.compensator))))
+
+    def increments(self) -> np.ndarray:
+        """Martingale increments ``M_{t+1} - M_t`` (inputs to Azuma bounds)."""
+        return np.diff(self.martingale)
+
+
+def doob_decomposition(path: np.ndarray, drift: DriftFunction) -> DoobDecomposition:
+    """Decompose an observed path given its exact one-step drift function.
+
+    Args:
+        path: the trajectory ``Y_0..Y_T`` (1-D array).
+        drift: vectorized map ``y -> E[Y_{t+1} | Y_t = y]``.
+    """
+    path = np.asarray(path, dtype=float)
+    if path.ndim != 1 or len(path) < 1:
+        raise ValueError(f"path must be a non-empty 1-D array, got shape {path.shape}")
+    if len(path) == 1:
+        return DoobDecomposition(
+            path=path, martingale=path.copy(), compensator=np.zeros(1)
+        )
+    conditional_means = np.asarray(drift(path[:-1]), dtype=float)
+    compensator_steps = conditional_means - path[:-1]
+    martingale_steps = path[1:] - conditional_means
+    compensator = np.concatenate([[0.0], np.cumsum(compensator_steps)])
+    martingale = np.concatenate([[path[0]], path[0] + np.cumsum(martingale_steps)])
+    return DoobDecomposition(
+        path=path, martingale=martingale, compensator=compensator
+    )
+
+
+def count_chain_doob(
+    protocol: Protocol, n: int, z: int, counts: np.ndarray, shifted: bool = True
+) -> DoobDecomposition:
+    """Doob decomposition of a count trajectory of the parallel chain.
+
+    With ``shifted=True`` (the paper's choice) the decomposition is applied
+    to ``Y_t = X_t - t``, whose drift is
+    ``E[Y_{t+1} | Y_t] = E[X_{t+1} | X_t] - (t + 1)``; the time shift makes
+    the drift condition of Theorem 6 (``E[X'] <= x + 1``) exactly the
+    supermartingale property of ``Y``.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if not shifted:
+        return doob_decomposition(
+            counts, lambda x: np.asarray(expected_next_count(protocol, n, z, x))
+        )
+    times = np.arange(len(counts), dtype=float)
+    shifted_path = counts - times
+    # The drift of Y depends on t through the shift; decompose manually so
+    # the conditional mean at step k uses X_k = Y_k + k.
+    if len(counts) == 1:
+        return DoobDecomposition(
+            path=shifted_path,
+            martingale=shifted_path.copy(),
+            compensator=np.zeros(1),
+        )
+    x_means = np.asarray(expected_next_count(protocol, n, z, counts[:-1]))
+    y_means = x_means - times[1:]
+    compensator_steps = y_means - shifted_path[:-1]
+    martingale_steps = shifted_path[1:] - y_means
+    compensator = np.concatenate([[0.0], np.cumsum(compensator_steps)])
+    martingale = np.concatenate(
+        [[shifted_path[0]], shifted_path[0] + np.cumsum(martingale_steps)]
+    )
+    return DoobDecomposition(
+        path=shifted_path, martingale=martingale, compensator=compensator
+    )

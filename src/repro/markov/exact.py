@@ -1,0 +1,92 @@
+"""The exact transition matrix of the parallel count chain.
+
+Conditioned on ``X_t = x``, the next count is ``z`` (the source) plus two
+independent binomials — the surviving ones among the ``m1`` non-source
+one-agents and the flips among the ``m0`` non-source zero-agents — so each
+row of the transition matrix is the convolution of two binomial pmfs.  For
+small ``n`` this gives the chain *exactly*, enabling:
+
+* closed-loop validation of the sampling engines (their empirical transition
+  frequencies must match these rows),
+* exact expected convergence times via linear solves (no Monte-Carlo error),
+* direct inspection of the Theorem-6 assumptions at every state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import binom
+
+from repro.core.protocol import Protocol
+from repro.dynamics.config import Configuration
+from repro.markov.chain import FiniteMarkovChain
+
+__all__ = [
+    "transition_row",
+    "count_chain",
+    "exact_expected_convergence_time",
+]
+
+_MAX_EXACT_N = 4096
+
+
+def transition_row(protocol: Protocol, n: int, z: int, x: int) -> np.ndarray:
+    """The exact distribution of ``X_{t+1}`` given ``X_t = x`` (length ``n + 1``)."""
+    low, high = Configuration.count_bounds(n, z)
+    if not low <= x <= high:
+        raise ValueError(f"count x must lie in [{low}, {high}] for n={n}, z={z}; got {x}")
+    p0, p1 = protocol.response_probabilities(x / n)
+    m1 = x - z
+    m0 = n - x - (1 - z)
+    ones_pmf = binom.pmf(np.arange(m1 + 1), m1, p1)
+    zeros_pmf = binom.pmf(np.arange(m0 + 1), m0, p0)
+    flips = np.convolve(ones_pmf, zeros_pmf)  # support 0 .. m1 + m0 = n - 1
+    row = np.zeros(n + 1)
+    row[z : z + len(flips)] = flips
+    return row
+
+
+def count_chain(protocol: Protocol, n: int, z: int) -> FiniteMarkovChain:
+    """The full ``(n+1) x (n+1)`` chain of the parallel dynamics.
+
+    States outside the admissible range ``[z, n - (1 - z)]`` (the count can
+    never disagree with the source's contribution) are made absorbing
+    self-loops so the matrix is stochastic; they are unreachable from
+    admissible states.
+    """
+    if n > _MAX_EXACT_N:
+        raise ValueError(
+            f"exact chain construction is O(n^2) memory; n={n} exceeds the "
+            f"guard {_MAX_EXACT_N} (use the sampling engines instead)"
+        )
+    low, high = Configuration.count_bounds(n, z)
+    matrix = np.zeros((n + 1, n + 1))
+    for x in range(low, high + 1):
+        matrix[x] = transition_row(protocol, n, z, x)
+    for x in range(0, n + 1):
+        if not low <= x <= high:
+            matrix[x, x] = 1.0
+    return FiniteMarkovChain(matrix)
+
+
+def exact_expected_convergence_time(
+    protocol: Protocol, config: Configuration
+) -> float:
+    """Exact ``E[tau]`` from ``config`` via a linear solve on the full chain.
+
+    Only meaningful for Proposition-3-compliant protocols (for which the
+    correct consensus is absorbing and ``tau`` is its hitting time).
+    Returns ``inf`` when the consensus is not reached almost surely — which
+    cannot happen for compliant protocols with all response probabilities in
+    ``(0, 1)`` interior, but can for degenerate tables with unreachable
+    consensus (e.g. Majority from a frozen wrong consensus... Majority's
+    wrong consensus is *not* absorbing thanks to the source, but the
+    expected time can still be astronomically large rather than infinite).
+    """
+    if not protocol.satisfies_boundary_conditions(tolerance=1e-12):
+        raise ValueError(
+            f"protocol {protocol.name!r} violates Proposition 3; tau is infinite"
+        )
+    chain = count_chain(protocol, config.n, config.z)
+    times = chain.expected_hitting_times([config.target_count])
+    return float(times[config.x0])

@@ -1,0 +1,39 @@
+"""The protocol zoo: named memory-less dynamics from the paper and its context."""
+
+from repro.protocols.blends import biased_voter, double_lobe, voter_minority_blend
+from repro.protocols.majority import majority, majority_family
+from repro.protocols.minority import (
+    minority,
+    minority_ell3_bias,
+    minority_family,
+    minority_sqrt_family,
+)
+from repro.protocols.parametric import contrarian_quorum, quorum
+from repro.protocols.registry import available_protocols, get_family, register
+from repro.protocols.two_choices import two_choices, two_choices_bias, two_choices_family
+from repro.protocols.table import random_protocol, table_protocol
+from repro.protocols.voter import voter, voter_family
+
+__all__ = [
+    "voter",
+    "voter_family",
+    "minority",
+    "minority_family",
+    "minority_sqrt_family",
+    "minority_ell3_bias",
+    "majority",
+    "majority_family",
+    "voter_minority_blend",
+    "biased_voter",
+    "double_lobe",
+    "table_protocol",
+    "random_protocol",
+    "available_protocols",
+    "get_family",
+    "register",
+    "two_choices",
+    "two_choices_family",
+    "two_choices_bias",
+    "quorum",
+    "contrarian_quorum",
+]

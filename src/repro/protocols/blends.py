@@ -1,0 +1,113 @@
+"""Blended and biased protocols: concrete Case-1 / Case-2 specimens.
+
+The lower-bound proof (Theorem 12) splits on the sign of the bias polynomial
+on its last definite-sign interval.  This module manufactures protocols that
+land in each branch with *known* landscapes, used by the Fig-2/Fig-3
+experiment (E4) and by tests of the classification pipeline:
+
+* ``voter_minority_blend`` interpolates between the zero-bias Voter and the
+  Case-1 Minority, shrinking the negative lobe continuously;
+* ``biased_voter`` perturbs a single Voter response entry, producing a bias
+  polynomial with a single signed lobe on all of ``(0, 1)`` — positive
+  perturbations give Case 2, negative ones give Case 1;
+* ``double_lobe`` has bias ``c p (1-p) (p - r)``-shaped landscapes with an
+  interior root at a chosen position, exercising the root finder away from
+  the symmetric ``1/2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+from repro.protocols.minority import minority
+from repro.protocols.voter import voter
+
+__all__ = [
+    "voter_minority_blend",
+    "biased_voter",
+    "double_lobe",
+]
+
+
+def voter_minority_blend(ell: int, weight: float) -> Protocol:
+    """Convex blend ``(1 - weight) * voter + weight * minority`` at sample size ``ell``.
+
+    ``weight = 0`` is exactly the Voter (zero bias); any ``weight > 0`` keeps
+    the Minority's sign structure scaled by ``weight`` (the bias map is
+    linear in the response table), so for odd ``ell >= 3`` the blend is a
+    Case-1 protocol with bias ``weight * F_minority``.
+    """
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError(f"weight must lie in [0, 1], got {weight}")
+    voter_protocol = voter(ell)
+    minority_protocol = minority(ell)
+    g0 = (1.0 - weight) * voter_protocol.g0 + weight * minority_protocol.g0
+    g1 = (1.0 - weight) * voter_protocol.g1 + weight * minority_protocol.g1
+    return Protocol(
+        ell=ell, g0=g0, g1=g1, name=f"blend(ell={ell},w={weight:g})"
+    )
+
+
+def biased_voter(ell: int, k: int, delta: float) -> Protocol:
+    """Voter with its response at ``k`` perturbed by ``delta`` (both opinions).
+
+    The resulting bias polynomial is the single Bernstein lobe
+
+        F(p) = delta * C(ell, k) p^k (1 - p)^(ell - k),
+
+    which is strictly positive (``delta > 0``, Case 2) or strictly negative
+    (``delta < 0``, Case 1) on all of ``(0, 1)``.  ``k`` must be interior
+    (``1 <= k <= ell - 1``) so Proposition 3 still holds.
+    """
+    if not 1 <= k <= ell - 1:
+        raise ValueError(
+            f"k must be interior (1 <= k <= ell - 1 = {ell - 1}) to preserve "
+            f"Proposition 3, got {k}"
+        )
+    base = voter(ell)
+    g = np.array(base.g0, dtype=float)
+    perturbed = g[k] + delta
+    if not 0.0 <= perturbed <= 1.0:
+        raise ValueError(
+            f"perturbed response g({k}) = {perturbed} falls outside [0, 1]; "
+            f"delta={delta} is too large for ell={ell}"
+        )
+    g[k] = perturbed
+    return Protocol(ell=ell, g0=g, g1=g, name=f"biased-voter(ell={ell},k={k},d={delta:g})")
+
+
+def double_lobe(root: float, strength: float = 0.5) -> Protocol:
+    """An ``ell = 2`` protocol whose bias has an interior root at ``root``.
+
+    Construction: perturb the Voter at ``k = 1`` by opinion-*dependent*
+    amounts ``d0`` (for opinion-0 agents) and ``d1`` (for opinion-1 agents).
+    The bias becomes
+
+        F(p) = 2 p (1 - p) ( (1 - p) d0 + p d1 ),
+
+    a cubic vanishing at 0, 1, and ``r = d0 / (d0 - d1)``; choosing
+    ``d0 = strength * root`` and ``d1 = -strength * (1 - root)`` puts the
+    interior root exactly at ``root``, with ``F > 0`` on ``(0, root)`` and
+    ``F < 0`` on ``(root, 1)`` (a Case-1 protocol with an asymmetric
+    landscape).
+    """
+    if not 0.0 < root < 1.0:
+        raise ValueError(f"root must lie in (0, 1), got {root}")
+    if not 0.0 < strength <= 1.0:
+        raise ValueError(f"strength must lie in (0, 1], got {strength}")
+    d0 = strength * root
+    d1 = -strength * (1.0 - root)
+    base = voter(2)
+    g0 = np.array(base.g0, dtype=float)
+    g1 = np.array(base.g1, dtype=float)
+    g0[1] = g0[1] + d0
+    g1[1] = g1[1] + d1
+    if not (0.0 <= g0[1] <= 1.0 and 0.0 <= g1[1] <= 1.0):
+        raise ValueError(
+            f"strength={strength} with root={root} pushes a response outside "
+            f"[0, 1] (g0(1)={g0[1]}, g1(1)={g1[1]})"
+        )
+    return Protocol(
+        ell=2, g0=g0, g1=g1, name=f"double-lobe(root={root:g},s={strength:g})"
+    )

@@ -1,0 +1,40 @@
+"""The classical Majority dynamics — an instructive *non*-solution.
+
+An activated agent adopts the majority opinion of its sample (ties broken
+uniformly).  Majority-like rules are excellent at plain consensus [16], but,
+as the paper's introduction notes, they "lack sensitivity towards an informed
+individual, and in fact, fail in general to solve the bit-dissemination
+problem": from a wrong-consensus-leaning configuration the crowd reinforces
+itself and the single source cannot tip it.  Majority is therefore kept as a
+baseline that the benchmarks show *failing* (stuck on the wrong consensus for
+the full round budget) where Voter and Minority eventually succeed.
+
+Note that Majority *does* satisfy Proposition 3's boundary conditions — the
+conditions are necessary, not sufficient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import Protocol, ProtocolFamily
+
+__all__ = ["majority", "majority_family"]
+
+
+def majority(ell: int = 3) -> Protocol:
+    """The Majority dynamics with sample size ``ell`` (u.a.r. tie-break)."""
+    g = np.empty(ell + 1, dtype=float)
+    for k in range(ell + 1):
+        if 2 * k > ell:
+            g[k] = 1.0
+        elif 2 * k < ell:
+            g[k] = 0.0
+        else:
+            g[k] = 0.5
+    return Protocol(ell=ell, g0=g, g1=g, name=f"majority(ell={ell})")
+
+
+def majority_family(ell: int = 3) -> ProtocolFamily:
+    protocol = majority(ell)
+    return ProtocolFamily(factory=lambda n: protocol, name=protocol.name)

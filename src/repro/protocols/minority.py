@@ -1,0 +1,114 @@
+"""Protocol 2: the Minority dynamics.
+
+An activated agent adopts the *minority* opinion of its sample — unless the
+sample is unanimous, in which case it adopts the unanimous opinion (Eq. 2).
+Ties at ``k = ell / 2`` are broken uniformly at random by default; two
+deterministic tie-break variants are provided for the ablation experiment
+(E11), since the tie-break is the only degree of freedom in the rule and it
+shifts the bias polynomial's middle root.
+
+The Minority dynamics is the paper's flagship:
+
+* with ``ell = Omega(sqrt(n log n))`` it converges in ``O(log^2 n)`` parallel
+  rounds w.h.p. ([15]); the mechanism is an *overshoot*: the population first
+  swings so that the correct opinion becomes the perceived minority, after
+  which (almost) everyone adopts it simultaneously;
+* with constant ``ell`` it falls under Theorem 1: its bias polynomial for
+  odd ``ell`` has a root at ``p = 1/2`` with ``F < 0`` on ``(1/2, 1)``
+  (Case 1), so it needs ``n^(1-eps)`` rounds from the witness configuration.
+
+For ``ell = 3`` the bias polynomial has the closed form
+``F(p) = 2 p (1 - p) (1 - 2 p)``, used as a cross-check in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.protocol import Protocol, ProtocolFamily
+
+__all__ = [
+    "minority",
+    "minority_family",
+    "minority_sqrt_family",
+    "minority_ell3_bias",
+    "TIE_BREAK_RULES",
+]
+
+TIE_BREAK_RULES = ("uniform", "stay", "adopt-one")
+
+
+def minority(ell: int = 3, tie_break: str = "uniform") -> Protocol:
+    """The Minority dynamics with sample size ``ell``.
+
+    Args:
+        ell: sample size.
+        tie_break: what an agent does when exactly half of an even-size
+            sample holds each opinion — ``"uniform"`` (the paper's rule,
+            adopt 1 with probability 1/2), ``"stay"`` (keep the current
+            opinion; the only variant that uses the agent's own opinion), or
+            ``"adopt-one"`` (deterministically adopt opinion 1; breaks
+            opinion symmetry).
+    """
+    if tie_break not in TIE_BREAK_RULES:
+        raise ValueError(f"tie_break must be one of {TIE_BREAK_RULES}, got {tie_break!r}")
+    g = np.empty(ell + 1, dtype=float)
+    for k in range(ell + 1):
+        if k == 0:
+            g[k] = 0.0  # unanimous zeros
+        elif k == ell:
+            g[k] = 1.0  # unanimous ones
+        elif 2 * k < ell:
+            g[k] = 1.0  # ones are the minority -> adopt 1
+        elif 2 * k > ell:
+            g[k] = 0.0  # zeros are the minority -> adopt 0
+        else:
+            g[k] = 0.5  # exact tie (even ell only)
+    g0 = g.copy()
+    g1 = g.copy()
+    if ell % 2 == 0 and ell >= 2:
+        tie = ell // 2
+        if tie_break == "stay":
+            g0[tie] = 0.0
+            g1[tie] = 1.0
+        elif tie_break == "adopt-one":
+            g0[tie] = 1.0
+            g1[tie] = 1.0
+    suffix = "" if tie_break == "uniform" else f",tie={tie_break}"
+    return Protocol(ell=ell, g0=g0, g1=g1, name=f"minority(ell={ell}{suffix})")
+
+
+def minority_family(ell: int = 3, tie_break: str = "uniform") -> ProtocolFamily:
+    """Constant-sample-size Minority as a protocol family (Theorem-1 regime)."""
+    protocol = minority(ell, tie_break)
+    return ProtocolFamily(factory=lambda n: protocol, name=protocol.name)
+
+
+def minority_sqrt_family(constant: float = 1.0) -> ProtocolFamily:
+    """The [15] regime: Minority with ``ell(n) = ceil(c sqrt(n log n))``, odd.
+
+    Odd sample sizes avoid ties, matching the analysis in [15].
+    """
+    if constant <= 0:
+        raise ValueError(f"constant must be positive, got {constant}")
+
+    def factory(n: int) -> Protocol:
+        ell = math.ceil(constant * math.sqrt(n * math.log(max(n, 3))))
+        if ell % 2 == 0:
+            ell += 1
+        return minority(ell=max(ell, 3))
+
+    return ProtocolFamily(factory=factory, name=f"minority(ell~{constant}*sqrt(n log n))")
+
+
+def minority_ell3_bias(p):
+    """Closed-form bias of Minority at ``ell = 3``: ``F(p) = 2 p (1-p) (1-2p)``.
+
+    Derivation: ``F(p) = 3 p (1-p)^2 + p^3 - p`` (the ``k = 1`` and ``k = 3``
+    terms adopt opinion 1), which factors as above.  Used to validate the
+    generic Eq.-3 expansion.
+    """
+    p = np.asarray(p, dtype=float)
+    return 2.0 * p * (1.0 - p) * (1.0 - 2.0 * p)

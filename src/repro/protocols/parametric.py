@@ -1,0 +1,76 @@
+"""Parametric protocol families: smooth thresholds and quorum rules.
+
+The paper's biology motivation names quorum sensing [12] as a behaviour the
+memory-less model captures.  A quorum rule is a (possibly soft) threshold
+on the number of ones observed; this module provides a logistic-response
+family interpolating between the Voter-like linear response and the hard
+Majority/Minority thresholds:
+
+    g(k) = sigmoid(sharpness * (k - center)),
+
+with the Proposition-3 boundary entries pinned.  Sweeping ``sharpness``
+and ``center`` produces the whole spectrum of Case-1/Case-2 landscapes,
+used by property tests of the classification pipeline and by the quorum
+example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+
+__all__ = ["quorum", "contrarian_quorum"]
+
+
+def _logistic(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def quorum(ell: int, center: float, sharpness: float) -> Protocol:
+    """A soft-threshold (quorum-sensing) rule: adopt 1 when enough 1s seen.
+
+    Args:
+        ell: sample size.
+        center: the quorum level in units of observed ones (``ell / 2``
+            gives a symmetric rule; lower values make opinion 1 easier to
+            adopt).
+        sharpness: logistic steepness; ``-> 0`` approaches an indifferent
+            coin, large values approach the hard Majority threshold.
+
+    The endpoint entries are pinned to 0 and 1 (Proposition 3), so every
+    quorum rule is a candidate solver.
+    """
+    if ell < 2:
+        raise ValueError(f"ell must be >= 2 so interior entries exist, got {ell}")
+    if sharpness <= 0:
+        raise ValueError(f"sharpness must be positive, got {sharpness}")
+    k = np.arange(ell + 1, dtype=float)
+    g = _logistic(sharpness * (k - center))
+    g[0] = 0.0
+    g[ell] = 1.0
+    return Protocol(
+        ell=ell, g0=g, g1=g.copy(),
+        name=f"quorum(ell={ell},c={center:g},s={sharpness:g})",
+    )
+
+
+def contrarian_quorum(ell: int, center: float, sharpness: float) -> Protocol:
+    """The minority-flavoured mirror: adopt 1 when *few* ones are seen.
+
+    ``g(k) = sigmoid(-sharpness (k - center))`` with unanimity still
+    followed (``g(0) = 0``, ``g(ell) = 1``), the soft analogue of
+    Protocol 2's "join the minority unless the sample is unanimous".
+    """
+    if ell < 2:
+        raise ValueError(f"ell must be >= 2 so interior entries exist, got {ell}")
+    if sharpness <= 0:
+        raise ValueError(f"sharpness must be positive, got {sharpness}")
+    k = np.arange(ell + 1, dtype=float)
+    g = _logistic(-sharpness * (k - center))
+    g[0] = 0.0
+    g[ell] = 1.0
+    return Protocol(
+        ell=ell, g0=g, g1=g.copy(),
+        name=f"contrarian-quorum(ell={ell},c={center:g},s={sharpness:g})",
+    )

@@ -1,0 +1,66 @@
+"""Name -> protocol-family registry used by examples and benchmarks.
+
+Keeps experiment scripts declarative: a bench asks for ``"minority-3"`` and
+gets the corresponding :class:`~repro.core.protocol.ProtocolFamily` without
+hard-coding constructor calls everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.protocol import ProtocolFamily, constant_family
+from repro.protocols.blends import biased_voter, double_lobe, voter_minority_blend
+from repro.protocols.majority import majority
+from repro.protocols.minority import minority, minority_sqrt_family
+from repro.protocols.two_choices import two_choices
+from repro.protocols.voter import voter
+
+__all__ = ["available_protocols", "get_family", "register"]
+
+_REGISTRY: Dict[str, Callable[[], ProtocolFamily]] = {}
+
+
+def register(name: str, factory: Callable[[], ProtocolFamily]) -> None:
+    """Register a protocol family under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def get_family(name: str) -> ProtocolFamily:
+    """Look up a registered protocol family by name."""
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown protocol {name!r}; known protocols: {known}")
+    return _REGISTRY[name]()
+
+
+def available_protocols() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    register("voter", lambda: constant_family(voter(1)))
+    register("voter-3", lambda: constant_family(voter(3)))
+    register("minority-3", lambda: constant_family(minority(3)))
+    register("minority-5", lambda: constant_family(minority(5)))
+    register("minority-sqrt", minority_sqrt_family)
+    register("majority-3", lambda: constant_family(majority(3)))
+    register("majority-5", lambda: constant_family(majority(5)))
+    register(
+        "blend-half", lambda: constant_family(voter_minority_blend(3, 0.5))
+    )
+    register(
+        "biased-voter-up",
+        lambda: constant_family(biased_voter(3, k=1, delta=0.2)),
+    )
+    register(
+        "biased-voter-down",
+        lambda: constant_family(biased_voter(3, k=2, delta=-0.2)),
+    )
+    register(
+        "double-lobe-0.3", lambda: constant_family(double_lobe(0.3))
+    )
+    register("two-choices", lambda: constant_family(two_choices()))
+
+
+_register_builtins()

@@ -1,0 +1,82 @@
+"""Arbitrary table protocols and random-protocol sampling.
+
+Theorem 1 quantifies over *every* memory-less protocol, so the test suite
+exercises the analysis pipeline on random response tables, not just on the
+named dynamics.  This module builds protocols from raw ``g`` vectors and
+samples random ones (optionally constrained to satisfy Proposition 3, to be
+oblivious, or to be opinion-symmetric).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.protocol import Protocol
+
+__all__ = ["table_protocol", "random_protocol"]
+
+
+def table_protocol(
+    g0: Sequence[float],
+    g1: Optional[Sequence[float]] = None,
+    name: str = "table",
+) -> Protocol:
+    """Build a protocol from explicit response vectors.
+
+    ``g1`` defaults to ``g0`` (an oblivious protocol).  The sample size is
+    inferred from the vector length.
+    """
+    g0_array = np.asarray(g0, dtype=float)
+    if g0_array.ndim != 1 or len(g0_array) < 2:
+        raise ValueError(
+            f"g0 must be a vector of length ell + 1 >= 2, got shape {g0_array.shape}"
+        )
+    ell = len(g0_array) - 1
+    g1_array = g0_array if g1 is None else np.asarray(g1, dtype=float)
+    return Protocol(ell=ell, g0=g0_array, g1=g1_array, name=name)
+
+
+def random_protocol(
+    ell: int,
+    rng: np.random.Generator,
+    solving: bool = True,
+    oblivious: bool = False,
+    symmetric: bool = False,
+) -> Protocol:
+    """Sample a uniformly random response table.
+
+    Args:
+        ell: sample size.
+        rng: random source.
+        solving: force the Proposition-3 boundary conditions
+            (``g[0](0) = 0``, ``g[1](ell) = 1``), making the consensus
+            absorbing.
+        oblivious: force ``g0 == g1``.
+        symmetric: force opinion symmetry ``g[1-b](ell-k) = 1 - g[b](k)``
+            (implies both boundary conditions are coupled, so with
+            ``solving`` the whole boundary is pinned).
+    """
+    g0 = rng.random(ell + 1)
+    g1 = g0.copy() if oblivious else rng.random(ell + 1)
+    if symmetric:
+        # Symmetrize: average the table with its opinion-flipped image.
+        flipped_g0 = 1.0 - g1[::-1]
+        flipped_g1 = 1.0 - g0[::-1]
+        g0 = (g0 + flipped_g0) / 2.0
+        g1 = (g1 + flipped_g1) / 2.0
+        if oblivious:
+            merged = (g0 + g1) / 2.0
+            # Keep both properties: merging preserves symmetry because the
+            # symmetry map swaps g0 and g1.
+            g0 = merged
+            g1 = merged
+    if solving:
+        g0[0] = 0.0
+        g1[ell] = 1.0
+        if symmetric:
+            g1[ell] = 1.0
+            g0[0] = 0.0
+            # Opinion symmetry maps g0[0] to 1 - g1[ell]; both pins agree.
+    return Protocol(ell=ell, g0=g0, g1=g1, name=f"random(ell={ell})")

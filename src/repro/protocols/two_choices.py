@@ -1,0 +1,47 @@
+"""The 2-Choices dynamics — a classical *non-oblivious* small-sample rule.
+
+Sample two agents; if they agree, adopt their opinion, otherwise keep your
+own.  A staple of the consensus literature (a close relative of 3-Majority,
+[16]), included here because:
+
+* it is the natural non-oblivious member of the zoo (``g0 != g1``),
+  exercising the own-opinion-dependent paths of the whole pipeline;
+* its bias polynomial has the clean closed form
+
+      F(p) = -p (1 - p) (1 - 2p),
+
+  exactly the *negative* of Minority(3)'s up to the factor 2 — majority-like
+  drift, so it lands in Case 2 of Theorem 12 and fails bit-dissemination
+  from a wrong majority despite being an excellent plain-consensus rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import Protocol, ProtocolFamily
+
+__all__ = ["two_choices", "two_choices_family", "two_choices_bias"]
+
+
+def two_choices() -> Protocol:
+    """The 2-Choices dynamics (``ell = 2``, keep own opinion on disagreement)."""
+    # k ones seen: 0 -> adopt 0; 2 -> adopt 1; 1 -> keep own opinion.
+    g0 = np.array([0.0, 0.0, 1.0])
+    g1 = np.array([0.0, 1.0, 1.0])
+    return Protocol(ell=2, g0=g0, g1=g1, name="two-choices")
+
+
+def two_choices_family() -> ProtocolFamily:
+    protocol = two_choices()
+    return ProtocolFamily(factory=lambda n: protocol, name=protocol.name)
+
+
+def two_choices_bias(p):
+    """Closed-form bias: ``F(p) = -p (1 - p) (1 - 2 p)``.
+
+    Derivation: ``P1 = 2p(1-p) + p^2``, ``P0 = p^2``, so
+    ``F = p P1 + (1-p) P0 - p = -p + 3p^2 - 2p^3``.
+    """
+    p = np.asarray(p, dtype=float)
+    return -p * (1.0 - p) * (1.0 - 2.0 * p)

@@ -1,0 +1,37 @@
+"""Protocol 1: the Voter dynamics.
+
+Each activated agent adopts the opinion of one uniformly sampled agent.  For
+a sample of size ``ell`` drawn uniformly with replacement this is equivalent
+to ``g(k) = k / ell`` (Eq. 1): adopting a uniform element of the sample.
+
+The Voter dynamics is the paper's canonical *zero-bias* protocol
+(``F_n = 0``, Section 4.1): it is a martingale in expectation, solves the
+problem in ``O(n log n)`` parallel rounds w.h.p. (Theorem 2, via the
+coalescing-random-walk dual of Appendix B), and witnesses that the
+Theorem-1 lower bound is nearly tight in ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import Protocol, ProtocolFamily
+
+__all__ = ["voter", "voter_family"]
+
+
+def voter(ell: int = 1) -> Protocol:
+    """The Voter dynamics with sample size ``ell``.
+
+    The behaviour does not depend on ``ell`` (a uniform element of a uniform
+    sample is a uniform agent), so ``ell = 1`` is the canonical choice; other
+    values are useful for testing the ``F_n = 0`` invariance.
+    """
+    g = np.arange(ell + 1, dtype=float) / ell
+    return Protocol(ell=ell, g0=g, g1=g, name=f"voter(ell={ell})")
+
+
+def voter_family(ell: int = 1) -> ProtocolFamily:
+    """The Voter dynamics as an ``n``-independent protocol family."""
+    protocol = voter(ell)
+    return ProtocolFamily(factory=lambda n: protocol, name=protocol.name)

@@ -1,0 +1,168 @@
+"""Tests for ensemble statistics, scaling fits and series rendering."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ensemble import ConvergenceStats, convergence_ensemble, summarize_times
+from repro.analysis.scaling import (
+    fit_power_law,
+    is_bounded_shape,
+    normalized_ratios,
+    ratio_drift,
+)
+from repro.analysis.series import Series, Table, ascii_plot
+from repro.dynamics.config import Configuration
+from repro.protocols import voter
+
+
+class TestSummaries:
+    def test_basic_statistics(self):
+        stats = summarize_times(np.array([10.0, 20.0, 30.0, 40.0, 50.0]))
+        assert stats.trials == 5
+        assert stats.censored == 0
+        assert stats.median == 30.0
+        assert stats.mean_converged == 30.0
+        assert stats.success_rate == 1.0
+
+    def test_censored_runs(self):
+        stats = summarize_times(np.array([10.0, np.nan, np.nan]), budget=100)
+        assert stats.censored == 2
+        assert stats.success_rate == pytest.approx(1 / 3)
+        assert math.isinf(stats.median)
+        assert stats.quantile_is_lower_bound(0.5)
+        assert not stats.quantile_is_lower_bound(0.1)
+
+    def test_all_censored(self):
+        stats = summarize_times(np.array([np.nan, np.nan]))
+        assert math.isnan(stats.mean_converged)
+        assert math.isinf(stats.q90)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_times(np.array([]))
+
+    def test_convergence_ensemble_integration(self, rng):
+        stats = convergence_ensemble(
+            voter(1), Configuration(n=60, z=1, x0=30), 50_000, rng, replicas=20
+        )
+        assert stats.censored == 0
+        assert stats.q10 <= stats.median <= stats.q90
+
+
+class TestPowerLawFit:
+    def test_exact_power_law_recovered(self):
+        x = np.array([10.0, 100.0, 1000.0])
+        fit = fit_power_law(x, 3.0 * x**1.5)
+        assert fit.exponent == pytest.approx(1.5)
+        assert fit.prefactor == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    @given(
+        st.floats(min_value=-2.0, max_value=3.0),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovery_property(self, exponent, prefactor):
+        x = np.array([4.0, 16.0, 64.0, 256.0])
+        fit = fit_power_law(x, prefactor * x**exponent)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-9)
+
+    def test_prediction(self):
+        fit = fit_power_law([1.0, 2.0, 4.0], [2.0, 4.0, 8.0])
+        np.testing.assert_allclose(fit.predict([8.0]), [16.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, -2.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="non-finite"):
+            fit_power_law([1.0, 2.0], [1.0, np.inf])
+
+
+class TestRatios:
+    def test_normalized_ratios(self):
+        ratios = normalized_ratios([10, 100], [20.0, 200.0], lambda n: float(n))
+        np.testing.assert_allclose(ratios, [2.0, 2.0])
+
+    def test_ratio_drift_flat(self):
+        assert ratio_drift([2.0, 2.0, 2.0, 2.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ratio_drift_detects_growth(self):
+        assert ratio_drift([1.0, 2.0, 4.0, 8.0]) > 0.5
+
+    def test_bounded_shape(self):
+        assert is_bounded_shape([1.0, 2.0, 3.0])
+        assert not is_bounded_shape([1.0, 100.0])
+
+
+class TestSeriesRendering:
+    def test_series_csv(self):
+        series = Series("tau", np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        csv = series.to_csv(x_label="n")
+        assert csv.splitlines() == ["n,tau", "1,3", "2,4"]
+
+    def test_series_shape_validation(self):
+        with pytest.raises(ValueError):
+            Series("bad", np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_table_rendering(self):
+        table = Table("caption", ["n", "tau"])
+        table.add_row(100, 42.5)
+        text = table.render()
+        assert "caption" in text and "100" in text and "42.5" in text
+        assert table.to_csv().splitlines()[0] == "n,tau"
+
+    def test_table_row_length_checked(self):
+        table = Table("caption", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_ascii_plot_contains_markers_and_legend(self):
+        series = Series("growth", np.arange(10.0), np.arange(10.0) ** 2)
+        plot = ascii_plot([series])
+        assert "*" in plot
+        assert "growth" in plot
+
+    def test_ascii_plot_handles_nan(self):
+        series = Series("gaps", np.arange(4.0), np.array([1.0, np.nan, 3.0, 4.0]))
+        plot = ascii_plot([series])
+        assert "gaps" in plot
+
+    def test_ascii_plot_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_plot([])
+
+
+class TestTableEdgeCases:
+    def test_empty_table_renders_header_only(self):
+        table = Table("empty", ["a", "b"])
+        text = table.render()
+        assert "empty" in text and "a" in text
+        assert table.to_csv() == "a,b\n"
+
+    def test_inf_and_nan_formatting(self):
+        table = Table("specials", ["v"])
+        table.add_row(float("inf"))
+        table.add_row(float("nan"))
+        table.add_row(float("-inf"))
+        csv = table.to_csv().splitlines()
+        assert csv[1:] == ["inf", "nan", "-inf"]
+
+
+class TestAsciiPlotBounds:
+    def test_explicit_y_bounds_respected(self):
+        series = Series("s", np.arange(5.0), np.arange(5.0))
+        plot = ascii_plot([series], y_min=0.0, y_max=10.0)
+        assert "10" in plot.splitlines()[0]
+
+    def test_constant_series(self):
+        series = Series("flat", np.arange(4.0), np.full(4, 2.0))
+        plot = ascii_plot([series])
+        assert "flat" in plot

@@ -1,0 +1,63 @@
+"""Tests for trajectory fans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.traces import trajectory_fan
+from repro.dynamics.config import Configuration
+from repro.protocols import minority, voter
+
+
+class TestTrajectoryFan:
+    def test_band_ordering(self, rng):
+        fan = trajectory_fan(
+            minority(3), Configuration(n=500, z=1, x0=100), 30, rng, replicas=60
+        )
+        assert np.all(fan.q10 <= fan.median + 1e-9)
+        assert np.all(fan.median <= fan.q90 + 1e-9)
+        assert fan.rounds[0] == 0 and len(fan.rounds) == 31
+
+    def test_mean_field_shadow_inside_band_early(self, rng):
+        """For moderate horizons the deterministic shadow tracks the band."""
+        n = 10_000
+        fan = trajectory_fan(
+            minority(3), Configuration(n=n, z=1, x0=2000), 20, rng, replicas=50
+        )
+        assert fan.mean_field is not None
+        inside = (fan.mean_field >= fan.q10 - 0.05 * n) & (
+            fan.mean_field <= fan.q90 + 0.05 * n
+        )
+        assert inside.all()
+
+    def test_zero_bias_has_no_shadow(self, rng):
+        fan = trajectory_fan(
+            voter(1), Configuration(n=100, z=1, x0=50), 10, rng, replicas=10
+        )
+        assert fan.mean_field is None
+        assert len(fan.as_series()) == 3
+
+    def test_series_normalization(self, rng):
+        fan = trajectory_fan(
+            minority(3), Configuration(n=200, z=1, x0=100), 5, rng, replicas=10
+        )
+        series = fan.as_series(normalize=200)
+        assert all(np.all(s.y <= 1.0 + 1e-9) for s in series)
+        assert len(series) == 4  # q10, median, q90, mean-field
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="rounds"):
+            trajectory_fan(voter(1), Configuration(n=10, z=1, x0=5), 0, rng, 10)
+        with pytest.raises(ValueError, match="replicas"):
+            trajectory_fan(voter(1), Configuration(n=10, z=1, x0=5), 5, rng, 1)
+
+    def test_absorbed_replicas_stay_parked(self, rng):
+        fan = trajectory_fan(
+            voter(1), Configuration(n=30, z=1, x0=29), 200, rng, replicas=30
+        )
+        # Late in the run most replicas are absorbed at 30: the q90 band sits
+        # exactly on the consensus and never leaves it.
+        assert fan.q90[-1] == 30
+        last_hit = np.nonzero(fan.q90 == 30)[0][0]
+        assert np.all(fan.q90[last_hit:] == 30)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.rng import make_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator; reseeded per test for isolation."""
+    return make_rng(20240707)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory for independent deterministic generators within one test."""
+
+    def factory(offset: int = 0) -> np.random.Generator:
+        return make_rng(77_000 + offset)
+
+    return factory

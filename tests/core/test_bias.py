@@ -1,0 +1,154 @@
+"""Tests of the bias polynomial (Eq. 3) and the drift identity (Prop. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bias import (
+    bias_coefficients,
+    bias_from_coefficients,
+    bias_value,
+    drift_identity_gap,
+    expected_next_count,
+)
+from repro.protocols import (
+    biased_voter,
+    minority,
+    minority_ell3_bias,
+    random_protocol,
+    voter,
+)
+
+GRID = np.linspace(0.0, 1.0, 41)
+
+
+class TestBiasValue:
+    def test_voter_bias_is_identically_zero(self):
+        for ell in (1, 2, 3, 7):
+            np.testing.assert_allclose(bias_value(voter(ell), GRID), 0.0, atol=1e-12)
+
+    def test_minority_ell3_matches_closed_form(self):
+        np.testing.assert_allclose(
+            bias_value(minority(3), GRID), minority_ell3_bias(GRID), atol=1e-12
+        )
+
+    def test_biased_voter_is_single_bernstein_lobe(self):
+        ell, k, delta = 4, 2, 0.15
+        protocol = biased_voter(ell, k, delta)
+        from math import comb
+
+        expected = delta * comb(ell, k) * GRID**k * (1 - GRID) ** (ell - k)
+        np.testing.assert_allclose(bias_value(protocol, GRID), expected, atol=1e-12)
+
+    def test_scalar_input_gives_float(self):
+        value = bias_value(minority(3), 0.25)
+        assert isinstance(value, float)
+        assert value == pytest.approx(float(minority_ell3_bias(0.25)))
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_solving_protocols_vanish_at_endpoints(self, ell):
+        rng = np.random.default_rng(ell)
+        protocol = random_protocol(ell, rng, solving=True)
+        assert bias_value(protocol, 0.0) == pytest.approx(0.0, abs=1e-12)
+        assert bias_value(protocol, 1.0) == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_bias_bounded_by_one(self, ell, seed):
+        protocol = random_protocol(ell, np.random.default_rng(seed), solving=False)
+        values = bias_value(protocol, GRID)
+        assert np.all(np.abs(values) <= 1.0 + 1e-12)
+
+
+class TestBiasCoefficients:
+    @given(st.integers(min_value=1, max_value=8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_expansion_matches_pointwise_evaluation(self, ell, seed):
+        protocol = random_protocol(ell, np.random.default_rng(seed), solving=True)
+        coefficients = bias_coefficients(protocol)
+        np.testing.assert_allclose(
+            bias_from_coefficients(coefficients, GRID),
+            bias_value(protocol, GRID),
+            atol=1e-9,
+        )
+
+    def test_degree_is_at_most_ell_plus_one(self):
+        for ell in (1, 3, 5):
+            coefficients = bias_coefficients(minority(ell))
+            assert len(coefficients) == ell + 2
+
+    def test_minority_ell3_coefficients(self):
+        # F(p) = 2p - 6p^2 + 4p^3
+        np.testing.assert_allclose(
+            bias_coefficients(minority(3)), [0.0, 2.0, -6.0, 4.0, 0.0], atol=1e-12
+        )
+
+    def test_voter_coefficients_are_zero(self):
+        np.testing.assert_allclose(bias_coefficients(voter(5)), 0.0, atol=1e-12)
+
+
+class TestExpectedNextCount:
+    def test_consensus_is_fixed_point_in_expectation(self):
+        protocol = minority(3)
+        assert expected_next_count(protocol, 100, 1, 100) == pytest.approx(100.0)
+        assert expected_next_count(protocol, 100, 0, 0) == pytest.approx(0.0)
+
+    def test_out_of_range_count_rejected(self):
+        with pytest.raises(ValueError, match="count x"):
+            expected_next_count(voter(1), 100, 1, 0)  # x=0 impossible when z=1
+        with pytest.raises(ValueError, match="count x"):
+            expected_next_count(voter(1), 100, 0, 100)  # x=n impossible when z=0
+
+    def test_voter_drift_is_source_pull_only(self):
+        # For the Voter, E[X'] = x + z - x/n: each non-source agent copies a
+        # uniform agent, and only the pinned source breaks the martingale.
+        n = 64
+        for z in (0, 1):
+            low = z
+            high = n - (1 - z)
+            counts = np.arange(low, high + 1)
+            expected = counts + z - counts / n
+            np.testing.assert_allclose(
+                expected_next_count(voter(1), n, z, counts), expected, atol=1e-9
+            )
+
+    def test_monte_carlo_agreement(self):
+        from repro.dynamics.engine import step_count
+
+        protocol = minority(3)
+        n, z, x = 300, 1, 200
+        rng = np.random.default_rng(7)
+        samples = [step_count(protocol, n, z, x, rng) for _ in range(4000)]
+        analytic = expected_next_count(protocol, n, z, x)
+        standard_error = np.std(samples) / np.sqrt(len(samples))
+        assert abs(np.mean(samples) - analytic) < 5 * standard_error + 1e-9
+
+
+class TestDriftIdentity:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(0, 2**32 - 1),
+        st.sampled_from([0, 1]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_proposition5_gap_within_unit(self, ell, seed, z):
+        """Proposition 5: |E[X'] - x - n F(x/n)| <= 1 at every state."""
+        protocol = random_protocol(ell, np.random.default_rng(seed), solving=True)
+        n = 97
+        low = z
+        high = n - (1 - z)
+        counts = np.arange(low, high + 1)
+        gaps = drift_identity_gap(protocol, n, z, counts)
+        assert np.all(np.abs(gaps) <= 1.0 + 1e-9)
+
+    def test_gap_formula(self):
+        # The exact gap is z (1 - P1) - (1 - z) P0 (from the Prop-5 proof).
+        protocol = minority(3)
+        n, x = 128, 77
+        p0, p1 = protocol.response_probabilities(x / n)
+        assert drift_identity_gap(protocol, n, 1, x) == pytest.approx(1 - p1)
+        assert drift_identity_gap(protocol, n, 0, x) == pytest.approx(-p0)

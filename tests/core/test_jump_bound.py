@@ -1,0 +1,83 @@
+"""Tests of Proposition 4 (the one-round jump bound)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.jump_bound import (
+    check_jump_bound,
+    jump_bound_y,
+    jump_failure_probability,
+)
+from repro.core.protocol import Protocol
+from repro.protocols import majority, minority, voter
+
+
+class TestJumpBoundConstant:
+    def test_matches_paper_formula(self):
+        # y(c, ell) = 1 - (1 - c)^(ell+1) / 2
+        assert jump_bound_y(0.5, 3) == pytest.approx(1 - 0.5**4 / 2)
+        assert jump_bound_y(0.25, 1) == pytest.approx(1 - 0.75**2 / 2)
+
+    def test_strictly_between_c_and_one(self):
+        for c in (0.1, 0.5, 0.9):
+            for ell in (1, 3, 10):
+                y = jump_bound_y(c, ell)
+                assert c < y < 1.0
+
+    def test_monotone_in_ell(self):
+        # Larger samples make it easier to flip zeros: y grows with ell.
+        values = [jump_bound_y(0.3, ell) for ell in range(1, 8)]
+        assert values == sorted(values)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            jump_bound_y(0.0, 3)
+        with pytest.raises(ValueError):
+            jump_bound_y(1.0, 3)
+        with pytest.raises(ValueError):
+            jump_bound_y(0.5, 0)
+
+    def test_failure_probability_shrinks(self):
+        assert jump_failure_probability(10_000) < jump_failure_probability(100)
+        with pytest.raises(ValueError):
+            jump_failure_probability(0)
+
+
+class TestEmpiricalCheck:
+    @pytest.mark.parametrize("protocol", [voter(1), minority(3), majority(3)])
+    def test_no_violations_for_standard_protocols(self, protocol, rng):
+        check = check_jump_bound(protocol, n=2000, c=0.5, trials=300, rng=rng)
+        assert check.holds
+        assert check.max_fraction_reached <= check.y
+
+    def test_minority_large_sample_near_bound(self, rng):
+        # The bound is loose for small ell but the check must still hold.
+        check = check_jump_bound(minority(7), n=1500, c=0.4, trials=200, rng=rng)
+        assert check.holds
+
+    def test_violating_protocol_rejected(self, rng):
+        bad = Protocol(ell=1, g0=[0.3, 1.0], g1=[0.0, 1.0])
+        with pytest.raises(ValueError, match="Proposition 3"):
+            check_jump_bound(bad, n=100, c=0.5, trials=10, rng=rng)
+
+    def test_check_reports_parameters(self, rng):
+        check = check_jump_bound(minority(3), n=500, c=0.25, trials=50, rng=rng)
+        assert check.n == 500
+        assert check.c == 0.25
+        assert check.trials == 50
+        assert check.y == pytest.approx(jump_bound_y(0.25, 3))
+
+    def test_intuition_jump_is_possible_without_prop3(self, rng):
+        """Without g[0](0) = 0 the population *can* jump to near-consensus.
+
+        This is the contrast that makes Proposition 4 meaningful: an
+        everyone-adopts-1 rule moves from any configuration to x = n (minus
+        the source) in a single round.
+        """
+        eager = Protocol(ell=1, g0=[1.0, 1.0], g1=[1.0, 1.0])
+        from repro.dynamics.engine import step_count
+
+        next_count = step_count(eager, 1000, 0, 10, rng)
+        assert next_count == 999  # everyone but the 0-source adopts 1

@@ -1,0 +1,162 @@
+"""Tests of the Theorem-12 lower-bound pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bias import bias_value
+from repro.core.lower_bound import lower_bound_certificate, verify_escape_assumptions
+from repro.core.protocol import Protocol
+from repro.core.roots import is_zero_bias
+from repro.dynamics.run import escape_time
+from repro.protocols import (
+    biased_voter,
+    double_lobe,
+    minority,
+    random_protocol,
+    voter,
+    voter_minority_blend,
+)
+
+
+class TestClassification:
+    def test_voter_is_lemma_11(self):
+        certificate = lower_bound_certificate(voter(1))
+        assert "Lemma 11" in certificate.case
+        assert certificate.z == 1
+        assert (certificate.a1, certificate.a2, certificate.a3) == (0.25, 0.5, 0.75)
+
+    def test_minority_is_case_one(self):
+        certificate = lower_bound_certificate(minority(3))
+        assert "case 1" in certificate.case
+        assert certificate.z == 1
+        assert certificate.escape_is_upward
+        assert certificate.interval[0] == pytest.approx(0.5, abs=1e-9)
+
+    def test_positive_lobe_is_case_two(self):
+        certificate = lower_bound_certificate(biased_voter(3, 1, 0.2))
+        assert "case 2" in certificate.case
+        assert certificate.z == 0
+        assert not certificate.escape_is_upward
+
+    def test_negative_lobe_is_case_one(self):
+        certificate = lower_bound_certificate(biased_voter(3, 2, -0.2))
+        assert "case 1" in certificate.case
+
+    def test_double_lobe_uses_last_interval(self):
+        certificate = lower_bound_certificate(double_lobe(0.3))
+        assert "case 1" in certificate.case
+        assert certificate.interval[0] == pytest.approx(0.3, abs=1e-6)
+
+    def test_constants_ordered_inside_interval(self):
+        for protocol in (minority(3), minority(5), biased_voter(3, 1, 0.1)):
+            certificate = lower_bound_certificate(protocol)
+            assert certificate.interval[0] <= certificate.a1 < certificate.a2
+            assert certificate.a2 < certificate.a3 <= certificate.interval[1] + 1e-12
+
+    def test_prop3_violator_rejected(self):
+        bad = Protocol(ell=1, g0=[0.5, 1.0], g1=[0.0, 1.0])
+        with pytest.raises(ValueError, match="Proposition 3"):
+            lower_bound_certificate(bad)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_every_solving_protocol_gets_a_certificate(self, ell, seed):
+        protocol = random_protocol(ell, np.random.default_rng(seed), solving=True)
+        certificate = lower_bound_certificate(protocol)
+        assert certificate.a1 < certificate.a2 < certificate.a3
+        # The sign of F on the working interval matches the case.
+        midpoint = (certificate.a1 + certificate.a3) / 2
+        value = bias_value(protocol, midpoint)
+        if "case 1" in certificate.case:
+            assert value < 1e-9
+        elif "case 2" in certificate.case:
+            assert value > -1e-9
+
+
+class TestWitnessConfiguration:
+    def test_case1_witness_starts_between_a2_and_a3(self):
+        certificate = lower_bound_certificate(minority(3))
+        config = certificate.witness_configuration(1000)
+        assert config.z == 1
+        assert certificate.a2 * 1000 <= config.x0 <= certificate.a3 * 1000
+
+    def test_case2_witness_starts_between_a1_and_a2(self):
+        certificate = lower_bound_certificate(biased_voter(3, 1, 0.2))
+        config = certificate.witness_configuration(1000)
+        assert config.z == 0
+        assert certificate.a1 * 1000 <= config.x0 <= certificate.a2 * 1000
+
+    def test_escape_threshold_direction(self):
+        up = lower_bound_certificate(minority(3))
+        assert up.has_escaped(1000, up.escape_threshold(1000))
+        assert not up.has_escaped(1000, up.escape_threshold(1000) - 1)
+        down = lower_bound_certificate(biased_voter(3, 1, 0.2))
+        assert down.has_escaped(1000, down.escape_threshold(1000))
+        assert not down.has_escaped(1000, down.escape_threshold(1000) + 1)
+
+    def test_predicted_rounds_formula(self):
+        certificate = lower_bound_certificate(voter(1))
+        assert certificate.predicted_escape_rounds(10_000, 0.5) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            certificate.predicted_escape_rounds(100, 1.5)
+
+    def test_describe_mentions_case_and_constants(self):
+        text = lower_bound_certificate(minority(3)).describe()
+        assert "case 1" in text and "a1=" in text and "z=1" in text
+
+
+class TestAssumptionVerification:
+    @pytest.mark.parametrize(
+        "protocol",
+        [voter(1), minority(3), minority(5), biased_voter(3, 1, 0.2), double_lobe(0.3)],
+    )
+    def test_assumptions_hold_for_named_protocols(self, protocol):
+        certificate = lower_bound_certificate(protocol)
+        report = verify_escape_assumptions(certificate, n=4096)
+        assert report.drift_ok, report
+        assert report.jump_ok, report
+        assert report.concentration_tail_bound < 0.1
+
+    def test_report_scales_with_n(self):
+        certificate = lower_bound_certificate(minority(3))
+        small = verify_escape_assumptions(certificate, n=256)
+        large = verify_escape_assumptions(certificate, n=8192)
+        assert large.jump_tail_bound <= small.jump_tail_bound
+        assert large.predicted_rounds > small.predicted_rounds
+
+    def test_epsilon_validation(self):
+        certificate = lower_bound_certificate(voter(1))
+        with pytest.raises(ValueError):
+            verify_escape_assumptions(certificate, n=128, epsilon=0.0)
+
+
+class TestEscapeTimesHonorTheBound:
+    """Integration: simulated escape times exceed n^(1-eps) (Theorem 12)."""
+
+    @pytest.mark.parametrize(
+        "protocol",
+        [voter(1), minority(3), biased_voter(3, 1, 0.15)],
+        ids=["voter", "minority", "biased-voter"],
+    )
+    def test_escape_slower_than_bound(self, protocol, rng):
+        n = 2048
+        epsilon = 0.5
+        certificate = lower_bound_certificate(protocol)
+        bound = int(certificate.predicted_escape_rounds(n, epsilon))
+        budget = 4 * bound
+        for _ in range(3):
+            observed = escape_time(protocol, certificate, n, budget, rng)
+            # None (censored) means the escape took even longer: a pass.
+            if observed is not None:
+                assert observed >= bound
+
+    def test_zero_bias_escape_is_diffusive(self, rng):
+        """For the Voter the escape is a ~n-round diffusion, not instant."""
+        n = 4096
+        certificate = lower_bound_certificate(voter(1))
+        observed = escape_time(voter(1), certificate, n, 50 * n, rng)
+        assert observed is None or observed > n ** 0.5

@@ -1,0 +1,107 @@
+"""Tests for the mean-field analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mean_field import (
+    fixed_points,
+    iterate_mean_field,
+    mean_field_derivative,
+    mean_field_map,
+    tracking_error,
+)
+from repro.dynamics.config import Configuration
+from repro.dynamics.run import simulate
+from repro.protocols import biased_voter, majority, minority, voter
+
+
+class TestMap:
+    def test_voter_map_is_identity(self):
+        grid = np.linspace(0, 1, 21)
+        np.testing.assert_allclose(mean_field_map(voter(1), grid), grid, atol=1e-12)
+
+    def test_minority_map_closed_form(self):
+        # phi(p) = p + 2p(1-p)(1-2p) for Minority at ell = 3.
+        grid = np.linspace(0, 1, 21)
+        expected = grid + 2 * grid * (1 - grid) * (1 - 2 * grid)
+        np.testing.assert_allclose(mean_field_map(minority(3), grid), expected, atol=1e-12)
+
+    def test_endpoints_fixed_for_solving_protocols(self):
+        for protocol in (minority(3), majority(3), biased_voter(3, 1, 0.1)):
+            assert mean_field_map(protocol, 0.0) == pytest.approx(0.0, abs=1e-12)
+            assert mean_field_map(protocol, 1.0) == pytest.approx(1.0, abs=1e-12)
+
+    def test_derivative_matches_analytic(self):
+        # d/dp [p + 2p - 6p^2 + 4p^3] = 3 - 12p + 12p^2 at ell = 3 minority.
+        for p in (0.1, 0.5, 0.9):
+            expected = 3 - 12 * p + 12 * p * p
+            assert mean_field_derivative(minority(3), p) == pytest.approx(
+                expected, abs=1e-5
+            )
+
+
+class TestFixedPoints:
+    def test_minority_classification(self):
+        points = {round(fp.location, 6): fp for fp in fixed_points(minority(3))}
+        # phi'(0) = 3 (repelling), phi'(1/2) = 0 (attracting), phi'(1) = 3.
+        assert points[0.0].stability == "repelling"
+        assert points[0.5].stability == "attracting"
+        assert points[1.0].stability == "repelling"
+
+    def test_majority_classification(self):
+        # Majority: consensus states attract, the midpoint repels.
+        points = {round(fp.location, 6): fp for fp in fixed_points(majority(3))}
+        assert points[0.0].stability == "attracting"
+        assert points[0.5].stability == "repelling"
+        assert points[1.0].stability == "attracting"
+
+    def test_voter_rejected(self):
+        with pytest.raises(ValueError, match="zero-bias"):
+            fixed_points(voter(1))
+
+    def test_oscillatory_flag(self):
+        # Large-ell minority at its central fixed point has phi' < 0
+        # (overshoot): approach is oscillatory.
+        points = fixed_points(minority(15))
+        central = min(points, key=lambda fp: abs(fp.location - 0.5))
+        assert central.is_oscillatory
+
+
+class TestIteration:
+    def test_minority_converges_to_half(self):
+        trajectory = iterate_mean_field(minority(3), 0.2, 60)
+        assert trajectory[-1] == pytest.approx(0.5, abs=1e-6)
+
+    def test_majority_converges_to_consensus(self):
+        assert iterate_mean_field(majority(3), 0.6, 60)[-1] == pytest.approx(1.0, abs=1e-9)
+        assert iterate_mean_field(majority(3), 0.4, 60)[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            iterate_mean_field(minority(3), 1.5, 10)
+        with pytest.raises(ValueError):
+            iterate_mean_field(minority(3), 0.5, -1)
+
+    def test_overshoot_mechanism_visible(self):
+        """Large-ell minority from near-0 overshoots past 1/2 in one step."""
+        protocol = minority(101)
+        p1 = mean_field_map(protocol, 0.05)
+        assert p1 > 0.9  # nearly everyone adopts the minority opinion
+
+
+class TestTracking:
+    def test_simulation_tracks_mean_field(self, rng):
+        """Prop 5 at the trajectory level: gap stays O(sqrt(t/n))."""
+        n = 100_000
+        protocol = minority(3)
+        config = Configuration(n=n, z=1, x0=int(0.2 * n))
+        result = simulate(protocol, config, 40, rng, record=True)
+        gaps = tracking_error(protocol, n, 1, result.trajectory)
+        horizon = len(gaps)
+        assert gaps.max() < 10 * np.sqrt(horizon / n) + 1e-3
+
+    def test_tracking_validation(self):
+        with pytest.raises(ValueError):
+            tracking_error(minority(3), 100, 1, np.array([]))

@@ -1,0 +1,151 @@
+"""Unit tests for the Protocol abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import Protocol, ProtocolFamily, constant_family
+from repro.protocols import majority, minority, random_protocol, voter
+
+
+class TestConstruction:
+    def test_valid_table_accepted(self):
+        protocol = Protocol(ell=2, g0=[0.0, 0.5, 1.0], g1=[0.0, 0.5, 1.0])
+        assert protocol.ell == 2
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            Protocol(ell=3, g0=[0.0, 1.0], g1=[0.0, 0.5, 1.0, 1.0])
+
+    def test_out_of_range_probability_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            Protocol(ell=1, g0=[0.0, 1.5], g1=[0.0, 1.0])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            Protocol(ell=1, g0=[-0.2, 1.0], g1=[0.0, 1.0])
+
+    def test_zero_sample_size_rejected(self):
+        with pytest.raises(ValueError, match="ell"):
+            Protocol(ell=0, g0=[0.0], g1=[1.0])
+
+    def test_tables_are_read_only(self):
+        protocol = voter(3)
+        with pytest.raises(ValueError):
+            protocol.g0[0] = 0.5
+
+    def test_tiny_float_noise_is_clipped(self):
+        protocol = Protocol(ell=1, g0=[-1e-15, 1.0], g1=[0.0, 1.0 + 1e-15])
+        assert protocol.g0[0] == 0.0
+        assert protocol.g1[1] == 1.0
+
+
+class TestStructuralProperties:
+    def test_voter_satisfies_boundary_conditions(self):
+        assert voter(4).satisfies_boundary_conditions()
+
+    def test_minority_satisfies_boundary_conditions(self):
+        assert minority(5).satisfies_boundary_conditions()
+
+    def test_violating_protocol_detected(self):
+        bad = Protocol(ell=1, g0=[0.1, 1.0], g1=[0.0, 1.0])
+        assert not bad.satisfies_boundary_conditions()
+
+    def test_voter_is_oblivious(self):
+        assert voter(2).is_oblivious()
+
+    def test_minority_even_stay_tiebreak_not_oblivious(self):
+        assert not minority(4, tie_break="stay").is_oblivious()
+
+    def test_voter_is_opinion_symmetric(self):
+        assert voter(3).is_opinion_symmetric()
+
+    def test_minority_is_opinion_symmetric(self):
+        assert minority(3).is_opinion_symmetric()
+        assert minority(4).is_opinion_symmetric()
+
+    def test_adopt_one_tiebreak_breaks_symmetry(self):
+        assert not minority(4, tie_break="adopt-one").is_opinion_symmetric()
+
+    def test_flip_is_involution(self):
+        protocol = minority(4, tie_break="adopt-one")
+        double_flip = protocol.flip().flip()
+        np.testing.assert_allclose(double_flip.g0, protocol.g0)
+        np.testing.assert_allclose(double_flip.g1, protocol.g1)
+
+    def test_symmetric_protocol_equals_own_flip(self):
+        protocol = minority(3)
+        flipped = protocol.flip()
+        np.testing.assert_allclose(flipped.g0, protocol.g0)
+        np.testing.assert_allclose(flipped.g1, protocol.g1)
+
+
+class TestResponseProbabilities:
+    def test_voter_response_is_identity(self):
+        protocol = voter(3)
+        grid = np.linspace(0.0, 1.0, 9)
+        p0, p1 = protocol.response_probabilities(grid)
+        np.testing.assert_allclose(p0, grid, atol=1e-12)
+        np.testing.assert_allclose(p1, grid, atol=1e-12)
+
+    def test_scalar_input_gives_scalars(self):
+        p0, p1 = voter(2).response_probabilities(0.3)
+        assert isinstance(p0, float) and isinstance(p1, float)
+        assert p0 == pytest.approx(0.3)
+
+    def test_endpoints_follow_boundary_entries(self):
+        protocol = minority(3)
+        p0_at_0, p1_at_0 = protocol.response_probabilities(0.0)
+        p0_at_1, p1_at_1 = protocol.response_probabilities(1.0)
+        assert p0_at_0 == 0.0 and p1_at_0 == 0.0
+        assert p0_at_1 == 1.0 and p1_at_1 == 1.0
+
+    def test_out_of_range_fraction_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            voter(1).response_probabilities(1.2)
+
+    def test_minority_ell3_closed_form(self):
+        # P(adopt 1 | p) = 3 p (1-p)^2 + p^3 for minority at ell = 3.
+        protocol = minority(3)
+        grid = np.linspace(0.0, 1.0, 21)
+        expected = 3 * grid * (1 - grid) ** 2 + grid**3
+        p0, p1 = protocol.response_probabilities(grid)
+        np.testing.assert_allclose(p0, expected, atol=1e-12)
+        np.testing.assert_allclose(p1, expected, atol=1e-12)
+
+    @given(st.integers(min_value=1, max_value=8), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_responses_are_probabilities(self, ell, p):
+        rng = np.random.default_rng(ell * 1000 + int(p * 997))
+        protocol = random_protocol(ell, rng, solving=False)
+        p0, p1 = protocol.response_probabilities(p)
+        assert -1e-12 <= p0 <= 1 + 1e-12
+        assert -1e-12 <= p1 <= 1 + 1e-12
+
+    def test_monotone_table_gives_monotone_response(self):
+        # Majority's table is monotone in k, so P_b is monotone in p.
+        protocol = majority(5)
+        grid = np.linspace(0.0, 1.0, 33)
+        p0, _ = protocol.response_probabilities(grid)
+        assert np.all(np.diff(p0) >= -1e-12)
+
+
+class TestProtocolFamily:
+    def test_constant_family_returns_same_protocol(self):
+        protocol = voter(1)
+        family = constant_family(protocol)
+        assert family.at(10) is protocol
+        assert family.at(1000) is protocol
+
+    def test_family_rejects_tiny_population(self):
+        family = constant_family(voter(1))
+        with pytest.raises(ValueError, match="n"):
+            family.at(1)
+
+    def test_family_type_checks_factory_output(self):
+        family = ProtocolFamily(factory=lambda n: "nope", name="bad")
+        with pytest.raises(TypeError):
+            family.at(10)

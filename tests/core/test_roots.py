@@ -1,0 +1,122 @@
+"""Tests of root finding and sign profiling of the bias polynomial."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bias import bias_value
+from repro.core.roots import is_zero_bias, sign_profile, unit_interval_roots
+from repro.protocols import (
+    biased_voter,
+    double_lobe,
+    minority,
+    random_protocol,
+    voter,
+    voter_minority_blend,
+)
+
+
+class TestZeroBiasDetection:
+    def test_voter_detected_for_all_sample_sizes(self):
+        for ell in (1, 2, 5, 9):
+            assert is_zero_bias(voter(ell))
+
+    def test_minority_not_zero_bias(self):
+        assert not is_zero_bias(minority(3))
+
+    def test_blend_degenerates_to_voter_at_weight_zero(self):
+        assert is_zero_bias(voter_minority_blend(3, 0.0))
+        assert not is_zero_bias(voter_minority_blend(3, 0.25))
+
+    def test_tiny_but_nonzero_bias_detected(self):
+        protocol = biased_voter(3, 1, 1e-6)
+        assert not is_zero_bias(protocol, tolerance=1e-9)
+
+
+class TestUnitIntervalRoots:
+    def test_minority_odd_ell_has_root_at_half(self):
+        for ell in (3, 5, 7):
+            roots = unit_interval_roots(minority(ell))
+            assert roots[0] == pytest.approx(0.0, abs=1e-9)
+            assert roots[-1] == pytest.approx(1.0, abs=1e-9)
+            assert any(abs(r - 0.5) < 1e-7 for r in roots), roots
+
+    def test_double_lobe_interior_root_placement(self):
+        for target in (0.2, 0.37, 0.61, 0.8):
+            roots = unit_interval_roots(double_lobe(target))
+            interior = [r for r in roots if 1e-6 < r < 1 - 1e-6]
+            assert len(interior) == 1
+            assert interior[0] == pytest.approx(target, abs=1e-6)
+
+    def test_biased_voter_has_only_endpoint_roots(self):
+        roots = unit_interval_roots(biased_voter(3, 1, 0.2))
+        assert roots == pytest.approx([0.0, 1.0], abs=1e-9)
+
+    def test_roots_sorted_and_inside_unit_interval(self):
+        roots = unit_interval_roots(minority(5))
+        assert roots == sorted(roots)
+        assert all(0.0 <= r <= 1.0 for r in roots)
+
+    def test_zero_bias_protocol_rejected(self):
+        with pytest.raises(ValueError, match="identically zero"):
+            unit_interval_roots(voter(2))
+
+    def test_large_ell_guarded(self):
+        with pytest.raises(ValueError, match="ell"):
+            unit_interval_roots(minority(41))
+
+    @given(st.integers(min_value=1, max_value=7), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_bias_vanishes_at_every_reported_root(self, ell, seed):
+        protocol = random_protocol(ell, np.random.default_rng(seed), solving=True)
+        if is_zero_bias(protocol):
+            return
+        for root in unit_interval_roots(protocol):
+            assert abs(bias_value(protocol, root)) < 1e-6
+
+
+class TestSignProfile:
+    def test_minority_profile(self):
+        profile = sign_profile(minority(3))
+        assert profile.signs == (1, -1)
+        assert profile.roots[1] == pytest.approx(0.5, abs=1e-9)
+
+    def test_minority_last_interval(self):
+        profile = sign_profile(minority(3))
+        left, right = profile.last_interval
+        assert left == pytest.approx(0.5, abs=1e-9)
+        assert right == pytest.approx(1.0, abs=1e-9)
+        assert profile.last_interval_sign == -1
+
+    def test_positive_lobe_profile(self):
+        profile = sign_profile(biased_voter(3, 1, 0.2))
+        assert profile.signs == (1,)
+        assert profile.last_interval_sign == 1
+
+    def test_double_lobe_profile(self):
+        profile = sign_profile(double_lobe(0.3))
+        assert profile.signs == (1, -1)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_sign_matches_midpoint_evaluation(self, ell, seed):
+        protocol = random_protocol(ell, np.random.default_rng(seed), solving=True)
+        if is_zero_bias(protocol):
+            return
+        profile = sign_profile(protocol)
+        for (left, right), sign in zip(
+            zip(profile.roots[:-1], profile.roots[1:]), profile.signs
+        ):
+            midpoint_value = bias_value(protocol, (left + right) / 2)
+            if sign == 1:
+                assert midpoint_value > -1e-9
+            elif sign == -1:
+                assert midpoint_value < 1e-9
+
+    def test_profile_spans_zero_to_one(self):
+        profile = sign_profile(minority(5))
+        assert profile.roots[0] == pytest.approx(0.0, abs=1e-9)
+        assert profile.roots[-1] == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,60 @@
+"""Tests of the closed-form paper predictions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.theory import (
+    PREDICTIONS,
+    lower_bound_rounds,
+    minority_sqrt_sample_size,
+    minority_sqrt_upper_bound_rounds,
+    sequential_lower_bound_rounds,
+    sequential_voter_upper_bound_rounds,
+    voter_upper_bound_rounds,
+    whp_failure_rate,
+)
+
+
+class TestFormulas:
+    def test_lower_bound_shape(self):
+        assert lower_bound_rounds(10_000, 0.5) == pytest.approx(100.0)
+        assert lower_bound_rounds(10_000, 0.25) > lower_bound_rounds(10_000, 0.5)
+        with pytest.raises(ValueError):
+            lower_bound_rounds(100, 0.0)
+
+    def test_voter_upper_bound(self):
+        n = 1000
+        assert voter_upper_bound_rounds(n) == pytest.approx(2 * n * math.log(n))
+        with pytest.raises(ValueError):
+            voter_upper_bound_rounds(1)
+
+    def test_minority_sample_size_is_odd_and_grows(self):
+        sizes = [minority_sqrt_sample_size(n) for n in (100, 1000, 10_000)]
+        assert all(s % 2 == 1 for s in sizes)
+        assert sizes == sorted(sizes)
+        assert sizes[0] >= math.sqrt(100 * math.log(100))
+
+    def test_minority_upper_bound_is_polylog(self):
+        assert minority_sqrt_upper_bound_rounds(10**6) < 10**3
+
+    def test_sequential_bounds_order(self):
+        n = 512
+        assert sequential_lower_bound_rounds(n) <= sequential_voter_upper_bound_rounds(n)
+
+    def test_whp_failure_rate(self):
+        assert whp_failure_rate(100) == pytest.approx(0.01)
+        assert whp_failure_rate(100, exponent=2) == pytest.approx(1e-4)
+
+
+class TestPredictionRegistry:
+    def test_all_core_claims_present(self):
+        identifiers = {p.identifier for p in PREDICTIONS}
+        assert {"thm1", "thm2", "minority-sqrt", "sequential", "prop3", "prop4"} <= identifiers
+
+    def test_predictions_carry_shapes(self):
+        for prediction in PREDICTIONS:
+            assert prediction.statement
+            assert prediction.shape

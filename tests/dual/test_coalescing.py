@@ -1,0 +1,106 @@
+"""Tests for the coalescing-random-walk dual (Appendix B / Theorem 2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dual.coalescing import (
+    coalescence_profile,
+    dual_absorption_times,
+    paired_forward_dual_run,
+)
+
+
+class TestAbsorptionTimes:
+    def test_source_absorbed_immediately(self, rng):
+        times = dual_absorption_times(50, 1000, rng)
+        assert times[0] == 0
+
+    def test_all_absorbed_within_theorem2_horizon(self, rng_factory):
+        """Theorem 2's quantitative core: T = 2 n ln n absorbs everyone w.h.p."""
+        n = 200
+        horizon = int(2 * n * math.log(n))
+        failures = 0
+        for i in range(20):
+            times = dual_absorption_times(n, horizon, rng_factory(i))
+            if (times < 0).any():
+                failures += 1
+        assert failures <= 1  # w.h.p. with failure ~ 1/n per run
+
+    def test_single_walker_absorption_is_geometric(self, rng_factory):
+        """Each walker hits the source at rate 1/n per round."""
+        n = 60
+        samples = []
+        for i in range(400):
+            times = dual_absorption_times(n, 10**5, rng_factory(i))
+            samples.append(times[1])  # walker of agent 1
+        mean = np.mean(samples)
+        # Geometric with success 1/n: mean n, std ~ n.
+        assert abs(mean - n) < 5 * n / math.sqrt(len(samples)) + 1.0
+
+    def test_budget_censoring(self, rng):
+        times = dual_absorption_times(500, 1, rng)
+        assert (times < 0).any()  # one round cannot absorb 499 walkers
+
+
+class TestCoalescenceProfile:
+    def test_profile_shape(self, rng):
+        n = 100
+        profile = coalescence_profile(n, 10**5, rng)
+        assert profile[0] == n - 1
+        assert profile[-1] == 0
+        # Distinct positions can only merge or be absorbed: non-increasing.
+        assert np.all(np.diff(profile) <= 0)
+
+    def test_profile_collapse_time_scales_near_n_log_n(self, rng_factory):
+        """The dual collapse time is O(n log n) (Theorem 2's shape)."""
+        ratios = []
+        for n in (64, 128, 256):
+            collapse_times = []
+            for i in range(5):
+                profile = coalescence_profile(n, 50 * n * int(math.log(n)), rng_factory(n + i))
+                collapse_times.append(len(profile) - 1)
+            ratios.append(np.median(collapse_times) / (n * math.log(n)))
+        # Bounded ratios across a 4x sweep of n.
+        assert max(ratios) / min(ratios) < 4.0
+
+
+class TestExactDuality:
+    @pytest.mark.parametrize("z", [0, 1])
+    def test_eq17_on_shared_randomness(self, z, rng_factory):
+        """Dual-absorbed agents hold the correct opinion — exactly, per run."""
+        n = 80
+        for i in range(30):
+            rng = rng_factory(i)
+            initial = rng.integers(0, 2, size=n).astype(np.int8)
+            run = paired_forward_dual_run(initial, z, horizon=40, rng=rng)
+            assert run.duality_holds()
+
+    def test_all_absorbed_implies_consensus(self, rng_factory):
+        n = 60
+        horizon = int(3 * n * math.log(n))
+        for i in range(10):
+            rng = rng_factory(100 + i)
+            initial = rng.integers(0, 2, size=n).astype(np.int8)
+            run = paired_forward_dual_run(initial, 1, horizon, rng)
+            if run.all_absorbed():
+                assert run.consensus_reached()
+
+    def test_worst_case_initialization(self, rng):
+        """From all-wrong opinions, consensus via the dual still works."""
+        n = 100
+        horizon = int(2 * n * math.log(n))
+        initial = np.zeros(n, dtype=np.int8)  # z = 1: everyone wrong
+        run = paired_forward_dual_run(initial, 1, horizon, rng)
+        if run.all_absorbed():
+            assert run.consensus_reached()
+        assert run.duality_holds()
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError, match="agents"):
+            paired_forward_dual_run(np.array([1], dtype=np.int8), 1, 10, rng)
+        with pytest.raises(ValueError, match="z"):
+            paired_forward_dual_run(np.zeros(5, dtype=np.int8), 2, 10, rng)

@@ -1,0 +1,51 @@
+"""Statistical properties of the coalescing dual beyond the basic checks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dual.coalescing import dual_absorption_times, paired_forward_dual_run
+from repro.dynamics.rng import make_rng, spawn_rngs
+
+
+class TestAbsorptionDistribution:
+    def test_max_absorption_concentrates_near_n_log_n(self):
+        """The slowest walker is a maximum of ~n geometrics(1/n): its median
+        sits near ``n ln n`` (within a modest constant)."""
+        n = 150
+        horizon = 40 * n * int(math.log(n))
+        maxima = []
+        for rng in spawn_rngs(3, 30):
+            times = dual_absorption_times(n, horizon, rng)
+            assert (times >= 0).all()
+            maxima.append(times.max())
+        median_max = float(np.median(maxima))
+        reference = n * math.log(n)
+        assert 0.3 * reference < median_max < 3.0 * reference
+
+    def test_absorption_times_are_exchangeable(self):
+        """Walkers are exchangeable: per-agent mean absorption times agree
+        across agents (up to noise) when averaged over runs."""
+        n = 40
+        totals = np.zeros(n)
+        runs = 200
+        for rng in spawn_rngs(9, runs):
+            totals += dual_absorption_times(n, 10**5, rng)
+        means = totals[1:] / runs  # skip the source (always 0)
+        spread = means.max() / means.min()
+        assert spread < 2.0
+
+    def test_duality_transfers_partial_absorption(self):
+        """With a horizon too short for full absorption, Eq. 17 still pins
+        exactly the absorbed agents' opinions — partial progress is real
+        progress."""
+        n = 300
+        horizon = n // 2  # far too short to absorb everyone
+        rng = make_rng(31)
+        initial = rng.integers(0, 2, size=n).astype(np.int8)
+        run = paired_forward_dual_run(initial, z=1, horizon=horizon, rng=rng)
+        absorbed = run.absorption >= 0
+        assert 0 < absorbed.sum() < n  # genuinely partial
+        assert np.all(run.final_opinions[absorbed] == 1)

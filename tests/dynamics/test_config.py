@@ -1,0 +1,71 @@
+"""Tests for configurations and adversarial initializers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamics.config import (
+    Configuration,
+    adversarial_configurations,
+    balanced_configuration,
+    consensus_configuration,
+    wrong_consensus_configuration,
+)
+
+
+class TestConfiguration:
+    def test_valid_configuration(self):
+        config = Configuration(n=10, z=1, x0=5)
+        assert config.target_count == 10
+        assert config.fraction == 0.5
+        assert not config.is_converged
+
+    def test_source_constrains_count_range(self):
+        # z = 1 means the source holds 1, so x0 >= 1.
+        with pytest.raises(ValueError, match="x0"):
+            Configuration(n=10, z=1, x0=0)
+        # z = 0 means x0 <= n - 1.
+        with pytest.raises(ValueError, match="x0"):
+            Configuration(n=10, z=0, x0=10)
+
+    def test_invalid_z(self):
+        with pytest.raises(ValueError, match="z"):
+            Configuration(n=10, z=2, x0=5)
+
+    def test_tiny_population_rejected(self):
+        with pytest.raises(ValueError, match="n"):
+            Configuration(n=1, z=0, x0=0)
+
+    def test_count_bounds(self):
+        assert Configuration.count_bounds(10, 0) == (0, 9)
+        assert Configuration.count_bounds(10, 1) == (1, 10)
+
+
+class TestInitializers:
+    def test_consensus(self):
+        assert consensus_configuration(10, 1).x0 == 10
+        assert consensus_configuration(10, 0).x0 == 0
+        assert consensus_configuration(10, 1).is_converged
+
+    def test_wrong_consensus(self):
+        # z = 1: only the source holds 1.
+        assert wrong_consensus_configuration(10, 1).x0 == 1
+        # z = 0: everyone but the source holds 1.
+        assert wrong_consensus_configuration(10, 0).x0 == 9
+
+    def test_balanced(self):
+        assert balanced_configuration(10, 1).x0 == 5
+
+    def test_adversarial_panel_is_valid_and_covers_both_sources(self):
+        panel = adversarial_configurations(100)
+        assert len(panel) >= 6
+        assert {c.z for c in panel} == {0, 1}
+        for config in panel:
+            low, high = Configuration.count_bounds(config.n, config.z)
+            assert low <= config.x0 <= high
+
+    def test_adversarial_panel_includes_wrong_consensus(self):
+        panel = adversarial_configurations(64)
+        assert any(
+            c.x0 == wrong_consensus_configuration(64, c.z).x0 for c in panel
+        )

@@ -1,0 +1,119 @@
+"""Cross-validation of the three realizations of one parallel round.
+
+The count-level engine (O(1) binomials), the agent-level engine (literal
+model transcription) and the exact transition row (binomial convolution)
+describe the same conditional law of ``X_{t+1}``.  These tests compare them
+pairwise: empirical distributions against the exact row via a chi-squared
+goodness-of-fit, and the two samplers against each other via moments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import chisquare
+
+from repro.core.bias import expected_next_count
+from repro.dynamics.agentwise import initial_opinions, step_opinions
+from repro.dynamics.config import Configuration
+from repro.dynamics.engine import step_count, step_counts_batch
+from repro.markov.exact import transition_row
+from repro.protocols import majority, minority, voter
+
+CASES = [
+    (voter(1), 40, 1, 13),
+    (voter(3), 40, 0, 20),
+    (minority(3), 50, 1, 30),
+    (minority(4), 50, 1, 25),
+    (majority(3), 40, 0, 18),
+]
+TRIALS = 6000
+
+
+def _chi_squared_pvalue(samples: np.ndarray, row: np.ndarray) -> float:
+    """Goodness-of-fit of integer samples against an exact pmf."""
+    n_states = len(row)
+    observed = np.bincount(samples, minlength=n_states).astype(float)
+    expected = row * len(samples)
+    # Pool low-expectation bins to keep the chi-squared approximation valid.
+    keep = expected >= 5
+    pooled_observed = np.append(observed[keep], observed[~keep].sum())
+    pooled_expected = np.append(expected[keep], expected[~keep].sum())
+    if pooled_expected[-1] == 0:
+        pooled_observed = pooled_observed[:-1]
+        pooled_expected = pooled_expected[:-1]
+    statistic, pvalue = chisquare(pooled_observed, pooled_expected)
+    return float(pvalue)
+
+
+class TestCountEngineAgainstExactRow:
+    @pytest.mark.parametrize("protocol,n,z,x", CASES, ids=[c[0].name for c in CASES])
+    def test_chi_squared(self, protocol, n, z, x, rng):
+        samples = np.array(
+            [step_count(protocol, n, z, x, rng) for _ in range(TRIALS)]
+        )
+        row = transition_row(protocol, n, z, x)
+        assert _chi_squared_pvalue(samples, row) > 1e-4
+
+
+class TestAgentEngineAgainstExactRow:
+    @pytest.mark.parametrize("protocol,n,z,x", CASES, ids=[c[0].name for c in CASES])
+    def test_chi_squared(self, protocol, n, z, x, rng):
+        config = Configuration(n=n, z=z, x0=x)
+        samples = np.empty(TRIALS, dtype=np.int64)
+        for i in range(TRIALS):
+            opinions = initial_opinions(config, rng)
+            samples[i] = step_opinions(protocol, z, opinions, rng).sum()
+        row = transition_row(protocol, n, z, x)
+        assert _chi_squared_pvalue(samples, row) > 1e-4
+
+
+class TestBatchEngine:
+    def test_batch_matches_scalar_in_moments(self, rng):
+        protocol = minority(3)
+        n, z, x = 200, 1, 120
+        batch = step_counts_batch(protocol, n, z, np.full(4000, x), rng)
+        analytic_mean = expected_next_count(protocol, n, z, x)
+        standard_error = batch.std() / np.sqrt(len(batch))
+        assert abs(batch.mean() - analytic_mean) < 5 * standard_error + 1e-9
+
+    def test_batch_handles_mixed_states(self, rng):
+        protocol = voter(1)
+        n, z = 100, 1
+        counts = np.array([1, 50, 99, 100])
+        result = step_counts_batch(protocol, n, z, counts, rng)
+        assert result.shape == counts.shape
+        assert np.all(result >= z) and np.all(result <= n)
+
+    def test_batch_rejects_out_of_range(self, rng):
+        with pytest.raises(ValueError, match="counts"):
+            step_counts_batch(voter(1), 100, 1, np.array([0, 50]), rng)
+
+
+class TestConservationLaws:
+    def test_count_stays_in_admissible_range(self, rng):
+        protocol = minority(3)
+        n, z = 64, 0
+        x = 32
+        for _ in range(200):
+            x = step_count(protocol, n, z, x, rng)
+            assert 0 <= x <= n - 1  # z = 0: the source never holds 1
+
+    def test_consensus_absorbing_for_compliant_protocols(self, rng):
+        for protocol in (voter(1), minority(3), majority(3)):
+            assert step_count(protocol, 100, 1, 100, rng) == 100
+            assert step_count(protocol, 100, 0, 0, rng) == 0
+
+    def test_source_pinned_in_agent_engine(self, rng):
+        protocol = voter(1)
+        config = Configuration(n=30, z=1, x0=1)
+        opinions = initial_opinions(config, rng)
+        for _ in range(20):
+            opinions = step_opinions(protocol, 1, opinions, rng)
+            assert opinions[0] == 1
+
+    def test_initial_opinions_realize_configuration(self, rng):
+        config = Configuration(n=50, z=0, x0=20)
+        opinions = initial_opinions(config, rng)
+        assert opinions.sum() == 20
+        assert opinions[0] == 0

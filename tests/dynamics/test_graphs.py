@@ -1,0 +1,138 @@
+"""Tests for neighbour-sampling dynamics on graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.graphs import (
+    complete_graph,
+    cycle_graph,
+    neighbor_table,
+    random_regular_graph,
+    simulate_on_graph,
+    star_graph,
+    step_opinions_on_graph,
+)
+from repro.protocols import minority, voter
+
+
+class TestNeighborTable:
+    def test_complete_graph_table(self):
+        table = neighbor_table(complete_graph(5))
+        assert len(table) == 5
+        assert sorted(table[0].tolist()) == [1, 2, 3, 4]
+
+    def test_isolated_node_rejected(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(3))
+        graph.add_edge(0, 1)
+        with pytest.raises(ValueError, match="isolated"):
+            neighbor_table(graph)
+
+    def test_bad_labels_rejected(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        with pytest.raises(ValueError, match="0..n-1"):
+            neighbor_table(graph)
+
+    def test_star_graph_convention(self):
+        graph = star_graph(6)
+        table = neighbor_table(graph)
+        # Node 1 is the hub: connected to everyone else.
+        assert len(table[1]) == 5
+        # The source (node 0) is a leaf attached to the hub.
+        assert table[0].tolist() == [1]
+
+
+class TestStep:
+    def test_source_pinned(self, rng):
+        graph = cycle_graph(12)
+        table = neighbor_table(graph)
+        opinions = np.zeros(12, dtype=np.int8)
+        opinions[0] = 1
+        for _ in range(10):
+            opinions = step_opinions_on_graph(voter(1), 1, opinions, table, rng)
+            assert opinions[0] == 1
+
+    def test_unanimous_neighbourhood_is_followed(self, rng):
+        """With Prop-3-compliant rules, an all-1 graph (z=1) stays all-1."""
+        graph = cycle_graph(10)
+        table = neighbor_table(graph)
+        opinions = np.ones(10, dtype=np.int8)
+        for _ in range(10):
+            opinions = step_opinions_on_graph(minority(3), 1, opinions, table, rng)
+            assert opinions.sum() == 10
+
+    def test_complete_graph_close_to_well_mixed(self, rng_factory):
+        """Sampling neighbours on K_n differs from the paper's model only by
+        excluding self-samples; one-step means match to O(1/n)."""
+        from repro.core.bias import expected_next_count
+
+        n, z, x = 60, 1, 30
+        table = neighbor_table(complete_graph(n))
+        rng = rng_factory(0)
+        totals = []
+        for _ in range(800):
+            opinions = np.zeros(n, dtype=np.int8)
+            opinions[:x] = 1
+            opinions[0] = z
+            stepped = step_opinions_on_graph(voter(1), z, opinions, table, rng)
+            totals.append(int(stepped.sum()))
+        mean_field = float(expected_next_count(voter(1), n, z, x))
+        standard_error = np.std(totals) / np.sqrt(len(totals))
+        assert abs(np.mean(totals) - mean_field) < 5 * standard_error + 1.5
+
+
+class TestSimulate:
+    def test_voter_converges_on_cycle(self, rng):
+        n = 24
+        initial = np.zeros(n, dtype=np.int8)
+        rounds = simulate_on_graph(voter(1), cycle_graph(n), 1, initial, 100_000, rng)
+        assert rounds is not None
+
+    def test_voter_converges_on_random_regular(self, rng):
+        n = 50
+        initial = np.zeros(n, dtype=np.int8)
+        rounds = simulate_on_graph(
+            voter(1), random_regular_graph(n, 4, seed=1), 1, initial, 100_000, rng
+        )
+        assert rounds is not None
+
+    def test_cycle_slower_than_complete(self, rng_factory):
+        """Topology costs: the cycle's diameter slows the Voter down by a
+        polynomial factor relative to the complete graph."""
+        n = 32
+        trials = 5
+
+        def median_rounds(graph_builder, seed_base):
+            times = []
+            for i in range(trials):
+                initial = np.zeros(n, dtype=np.int8)
+                rounds = simulate_on_graph(
+                    voter(1), graph_builder(n), 1, initial, 10**6, rng_factory(seed_base + i)
+                )
+                assert rounds is not None
+                times.append(rounds)
+            return float(np.median(times))
+
+        complete_time = median_rounds(complete_graph, 0)
+        cycle_time = median_rounds(cycle_graph, 100)
+        assert cycle_time > 2 * complete_time
+
+    def test_prop3_violator_rejected(self, rng):
+        from repro.core.protocol import Protocol
+
+        bad = Protocol(ell=1, g0=[0.5, 1.0], g1=[0.0, 1.0])
+        with pytest.raises(ValueError, match="Proposition 3"):
+            simulate_on_graph(bad, cycle_graph(6), 1, np.zeros(6, dtype=np.int8), 5, rng)
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="does not match"):
+            simulate_on_graph(
+                voter(1), cycle_graph(6), 1, np.zeros(5, dtype=np.int8), 5, rng
+            )

@@ -1,0 +1,106 @@
+"""Tests for heterogeneous (two-protocol) populations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import ks_2samp
+
+from repro.dynamics.engine import step_count
+from repro.dynamics.heterogeneous import (
+    MixedState,
+    initial_mixed_state,
+    simulate_mixed,
+    step_mixed,
+)
+from repro.protocols import minority, voter
+
+
+class TestState:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ones_a"):
+            MixedState(n=10, z=1, size_a=4, ones_a=5, ones_b=0)
+        with pytest.raises(ValueError, match="ones_b"):
+            MixedState(n=10, z=1, size_a=4, ones_a=0, ones_b=6)
+        with pytest.raises(ValueError, match="size_a"):
+            MixedState(n=10, z=1, size_a=10, ones_a=0, ones_b=0)
+
+    def test_totals(self):
+        state = initial_mixed_state(n=20, z=1, size_a=10, ones_a=4, ones_b=3)
+        assert state.total_ones == 8
+        assert state.size_b == 9
+
+
+class TestStep:
+    def test_counts_stay_in_bounds(self, rng):
+        state = initial_mixed_state(n=50, z=0, size_a=20, ones_a=10, ones_b=15)
+        for _ in range(100):
+            state = step_mixed(voter(1), minority(3), state, rng)
+            assert 0 <= state.ones_a <= 20
+            assert 0 <= state.ones_b <= 29
+
+    def test_pure_mixture_matches_homogeneous_engine(self, rng_factory):
+        """A/B both Voter: the total count has the homogeneous law."""
+        n, z = 40, 1
+        rng_a, rng_b = rng_factory(0), rng_factory(1)
+        mixed_totals = []
+        for _ in range(3000):
+            state = initial_mixed_state(n=n, z=z, size_a=19, ones_a=12, ones_b=12)
+            stepped = step_mixed(voter(1), voter(1), state, rng_a)
+            mixed_totals.append(stepped.total_ones)
+        homogeneous = [step_count(voter(1), n, z, 25, rng_b) for _ in range(3000)]
+        assert ks_2samp(mixed_totals, homogeneous).pvalue > 1e-4
+
+    def test_expected_total_is_weighted_blend(self, rng):
+        """E[total'] matches the per-group response means exactly."""
+        from repro.core.protocol import Protocol
+
+        n, z = 60, 1
+        state = initial_mixed_state(n=n, z=z, size_a=30, ones_a=20, ones_b=9)
+        p = state.total_ones / n
+        a0, a1 = voter(1).response_probabilities(p)
+        b0, b1 = minority(3).response_probabilities(p)
+        expected = (
+            z
+            + state.ones_a * a1
+            + (state.size_a - state.ones_a) * a0
+            + state.ones_b * b1
+            + (state.size_b - state.ones_b) * b0
+        )
+        samples = [
+            step_mixed(voter(1), minority(3), state, rng).total_ones
+            for _ in range(4000)
+        ]
+        standard_error = np.std(samples) / np.sqrt(len(samples))
+        assert abs(np.mean(samples) - expected) < 5 * standard_error + 1e-9
+
+
+class TestSimulate:
+    def test_voter_voter_mixture_converges(self, rng):
+        state = initial_mixed_state(n=100, z=1, size_a=50, ones_a=0, ones_b=0)
+        converged, rounds, final = simulate_mixed(
+            voter(1), voter(1), state, 100_000, rng
+        )
+        assert converged and final.is_correct_consensus
+
+    def test_consensus_absorbing(self, rng):
+        state = initial_mixed_state(n=30, z=1, size_a=15, ones_a=15, ones_b=14)
+        converged, rounds, _ = simulate_mixed(voter(1), minority(3), state, 10, rng)
+        assert converged and rounds == 0
+
+    def test_prop3_violation_rejected(self, rng):
+        from repro.core.protocol import Protocol
+
+        bad = Protocol(ell=1, g0=[0.2, 1.0], g1=[0.0, 1.0])
+        state = initial_mixed_state(n=10, z=1, size_a=5, ones_a=2, ones_b=2)
+        with pytest.raises(ValueError, match="Proposition 3"):
+            simulate_mixed(voter(1), bad, state, 10, rng)
+
+    def test_minority_heavy_mixture_stalls(self, rng):
+        """A mixture dominated by constant-ell Minority inherits its well."""
+        n = 512
+        state = initial_mixed_state(
+            n=n, z=1, size_a=n // 8, ones_a=0, ones_b=0
+        )  # 1/8 voters, 7/8 minority agents, all wrong
+        converged, _, _ = simulate_mixed(voter(1), minority(3), state, 500, rng)
+        assert not converged

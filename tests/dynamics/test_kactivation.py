@@ -1,0 +1,98 @@
+"""Tests for the partial-synchrony (k-activation) engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import ks_2samp
+
+from repro.dynamics.config import Configuration
+from repro.dynamics.engine import step_count
+from repro.dynamics.kactivation import simulate_k_activation, step_count_k
+from repro.dynamics.sequential import sequential_transition_probabilities
+from repro.protocols import minority, voter
+
+
+class TestStep:
+    def test_full_activation_matches_parallel_engine(self, rng_factory):
+        """k = n - 1 activates every non-source agent: the parallel round."""
+        protocol = minority(3)
+        n, z, x = 50, 1, 30
+        rng_a, rng_b = rng_factory(0), rng_factory(1)
+        parallel = [step_count(protocol, n, z, x, rng_a) for _ in range(3000)]
+        k_full = [step_count_k(protocol, n, z, x, n - 1, rng_b) for _ in range(3000)]
+        assert ks_2samp(parallel, k_full).pvalue > 1e-4
+
+    def test_single_activation_matches_sequential_probabilities(self, rng):
+        """k = 1 reproduces the sequential birth-death increments."""
+        protocol = voter(1)
+        n, z, x = 40, 1, 20
+        p_up, p_down = sequential_transition_probabilities(protocol, n, z, x)
+        moves = np.array(
+            [step_count_k(protocol, n, z, x, 1, rng) - x for _ in range(20000)]
+        )
+        assert abs(np.mean(moves == 1) - p_up) < 0.02
+        assert abs(np.mean(moves == -1) - p_down) < 0.02
+        assert set(np.unique(moves)) <= {-1, 0, 1}
+
+    def test_count_stays_in_range(self, rng):
+        protocol = minority(3)
+        n, z = 64, 0
+        x = 30
+        for _ in range(300):
+            x = step_count_k(protocol, n, z, x, 7, rng)
+            assert 0 <= x <= n - 1
+
+    def test_k_validated(self, rng):
+        with pytest.raises(ValueError, match="k must"):
+            step_count_k(voter(1), 10, 1, 5, 0, rng)
+        with pytest.raises(ValueError, match="k must"):
+            step_count_k(voter(1), 10, 1, 5, 10, rng)
+
+    def test_inactive_agents_keep_opinions(self, rng):
+        """With k = 1 at most one opinion changes per step."""
+        protocol = minority(3)
+        n, z, x = 30, 1, 15
+        for _ in range(200):
+            new_x = step_count_k(protocol, n, z, x, 1, rng)
+            assert abs(new_x - x) <= 1
+
+
+class TestSimulate:
+    def test_converged_start(self, rng):
+        config = Configuration(n=40, z=1, x0=40)
+        result = simulate_k_activation(voter(1), config, 5, 10.0, rng)
+        assert result.converged and result.steps == 0
+
+    def test_voter_converges_under_any_k(self, rng):
+        config = Configuration(n=60, z=1, x0=30)
+        for k in (1, 7, 59):
+            result = simulate_k_activation(voter(1), config, k, 10_000.0, rng)
+            assert result.converged, k
+
+    def test_parallel_rounds_normalization(self, rng):
+        config = Configuration(n=100, z=1, x0=50)
+        result = simulate_k_activation(voter(1), config, 10, 500.0, rng)
+        assert result.parallel_rounds == pytest.approx(result.steps * 10 / 100)
+
+    def test_prop3_violator_rejected(self, rng):
+        from repro.core.protocol import Protocol
+
+        bad = Protocol(ell=1, g0=[0.2, 1.0], g1=[0.0, 1.0])
+        with pytest.raises(ValueError, match="Proposition 3"):
+            simulate_k_activation(bad, Configuration(n=10, z=1, x0=5), 2, 10.0, rng)
+
+    def test_synchronicity_unlocks_minority_overshoot(self, rng_factory):
+        """The [15] mechanism needs simultaneity: large-ell Minority from the
+        all-wrong start converges fast at full activation but stalls at
+        k << n (each small batch re-equilibrates before the flip can
+        complete)."""
+        from repro.core.theory import minority_sqrt_sample_size
+
+        n = 1024
+        protocol = minority(minority_sqrt_sample_size(n))
+        config = Configuration(n=n, z=1, x0=1)
+        full = simulate_k_activation(protocol, config, n - 1, 200.0, rng_factory(0))
+        assert full.converged and full.parallel_rounds < 50
+        tiny = simulate_k_activation(protocol, config, 8, 200.0, rng_factory(1))
+        assert not tiny.converged

@@ -1,0 +1,101 @@
+"""Tests for the multi-opinion extension (footnote 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import chisquare
+
+from repro.dynamics.multiopinion import (
+    initial_multiopinion,
+    multi_minority_rule,
+    multi_voter_rule,
+    simulate_multiopinion,
+    step_multiopinion,
+)
+from repro.markov.exact import transition_row
+from repro.protocols import minority
+
+
+class TestInitialization:
+    def test_histogram_realized(self, rng):
+        opinions = initial_multiopinion(10, 3, z=2, histogram=[4, 3, 2], rng=rng)
+        assert opinions[0] == 2
+        np.testing.assert_array_equal(np.bincount(opinions[1:], minlength=3), [4, 3, 2])
+
+    def test_bad_histogram_rejected(self, rng):
+        with pytest.raises(ValueError, match="sum"):
+            initial_multiopinion(10, 3, z=0, histogram=[4, 4, 4], rng=rng)
+        with pytest.raises(ValueError, match="shape"):
+            initial_multiopinion(10, 3, z=0, histogram=[9], rng=rng)
+        with pytest.raises(ValueError, match="z"):
+            initial_multiopinion(10, 3, z=5, histogram=[5, 2, 2], rng=rng)
+
+
+class TestRestriction:
+    def test_rules_never_adopt_unseen_opinions(self, rng):
+        # step_multiopinion asserts the footnote-2 restriction internally;
+        # run both rules for several rounds on a 3-opinion population.
+        for rule in (multi_voter_rule, multi_minority_rule):
+            opinions = initial_multiopinion(60, 3, z=0, histogram=[20, 20, 19], rng=rng)
+            for _ in range(10):
+                opinions = step_multiopinion(rule, 3, 4, 0, opinions, rng)
+
+    def test_violating_rule_caught(self, rng):
+        def cheating_rule(own, histograms, rng_inner):
+            return np.full(len(own), 2)  # always adopt opinion 2, seen or not
+
+        opinions = initial_multiopinion(20, 3, z=0, histogram=[19, 0, 0], rng=rng)
+        with pytest.raises(AssertionError, match="unseen"):
+            step_multiopinion(cheating_rule, 3, 2, 0, opinions, rng)
+
+
+class TestBinaryReduction:
+    def test_binary_initialization_stays_binary(self, rng):
+        """Footnote 2: from a binary configuration no third opinion appears."""
+        opinions = initial_multiopinion(50, 3, z=1, histogram=[25, 24, 0], rng=rng)
+        history = simulate_multiopinion(
+            multi_minority_rule, 3, 3, 1, opinions, max_rounds=30, rng=rng
+        )
+        assert np.all(history[:, 2] == 0)
+
+    def test_q2_minority_matches_binary_chain(self, rng):
+        """The q=2 multi-opinion minority has the binary Protocol-2 law."""
+        n, z, x = 40, 1, 25
+        trials = 4000
+        samples = np.empty(trials, dtype=np.int64)
+        for i in range(trials):
+            opinions = initial_multiopinion(
+                n, 2, z=z, histogram=[n - x, x - z], rng=rng
+            )
+            stepped = step_multiopinion(multi_minority_rule, 2, 3, z, opinions, rng)
+            samples[i] = np.count_nonzero(stepped == 1)
+        row = transition_row(minority(3), n, z, x)
+        observed = np.bincount(samples, minlength=n + 1).astype(float)
+        expected = row * trials
+        keep = expected >= 5
+        pooled_observed = np.append(observed[keep], observed[~keep].sum())
+        pooled_expected = np.append(expected[keep], expected[~keep].sum())
+        if pooled_expected[-1] == 0:
+            pooled_observed, pooled_expected = pooled_observed[:-1], pooled_expected[:-1]
+        assert chisquare(pooled_observed, pooled_expected).pvalue > 1e-4
+
+
+class TestVoterRule:
+    def test_voter_rule_marginal_is_sample_frequency(self, rng):
+        """Adopting a uniform sample element weights opinions by count."""
+        n, q = 2000, 4
+        opinions = initial_multiopinion(
+            n, q, z=0, histogram=[799, 600, 400, 200], rng=rng
+        )
+        stepped = step_multiopinion(multi_voter_rule, q, 1, 0, opinions, rng)
+        frequencies = np.bincount(stepped, minlength=q) / n
+        initial = np.bincount(opinions, minlength=q) / n
+        np.testing.assert_allclose(frequencies, initial, atol=0.05)
+
+    def test_consensus_reached_and_detected(self, rng):
+        opinions = initial_multiopinion(30, 3, z=1, histogram=[5, 24, 0], rng=rng)
+        history = simulate_multiopinion(
+            multi_voter_rule, 3, 1, 1, opinions, max_rounds=20_000, rng=rng
+        )
+        assert history[-1][1] == 30

@@ -1,0 +1,152 @@
+"""Tests for observation noise and adversarial-start search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.adversary import exact_worst_start, simulated_worst_start
+from repro.dynamics.config import Configuration
+from repro.dynamics.noise import (
+    distorted_fraction,
+    noisy_occupancy,
+    noisy_response_probabilities,
+    step_count_noisy,
+)
+from repro.markov.exact import exact_expected_convergence_time
+from repro.protocols import minority, voter
+
+
+class TestDistortion:
+    def test_closed_form(self):
+        assert distorted_fraction(0.0, 0.1) == pytest.approx(0.1)
+        assert distorted_fraction(1.0, 0.1) == pytest.approx(0.9)
+        assert distorted_fraction(0.5, 0.3) == pytest.approx(0.5)
+
+    def test_zero_noise_is_identity(self):
+        grid = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(distorted_fraction(grid, 0.0), grid)
+
+    def test_noise_level_validated(self):
+        with pytest.raises(ValueError):
+            distorted_fraction(0.5, 0.7)
+
+    def test_noisy_responses_consistent(self):
+        protocol = minority(3)
+        p, delta = 0.8, 0.2
+        expected = protocol.response_probabilities(distorted_fraction(p, delta))
+        assert noisy_response_probabilities(protocol, p, delta) == expected
+
+
+class TestNoisyStep:
+    def test_zero_noise_matches_clean_distribution(self, rng_factory):
+        from scipy.stats import ks_2samp
+
+        from repro.dynamics.engine import step_count
+
+        protocol = minority(3)
+        n, z, x = 60, 1, 40
+        clean_rng = rng_factory(0)
+        noisy_rng = rng_factory(1)
+        clean = [step_count(protocol, n, z, x, clean_rng) for _ in range(2000)]
+        noisy = [
+            step_count_noisy(protocol, n, z, x, 0.0, noisy_rng)
+            for _ in range(2000)
+        ]
+        assert ks_2samp(clean, noisy).pvalue > 1e-4
+
+    def test_consensus_not_absorbing_under_noise(self, rng):
+        """The headline structural change: noise breaks Proposition 3."""
+        protocol = minority(3)
+        n = 200
+        left = 0
+        for _ in range(50):
+            if step_count_noisy(protocol, n, 1, n, 0.2, rng) != n:
+                left += 1
+        assert left > 0
+
+    def test_bounds_respected(self, rng):
+        protocol = voter(1)
+        x = 50
+        for _ in range(100):
+            x = step_count_noisy(protocol, 100, 1, x, 0.3, rng)
+            assert 1 <= x <= 100
+
+
+class TestOccupancy:
+    def test_voter_collapses_to_center_under_any_noise(self, rng):
+        """A genuine robustness finding: observation noise adds a restoring
+        drift delta*(1 - 2p) toward 1/2, which swamps the Voter's O(1/n)
+        source pull — even 1% noise parks the Voter at a coin flip."""
+        config = Configuration(n=500, z=1, x0=1)
+        result = noisy_occupancy(
+            voter(1), config, delta=0.01, rounds=8000, rng=rng, burn_in=4000
+        )
+        assert 0.4 < result.mean_correct_fraction < 0.75
+        assert result.occupancy < 0.1
+
+    def test_majority_holds_consensus_under_low_noise(self, rng):
+        """Majority's restoring drift beats small noise: the epsilon-consensus
+        persists (though Majority cannot *reach* it from the wrong side)."""
+        from repro.protocols import majority
+
+        config = Configuration(n=500, z=1, x0=500)
+        result = noisy_occupancy(
+            majority(5), config, delta=0.05, rounds=4000, rng=rng, burn_in=500
+        )
+        assert result.occupancy > 0.9
+
+    def test_occupancy_degrades_with_noise(self, rng_factory):
+        from repro.protocols import majority
+
+        config = Configuration(n=500, z=1, x0=500)
+        low = noisy_occupancy(
+            majority(5), config, delta=0.05, rounds=4000, rng=rng_factory(0), burn_in=500
+        )
+        high = noisy_occupancy(
+            majority(5), config, delta=0.45, rounds=4000, rng=rng_factory(1), burn_in=500
+        )
+        assert low.mean_correct_fraction > high.mean_correct_fraction
+
+    def test_validation(self, rng):
+        config = Configuration(n=100, z=1, x0=50)
+        with pytest.raises(ValueError, match="rounds"):
+            noisy_occupancy(voter(1), config, 0.1, rounds=10, rng=rng, burn_in=10)
+
+
+class TestWorstStart:
+    def test_exact_matches_profile_maximum(self):
+        worst = exact_worst_start(voter(1), 40, 1)
+        assert worst.expected_rounds == pytest.approx(worst.profile.max())
+        # For the Voter the farther from consensus, the slower: worst is x=1.
+        assert worst.config.x0 == 1
+
+    def test_exact_agrees_with_direct_solve(self):
+        worst = exact_worst_start(voter(1), 30, 1)
+        direct = exact_expected_convergence_time(
+            voter(1), Configuration(n=30, z=1, x0=worst.config.x0)
+        )
+        assert worst.expected_rounds == pytest.approx(direct)
+
+    def test_minority_metastable_well_dominates(self):
+        """For Minority (Case 1), *every* start below the escape interval
+        funnels into the metastable well at n/2, so the expected time is
+        astronomically large and essentially flat across those starts."""
+        n = 40
+        worst = exact_worst_start(minority(3), n, 1)
+        assert worst.expected_rounds > 1e6  # exp(Omega(n)) well at n = 40
+        below_interval = worst.profile[worst.probed_counts <= n // 2]
+        assert below_interval.max() / below_interval.min() < 1.01
+
+    def test_simulated_search_reports_censoring_as_inf(self, rng):
+        worst = simulated_worst_start(
+            minority(3), 300, 1, max_rounds=50, rng=rng, replicas=3, grid_points=7
+        )
+        assert np.isinf(worst.expected_rounds)
+
+    def test_simulated_search_voter(self, rng):
+        worst = simulated_worst_start(
+            voter(1), 100, 1, max_rounds=100_000, rng=rng, replicas=5, grid_points=5
+        )
+        assert np.isfinite(worst.expected_rounds)
+        assert worst.config.x0 in worst.probed_counts

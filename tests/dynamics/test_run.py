@@ -1,0 +1,123 @@
+"""Tests for trajectory runners and convergence detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import Protocol
+from repro.dynamics.config import Configuration, consensus_configuration
+from repro.dynamics.run import (
+    escape_time,
+    simulate,
+    simulate_ensemble,
+    time_to_leave_consensus,
+)
+from repro.protocols import majority, minority, voter
+
+
+class TestSimulate:
+    def test_converged_start_returns_zero(self, rng):
+        config = consensus_configuration(50, 1)
+        result = simulate(voter(1), config, 100, rng)
+        assert result.converged and result.rounds == 0
+
+    def test_voter_converges_from_wrong_consensus(self, rng):
+        config = Configuration(n=200, z=1, x0=1)
+        result = simulate(voter(1), config, 50_000, rng)
+        assert result.converged
+        assert result.final_count == 200
+
+    def test_censoring_reported(self, rng):
+        # Minority with constant ell from the witness side barely moves.
+        config = Configuration(n=500, z=1, x0=400)
+        result = simulate(minority(3), config, 50, rng)
+        assert not result.converged
+        assert result.rounds is None
+
+    def test_trajectory_recording(self, rng):
+        config = Configuration(n=100, z=1, x0=50)
+        result = simulate(voter(1), config, 30_000, rng, record=True)
+        assert result.trajectory is not None
+        assert result.trajectory[0] == 50
+        if result.converged:
+            assert result.trajectory[-1] == 100
+            assert len(result.trajectory) == result.rounds + 1
+
+    def test_prop3_violator_rejected(self, rng):
+        bad = Protocol(ell=1, g0=[0.2, 1.0], g1=[0.0, 1.0])
+        with pytest.raises(ValueError, match="Proposition 3"):
+            simulate(bad, Configuration(n=10, z=1, x0=5), 10, rng)
+
+
+class TestEnsemble:
+    def test_all_replicas_converge_for_voter(self, rng):
+        config = Configuration(n=100, z=1, x0=1)
+        times = simulate_ensemble(voter(1), config, 50_000, rng, replicas=30)
+        assert not np.isnan(times).any()
+        assert np.all(times > 0)
+
+    def test_converged_start_gives_zero_times(self, rng):
+        config = consensus_configuration(60, 0)
+        times = simulate_ensemble(voter(1), config, 10, rng, replicas=5)
+        np.testing.assert_array_equal(times, 0.0)
+
+    def test_censored_replicas_are_nan(self, rng):
+        config = Configuration(n=400, z=1, x0=300)
+        times = simulate_ensemble(minority(3), config, 20, rng, replicas=10)
+        assert np.isnan(times).all()  # the Theorem-1 regime: way too slow
+
+    def test_replica_count_validated(self, rng):
+        with pytest.raises(ValueError, match="replicas"):
+            simulate_ensemble(voter(1), Configuration(n=10, z=1, x0=5), 10, rng, 0)
+
+    def test_ensemble_times_match_single_run_distribution(self, rng_factory):
+        """The lock-step ensemble must be distributionally identical to loops."""
+        config = Configuration(n=80, z=1, x0=40)
+        ensemble = simulate_ensemble(
+            voter(1), config, 100_000, rng_factory(0), replicas=200
+        )
+        singles = np.array(
+            [
+                simulate(voter(1), config, 100_000, rng_factory(1 + i)).rounds
+                for i in range(200)
+            ],
+            dtype=float,
+        )
+        from scipy.stats import ks_2samp
+
+        assert ks_2samp(ensemble, singles).pvalue > 1e-4
+
+
+class TestEscapeTime:
+    def test_already_escaped_returns_zero(self, rng):
+        from repro.core.lower_bound import lower_bound_certificate
+
+        certificate = lower_bound_certificate(minority(3))
+        n = 1000
+        # Manufacture a run whose start is past the threshold by starting the
+        # check from the threshold itself.
+        threshold = certificate.escape_threshold(n)
+        assert certificate.has_escaped(n, threshold)
+
+    def test_none_means_budget_exhausted(self, rng):
+        from repro.core.lower_bound import lower_bound_certificate
+
+        certificate = lower_bound_certificate(minority(3))
+        result = escape_time(minority(3), certificate, 2000, 30, rng)
+        assert result is None  # escape takes >= n^(1-eps) >> 30 rounds
+
+
+class TestLeaveConsensus:
+    def test_violator_leaves_quickly(self, rng):
+        bad = Protocol(ell=1, g0=[0.3, 1.0], g1=[0.0, 1.0], name="leaky")
+        t = time_to_leave_consensus(bad, n=100, z=0, max_rounds=100, rng=rng)
+        assert t == 1  # with 99 agents each leaving w.p. 0.3, round 1 breaks it
+
+    def test_compliant_protocol_short_circuits(self, rng):
+        assert time_to_leave_consensus(voter(1), 100, 1, 100, rng) is None
+
+    def test_upper_violation_side(self, rng):
+        bad = Protocol(ell=1, g0=[0.0, 1.0], g1=[0.0, 0.7], name="leaky-top")
+        t = time_to_leave_consensus(bad, n=100, z=1, max_rounds=100, rng=rng)
+        assert t is not None and t <= 3

@@ -1,0 +1,94 @@
+"""Tests for the sequential setting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import Protocol
+from repro.dynamics.config import Configuration
+from repro.dynamics.sequential import (
+    sequential_transition_probabilities,
+    simulate_sequential,
+)
+from repro.markov.birth_death import sequential_birth_death_chain
+from repro.protocols import minority, voter
+
+
+class TestTransitionProbabilities:
+    def test_probabilities_are_valid(self):
+        for protocol in (voter(1), minority(3)):
+            for x in range(1, 51):
+                p_up, p_down = sequential_transition_probabilities(protocol, 50, 1, x)
+                assert 0.0 <= p_up <= 1.0
+                assert 0.0 <= p_down <= 1.0
+                assert p_up + p_down <= 1.0 + 1e-12
+
+    def test_consensus_is_absorbing(self):
+        p_up, p_down = sequential_transition_probabilities(voter(1), 50, 1, 50)
+        assert p_up == 0.0 and p_down == 0.0
+        p_up, p_down = sequential_transition_probabilities(voter(1), 50, 0, 0)
+        assert p_up == 0.0 and p_down == 0.0
+
+    def test_wrong_consensus_not_absorbing(self):
+        # z = 1, x = 1: only the source holds 1; a zero-agent can sample it.
+        p_up, p_down = sequential_transition_probabilities(voter(1), 50, 1, 1)
+        assert p_up == pytest.approx((49 / 49) * (1 / 50))
+        assert p_down == 0.0
+
+    def test_voter_closed_form(self):
+        # Voter: P0(p) = p and 1 - P1(p) = 1 - p.
+        n, z, x = 100, 0, 40
+        p = x / n
+        p_up, p_down = sequential_transition_probabilities(voter(1), n, z, x)
+        assert p_up == pytest.approx(((n - x - 1) / (n - 1)) * p)
+        assert p_down == pytest.approx((x / (n - 1)) * (1 - p))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="count x"):
+            sequential_transition_probabilities(voter(1), 50, 1, 0)
+
+
+class TestSimulateSequential:
+    def test_voter_converges(self, rng):
+        config = Configuration(n=60, z=1, x0=1)
+        result = simulate_sequential(voter(1), config, 10_000_000, rng)
+        assert result.converged
+        assert result.parallel_rounds > 0
+
+    def test_converged_start(self, rng):
+        config = Configuration(n=40, z=0, x0=0)
+        result = simulate_sequential(voter(1), config, 1000, rng)
+        assert result.converged and result.activations == 0
+
+    def test_budget_exhaustion(self, rng):
+        config = Configuration(n=100, z=1, x0=50)
+        result = simulate_sequential(voter(1), config, 50, rng)
+        if not result.converged:
+            assert result.activations == 50
+
+    def test_prop3_violator_rejected(self, rng):
+        bad = Protocol(ell=1, g0=[0.2, 1.0], g1=[0.0, 1.0])
+        with pytest.raises(ValueError, match="Proposition 3"):
+            simulate_sequential(bad, Configuration(n=10, z=1, x0=5), 10, rng)
+
+    def test_frozen_state_detected(self, rng):
+        # A protocol that never changes anyone: g = identity on own opinion.
+        frozen = Protocol(ell=1, g0=[0.0, 0.0], g1=[1.0, 1.0], name="inert")
+        config = Configuration(n=20, z=1, x0=10)
+        result = simulate_sequential(frozen, config, 1000, rng)
+        assert result.frozen and not result.converged
+
+    def test_matches_birth_death_expectation(self, rng_factory):
+        """Holding-time-accelerated simulation matches the exact E[T]."""
+        n, z = 40, 1
+        config = Configuration(n=n, z=z, x0=20)
+        chain = sequential_birth_death_chain(voter(1), n, z)
+        exact = chain.expected_time_to_top(20)
+        samples = [
+            simulate_sequential(voter(1), config, 10_000_000, rng_factory(i)).activations
+            for i in range(150)
+        ]
+        mean = np.mean(samples)
+        standard_error = np.std(samples) / np.sqrt(len(samples))
+        assert abs(mean - exact) < 5 * standard_error + 1.0

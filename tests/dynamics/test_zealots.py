@@ -1,0 +1,95 @@
+"""Tests for the competing-zealots setting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.zealots import (
+    ZealotPopulation,
+    stationary_profile,
+    step_count_zealots,
+)
+from repro.protocols import majority, voter
+
+
+class TestPopulation:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exceed"):
+            ZealotPopulation(n=10, s1=6, s0=6)
+        with pytest.raises(ValueError, match="non-negative"):
+            ZealotPopulation(n=10, s1=-1, s0=0)
+        with pytest.raises(ValueError, match="n"):
+            ZealotPopulation(n=1, s1=0, s0=0)
+
+    def test_bounds(self):
+        population = ZealotPopulation(n=20, s1=3, s0=2)
+        assert population.count_bounds() == (3, 18)
+        assert population.free_agents == 15
+
+
+class TestStep:
+    def test_zealots_never_move(self, rng):
+        population = ZealotPopulation(n=50, s1=5, s0=5)
+        x = 25
+        for _ in range(200):
+            x = step_count_zealots(voter(1), population, x, rng)
+            assert 5 <= x <= 45
+
+    def test_one_sided_zealots_reduce_to_source_model(self, rng_factory):
+        """s1=1, s0=0 is exactly the bit-dissemination chain with z=1."""
+        from scipy.stats import ks_2samp
+
+        from repro.dynamics.engine import step_count
+
+        n, x = 40, 25
+        population = ZealotPopulation(n=n, s1=1, s0=0)
+        rng_a, rng_b = rng_factory(0), rng_factory(1)
+        with_zealot = [
+            step_count_zealots(voter(1), population, x, rng_a) for _ in range(3000)
+        ]
+        with_source = [step_count(voter(1), n, 1, x, rng_b) for _ in range(3000)]
+        assert ks_2samp(with_zealot, with_source).pvalue > 1e-4
+
+    def test_out_of_range_rejected(self, rng):
+        population = ZealotPopulation(n=20, s1=3, s0=2)
+        with pytest.raises(ValueError, match="count x"):
+            step_count_zealots(voter(1), population, 2, rng)
+
+
+class TestStationaryBehaviour:
+    def test_voter_mean_matches_zealot_share(self, rng):
+        """[25]-style: E[fraction of 1s] -> s1 / (s1 + s0) under the Voter.
+
+        (The Voter's free agents are a martingale pulled by both camps in
+        proportion to their sizes.)
+        """
+        population = ZealotPopulation(n=300, s1=9, s0=3)
+        trace = stationary_profile(
+            voter(1), population, rounds=30_000, rng=rng, burn_in=5_000
+        )
+        mean_fraction = float(trace.mean() / population.n)
+        assert mean_fraction == pytest.approx(9 / 12, abs=0.06)
+
+    def test_symmetric_zealots_give_half(self, rng):
+        population = ZealotPopulation(n=200, s1=5, s0=5)
+        trace = stationary_profile(
+            voter(1), population, rounds=20_000, rng=rng, burn_in=4_000
+        )
+        assert float(trace.mean() / 200) == pytest.approx(0.5, abs=0.07)
+
+    def test_no_consensus_is_absorbing_with_opposition(self, rng):
+        """Even the consensus-loving Majority cannot settle: the opposing
+        zealots re-seed the other side every round."""
+        population = ZealotPopulation(n=100, s1=10, s0=10)
+        trace = stationary_profile(
+            majority(3), population, rounds=4_000, rng=rng, burn_in=500
+        )
+        low, high = population.count_bounds()
+        # The chain keeps moving (not parked at either extreme forever).
+        assert trace.min() >= low and trace.max() <= high
+        assert len(np.unique(trace)) > 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="rounds"):
+            stationary_profile(voter(1), ZealotPopulation(10, 1, 1), 5, rng, burn_in=5)

@@ -1,0 +1,70 @@
+"""Tests for the finite-memory trend-following protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extensions.memory import (
+    initial_memory_state,
+    run_memory_protocol,
+    step_memory_protocol,
+)
+
+
+class TestInitialization:
+    def test_counts_realized(self, rng):
+        state = initial_memory_state(n=50, z=1, x0=20, ell=7, rng=rng)
+        assert state.opinions.sum() == 20
+        assert state.opinions[0] == 1
+        assert np.all((state.remembered_counts >= 0) & (state.remembered_counts <= 7))
+
+    def test_bad_x0_rejected(self, rng):
+        with pytest.raises(ValueError, match="x0"):
+            initial_memory_state(n=10, z=1, x0=11, ell=3, rng=rng)
+
+
+class TestStep:
+    def test_source_pinned(self, rng):
+        state = initial_memory_state(n=40, z=0, x0=30, ell=5, rng=rng)
+        for _ in range(10):
+            state = step_memory_protocol(state, z=0, ell=5, rng=rng)
+            assert state.opinions[0] == 0
+
+    def test_memory_is_previous_count(self, rng):
+        state = initial_memory_state(n=30, z=1, x0=15, ell=4, rng=rng)
+        stepped = step_memory_protocol(state, z=1, ell=4, rng=rng)
+        assert np.all((stepped.remembered_counts >= 0) & (stepped.remembered_counts <= 4))
+
+    def test_consensus_is_stable(self, rng):
+        """At the correct consensus every count is ell, trend steady: stays."""
+        state = initial_memory_state(n=40, z=1, x0=40, ell=5, rng=rng, adversarial_memory=False)
+        state.remembered_counts[:] = 5
+        for _ in range(10):
+            state = step_memory_protocol(state, z=1, ell=5, rng=rng)
+            assert state.opinions.sum() == 40
+
+
+class TestConvergence:
+    def test_converges_from_wrong_consensus(self, rng):
+        t = run_memory_protocol(n=2000, z=1, x0=1, ell=31, max_rounds=2000, rng=rng)
+        assert t is not None
+
+    def test_fast_compared_to_memoryless_bound(self, rng_factory):
+        """The E12 separation: polylog rounds where Theorem 1 forces n^(1-eps)."""
+        n = 4096
+        times = []
+        for i in range(5):
+            t = run_memory_protocol(
+                n=n, z=1, x0=1, ell=63, max_rounds=3000, rng=rng_factory(i)
+            )
+            assert t is not None
+            times.append(t)
+        lower_bound_for_memoryless = n ** 0.5  # Theorem 1 at eps = 1/2
+        assert np.median(times) < lower_bound_for_memoryless
+
+    def test_both_source_opinions(self, rng):
+        for z in (0, 1):
+            x0 = 1 if z == 1 else 1999
+            t = run_memory_protocol(n=2000, z=z, x0=x0, ell=31, max_rounds=2000, rng=rng)
+            assert t is not None

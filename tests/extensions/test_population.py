@@ -1,0 +1,113 @@
+"""Tests for the population-protocol engine and the broadcast protocol."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.extensions.population import (
+    PopulationProtocol,
+    broadcast_initial_states,
+    broadcast_opinion,
+    run_population_protocol,
+    source_broadcast_protocol,
+)
+
+
+class TestEngine:
+    def test_transition_table_validation(self):
+        bad = PopulationProtocol(
+            states=2, delta=lambda a, b: (a, 5), output=lambda s: s
+        )
+        with pytest.raises(ValueError, match="state space"):
+            bad.transition_table()
+
+    def test_inert_protocol_never_converges_to_other_opinion(self, rng):
+        inert = PopulationProtocol(
+            states=2, delta=lambda a, b: (a, b), output=lambda s: s
+        )
+        states = np.array([0] * 5 + [1] * 5)
+        run = run_population_protocol(inert, states, 1, 2000, rng)
+        assert not run.converged
+
+    def test_pairs_are_distinct(self, rng):
+        """A self-interaction would be visible for a protocol counting them."""
+        hits = {"same": 0}
+
+        def spy(a, b):
+            return a, b
+
+        protocol = PopulationProtocol(states=2, delta=spy, output=lambda s: s)
+        # The engine guarantees i != j structurally; run and check it simply
+        # doesn't crash and respects the interaction budget.
+        states = np.zeros(10, dtype=np.int64)
+        run = run_population_protocol(protocol, states, 0, 500, rng)
+        assert run.converged  # all outputs are already 0
+        assert run.interactions <= 512
+
+    def test_small_population_rejected(self, rng):
+        protocol = source_broadcast_protocol()
+        with pytest.raises(ValueError, match="agents"):
+            run_population_protocol(protocol, np.array([0]), 0, 10, rng)
+
+
+class TestBroadcast:
+    def test_converges_from_adversarial_opinions(self, rng):
+        n = 300
+        states = broadcast_initial_states(n, z=1, rng=rng, adversarial_informed=False)
+        run = run_population_protocol(
+            source_broadcast_protocol(), states, 1, 100 * n, rng, source_state=3
+        )
+        assert run.converged
+
+    def test_parallel_time_is_logarithmic_shape(self, rng_factory):
+        """Epidemic spread: parallel time grows like log n, not n."""
+        times = []
+        for n in (100, 400, 1600):
+            runs = []
+            for i in range(5):
+                rng = rng_factory(n + i)
+                states = broadcast_initial_states(
+                    n, z=1, rng=rng, adversarial_informed=False
+                )
+                result = run_population_protocol(
+                    source_broadcast_protocol(), states, 1, 200 * n, rng, source_state=3
+                )
+                assert result.converged
+                runs.append(result.parallel_time(n))
+            times.append(np.median(runs))
+        # 16x more agents should cost far less than 16x the parallel time.
+        assert times[2] / times[0] < 4.0
+
+    def test_documented_limitation_false_informed_flags(self, rng):
+        """With all flags adversarially set, this simplified protocol stalls.
+
+        (The gap [22] closes with flag recycling; kept as a regression test
+        of the documented behaviour.)
+        """
+        n = 100
+        states = broadcast_initial_states(n, z=1, rng=rng, adversarial_informed=True)
+        run = run_population_protocol(
+            source_broadcast_protocol(), states, 1, 50 * n, rng, source_state=3
+        )
+        assert not run.converged
+
+    def test_output_map(self):
+        assert broadcast_opinion(0) == 0  # (opinion 0, uninformed)
+        assert broadcast_opinion(1) == 0  # (opinion 0, informed)
+        assert broadcast_opinion(2) == 1
+        assert broadcast_opinion(3) == 1
+
+    def test_source_pinned(self, rng):
+        n = 50
+        states = broadcast_initial_states(n, z=0, rng=rng, adversarial_informed=False)
+        run = run_population_protocol(
+            source_broadcast_protocol(), states, 0, 200 * n, rng, source_state=1
+        )
+        assert run.final_states[0] == 1
+
+    def test_bad_z_rejected(self, rng):
+        with pytest.raises(ValueError, match="z"):
+            broadcast_initial_states(10, z=7, rng=rng)

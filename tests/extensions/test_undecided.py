@@ -1,0 +1,89 @@
+"""Tests for the undecided-state dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extensions.undecided import (
+    UndecidedState,
+    initial_undecided_state,
+    run_undecided,
+    step_undecided,
+)
+
+
+class TestState:
+    def test_counts_validated(self):
+        with pytest.raises(ValueError, match="sum"):
+            UndecidedState(n=10, z=1, ones=5, zeros=4, undecided=2)
+        with pytest.raises(ValueError, match="non-negative"):
+            UndecidedState(n=10, z=1, ones=11, zeros=-1, undecided=0)
+        with pytest.raises(ValueError, match="source"):
+            UndecidedState(n=10, z=1, ones=0, zeros=5, undecided=5)
+
+    def test_helper_constructor(self):
+        state = initial_undecided_state(10, z=1, ones=4, undecided=3)
+        assert state.zeros == 3
+        assert state.correct_count == 4
+
+
+class TestStep:
+    def test_conservation(self, rng):
+        state = initial_undecided_state(100, z=1, ones=30, undecided=20)
+        for _ in range(50):
+            state = step_undecided(state, rng)
+            assert state.ones + state.zeros + state.undecided == 100
+
+    def test_correct_consensus_absorbing(self, rng):
+        state = initial_undecided_state(50, z=1, ones=50, undecided=0)
+        for _ in range(20):
+            state = step_undecided(state, rng)
+            assert state.is_correct_consensus
+
+    def test_wrong_consensus_eroded_by_source(self, rng):
+        """z=1 against all-zeros: the source seeds undecided agents."""
+        state = initial_undecided_state(50, z=1, ones=1, undecided=0)
+        seen_undecided = False
+        for _ in range(200):
+            state = step_undecided(state, rng)
+            if state.undecided > 0:
+                seen_undecided = True
+                break
+        assert seen_undecided
+
+    def test_source_never_lost(self, rng):
+        state = initial_undecided_state(40, z=0, ones=30, undecided=5)
+        for _ in range(100):
+            state = step_undecided(state, rng)
+            assert state.zeros >= 1  # the source always displays 0
+
+
+class TestRun:
+    def test_converges_from_balanced_start(self, rng):
+        state = initial_undecided_state(200, z=1, ones=100, undecided=0)
+        converged, rounds, final = run_undecided(state, 100_000, rng)
+        assert converged
+        assert final.is_correct_consensus
+
+    def test_budget_reported(self, rng):
+        state = initial_undecided_state(500, z=1, ones=1, undecided=0)
+        converged, rounds, _ = run_undecided(state, 5, rng)
+        if not converged:
+            assert rounds == 5
+
+    def test_already_converged(self, rng):
+        state = initial_undecided_state(30, z=0, ones=0, undecided=0)
+        converged, rounds, _ = run_undecided(state, 10, rng)
+        assert converged and rounds == 0
+
+    def test_plain_consensus_is_fast(self, rng_factory):
+        """Without adversarial structure, USD reaches *a* consensus quickly;
+        with the source present it is the correct one from a fair start."""
+        times = []
+        for i in range(5):
+            state = initial_undecided_state(400, z=1, ones=240, undecided=0)
+            converged, rounds, _ = run_undecided(state, 10_000, rng_factory(i))
+            assert converged
+            times.append(rounds)
+        assert np.median(times) < 600

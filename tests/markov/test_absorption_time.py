@@ -1,0 +1,102 @@
+"""Tests for exact absorption-time distributions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dynamics.config import Configuration
+from repro.dynamics.run import simulate_ensemble
+from repro.markov.absorption_time import absorption_time_cdf, exceedance_probability
+from repro.markov.chain import FiniteMarkovChain
+from repro.markov.exact import count_chain, exact_expected_convergence_time
+from repro.protocols import voter
+
+
+def absorbing_walk() -> FiniteMarkovChain:
+    # Simple walk on 0..3 absorbed at 3.
+    matrix = np.array(
+        [
+            [0.5, 0.5, 0.0, 0.0],
+            [0.5, 0.0, 0.5, 0.0],
+            [0.0, 0.5, 0.0, 0.5],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+    return FiniteMarkovChain(matrix)
+
+
+class TestCdf:
+    def test_cdf_monotone_and_bounded(self):
+        cdf = absorption_time_cdf(absorbing_walk(), [3], start=0, horizon=200)
+        assert np.all(np.diff(cdf.cdf) >= -1e-12)
+        assert cdf.cdf[0] == 0.0
+        assert cdf.cdf[-1] <= 1.0 + 1e-12
+
+    def test_start_on_target(self):
+        cdf = absorption_time_cdf(absorbing_walk(), [3], start=3, horizon=5)
+        assert np.all(cdf.cdf == 1.0)
+
+    def test_first_step_probability_exact(self):
+        # From state 2, P(tau <= 1) is exactly the one-step probability 1/2.
+        cdf = absorption_time_cdf(absorbing_walk(), [3], start=2, horizon=3)
+        assert cdf.cdf[1] == pytest.approx(0.5)
+
+    def test_quantiles(self):
+        cdf = absorption_time_cdf(absorbing_walk(), [3], start=2, horizon=500)
+        median = cdf.quantile(0.5)
+        assert median is not None and cdf.cdf[median] >= 0.5
+        assert cdf.quantile(0.999999999) is None or cdf.cdf[-1] > 0.999999999
+
+    def test_mean_from_tail_sum_matches_linear_solve(self):
+        chain = absorbing_walk()
+        cdf = absorption_time_cdf(chain, [3], start=0, horizon=5000)
+        tail_sum = float(np.sum(1.0 - cdf.cdf))
+        exact = chain.expected_hitting_times([3])[0]
+        assert tail_sum == pytest.approx(exact, rel=1e-6)
+
+    def test_validation(self):
+        chain = absorbing_walk()
+        with pytest.raises(ValueError, match="horizon"):
+            absorption_time_cdf(chain, [3], 0, -1)
+        with pytest.raises(ValueError, match="start"):
+            absorption_time_cdf(chain, [3], 9, 5)
+        cdf = absorption_time_cdf(chain, [3], 0, 5)
+        with pytest.raises(ValueError, match="q"):
+            cdf.quantile(0.0)
+
+
+class TestAgainstMonteCarlo:
+    def test_voter_cdf_matches_simulation(self, rng):
+        n = 24
+        config = Configuration(n=n, z=1, x0=12)
+        chain = count_chain(voter(1), n, 1)
+        horizon = 400
+        cdf = absorption_time_cdf(chain, [n], start=12, horizon=horizon)
+        times = simulate_ensemble(voter(1), config, horizon, rng, replicas=3000)
+        for t in (25, 50, 100, 200):
+            empirical = float(np.mean(np.nan_to_num(times, nan=np.inf) <= t))
+            assert empirical == pytest.approx(cdf.cdf[t], abs=0.03)
+
+
+class TestTheorem2Exactly:
+    def test_voter_whp_bound_holds_exactly(self):
+        """Theorem 2, with zero Monte-Carlo error at small n:
+
+        P(tau > 2 n ln n) <= 1/n from EVERY admissible start.
+        """
+        for n in (16, 32, 64):
+            chain = count_chain(voter(1), n, 1)
+            horizon = int(math.ceil(2 * n * math.log(n)))
+            survival = exceedance_probability(chain, [n], horizon)
+            admissible = np.arange(1, n + 1)
+            worst = float(survival[admissible].max())
+            assert worst <= 1.0 / n, (n, worst)
+
+    def test_exceedance_decreasing_in_horizon(self):
+        chain = count_chain(voter(1), 20, 1)
+        shorter = exceedance_probability(chain, [20], 50)
+        longer = exceedance_probability(chain, [20], 150)
+        assert np.all(longer <= shorter + 1e-12)

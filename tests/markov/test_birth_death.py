@@ -1,0 +1,122 @@
+"""Tests for the birth-death substrate (sequential setting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.birth_death import BirthDeathChain, sequential_birth_death_chain
+from repro.markov.chain import FiniteMarkovChain
+from repro.protocols import minority, voter
+
+
+def symmetric_lazy_walk(size: int, move: float = 0.5) -> BirthDeathChain:
+    up = np.full(size, move / 2)
+    down = np.full(size, move / 2)
+    up[-1] = 0.0
+    down[0] = 0.0
+    return BirthDeathChain(up=up, down=down)
+
+
+class TestValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain(up=[0.7, 0.0], down=[0.0, 1.4])
+        with pytest.raises(ValueError):
+            BirthDeathChain(up=[-0.1, 0.0], down=[0.0, 0.5])
+
+    def test_edge_constraints(self):
+        with pytest.raises(ValueError, match=r"up\[N\]"):
+            BirthDeathChain(up=[0.5, 0.5], down=[0.0, 0.5])
+        with pytest.raises(ValueError, match=r"down\[0\]"):
+            BirthDeathChain(up=[0.5, 0.0], down=[0.5, 0.5])
+
+
+class TestClosedForms:
+    def test_symmetric_walk_time_to_top(self):
+        # Symmetric walk reflecting (lazily) at 0, move prob m:
+        # E[T_{k -> k+1}] = 2(k+1)/m, so E[T_{0 -> N}] = N(N+1)/m.
+        for size, move in ((6, 1.0), (9, 0.5)):
+            chain = symmetric_lazy_walk(size, move)
+            n_top = size - 1
+            assert chain.expected_time_to_top(0) == pytest.approx(
+                n_top * (n_top + 1) / move
+            )
+
+    def test_time_to_bottom_mirror(self):
+        chain = symmetric_lazy_walk(8)
+        assert chain.expected_time_to_bottom(7) == pytest.approx(
+            chain.expected_time_to_top(0)
+        )
+
+    def test_matches_generic_chain_solver(self):
+        chain = symmetric_lazy_walk(7)
+        generic = FiniteMarkovChain(chain.transition_matrix())
+        times = generic.expected_hitting_times([6])
+        for start in range(7):
+            assert chain.expected_time_to_top(start) == pytest.approx(
+                times[start], rel=1e-9
+            )
+
+    def test_ruin_probability_symmetric(self):
+        chain = symmetric_lazy_walk(11)
+        for start in range(11):
+            assert chain.ruin_probability(start) == pytest.approx(1 - start / 10)
+
+    def test_ruin_probability_biased(self):
+        # p up, q down: classical formula with rho = q/p.
+        p_up, p_down = 0.3, 0.2
+        size = 9
+        up = np.full(size, p_up)
+        down = np.full(size, p_down)
+        up[-1] = 0.0
+        down[0] = 0.0
+        chain = BirthDeathChain(up=up, down=down)
+        rho = p_down / p_up
+        n_top = size - 1
+        for start in (1, 4, 7):
+            expected = (rho**start - rho**n_top) / (1 - rho**n_top)
+            assert chain.ruin_probability(start) == pytest.approx(expected, rel=1e-9)
+
+    def test_stuck_region_gives_infinite_time(self):
+        up = np.array([0.0, 0.5, 0.0])
+        down = np.array([0.0, 0.25, 0.25])
+        chain = BirthDeathChain(up=up, down=down)
+        assert np.isinf(chain.expected_time_to_top(0))
+
+
+class TestSequentialChains:
+    def test_voter_sequential_chain_is_valid(self):
+        chain = sequential_birth_death_chain(voter(1), 30, 1)
+        assert chain.size == 31
+        assert chain.up[30] == 0.0
+
+    def test_consensus_absorbing(self):
+        chain = sequential_birth_death_chain(minority(3), 30, 1)
+        assert chain.up[30] == 0.0 and chain.down[30] == 0.0
+
+    def test_sequential_lower_bound_shape(self):
+        """[14]: sequential convergence takes Omega(n) parallel rounds.
+
+        Check the exact expected time for the Voter from the worst start at
+        a few sizes: time / n / n (activations -> parallel rounds -> per-n)
+        should not shrink.
+        """
+        per_n = []
+        for n in (16, 32, 64, 128):
+            chain = sequential_birth_death_chain(voter(1), n, 1)
+            activations = chain.expected_time_to_top(1)
+            parallel_rounds = activations / n
+            per_n.append(parallel_rounds / n)
+        assert min(per_n) > 0.3  # Omega(n) with a visible constant
+
+    def test_minority_sequential_slower_than_voter(self):
+        """Minority's adverse drift on (n/2, n) makes it far slower sequentially."""
+        n = 40
+        voter_time = sequential_birth_death_chain(voter(1), n, 1).expected_time_to_top(
+            n // 2
+        )
+        minority_time = sequential_birth_death_chain(
+            minority(3), n, 1
+        ).expected_time_to_top(n // 2)
+        assert minority_time > 10 * voter_time

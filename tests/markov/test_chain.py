@@ -1,0 +1,139 @@
+"""Tests for the generic finite-chain substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import FiniteMarkovChain
+
+
+def three_state_chain() -> FiniteMarkovChain:
+    # 0 absorbing, 1 mixes, 2 drifts to 1.
+    return FiniteMarkovChain(
+        np.array(
+            [
+                [1.0, 0.0, 0.0],
+                [0.3, 0.4, 0.3],
+                [0.0, 0.6, 0.4],
+            ]
+        )
+    )
+
+
+class TestValidation:
+    def test_row_sums_enforced(self):
+        with pytest.raises(ValueError, match="sums"):
+            FiniteMarkovChain(np.array([[0.5, 0.4], [0.0, 1.0]]))
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            FiniteMarkovChain(np.array([[1.2, -0.2], [0.0, 1.0]]))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            FiniteMarkovChain(np.ones((2, 3)) / 3)
+
+    def test_matrix_is_read_only(self):
+        chain = three_state_chain()
+        with pytest.raises(ValueError):
+            chain.transition[0, 0] = 0.5
+
+
+class TestStructure:
+    def test_absorbing_states(self):
+        np.testing.assert_array_equal(three_state_chain().absorbing_states(), [0])
+
+    def test_expected_change(self):
+        chain = three_state_chain()
+        assert chain.expected_change(1) == pytest.approx(0.3 * 0 + 0.4 * 1 + 0.3 * 2 - 1)
+
+    def test_step_distribution(self):
+        chain = three_state_chain()
+        mu = np.array([0.0, 1.0, 0.0])
+        np.testing.assert_allclose(chain.step_distribution(mu), [0.3, 0.4, 0.3])
+
+
+class TestHitting:
+    def test_gambler_ruin_probabilities(self):
+        # Symmetric walk on 0..4 with absorbing ends: P(hit 4 before 0 | x) = x/4.
+        size = 5
+        matrix = np.zeros((size, size))
+        matrix[0, 0] = matrix[size - 1, size - 1] = 1.0
+        for x in range(1, size - 1):
+            matrix[x, x - 1] = matrix[x, x + 1] = 0.5
+        chain = FiniteMarkovChain(matrix)
+        h = chain.hitting_probabilities([size - 1], [0])
+        np.testing.assert_allclose(h, np.arange(size) / (size - 1), atol=1e-10)
+
+    def test_symmetric_walk_hitting_times(self):
+        # E[T_absorb from x] = x (N - x) for the simple walk with absorbing ends.
+        size = 7
+        matrix = np.zeros((size, size))
+        matrix[0, 0] = matrix[size - 1, size - 1] = 1.0
+        for x in range(1, size - 1):
+            matrix[x, x - 1] = matrix[x, x + 1] = 0.5
+        chain = FiniteMarkovChain(matrix)
+        times = chain.expected_hitting_times([0, size - 1])
+        states = np.arange(size)
+        np.testing.assert_allclose(times, states * (size - 1 - states), atol=1e-9)
+
+    def test_infinite_time_where_target_avoidable(self):
+        # From state 1 the chain may absorb at 0 and never reach 2.
+        chain = three_state_chain()
+        times = chain.expected_hitting_times([2])
+        assert times[2] == 0.0
+        assert np.isinf(times[1]) and np.isinf(times[0])
+
+    def test_eventual_hitting_probabilities(self):
+        chain = three_state_chain()
+        p = chain.eventual_hitting_probabilities([0])
+        # Both transient states are eventually absorbed at 0 a.s.
+        np.testing.assert_allclose(p, [1.0, 1.0, 1.0], atol=1e-10)
+        p2 = chain.eventual_hitting_probabilities([2])
+        assert p2[2] == 1.0
+        assert 0.0 < p2[1] < 1.0
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            three_state_chain().expected_hitting_times([7])
+
+    def test_overlapping_target_avoid_rejected(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            three_state_chain().hitting_probabilities([0], [0])
+
+
+class TestStationary:
+    def test_two_state_closed_form(self):
+        chain = FiniteMarkovChain(np.array([[0.9, 0.1], [0.4, 0.6]]))
+        pi = chain.stationary_distribution()
+        np.testing.assert_allclose(pi, [0.8, 0.2], atol=1e-10)
+
+    def test_reducible_chain_rejected(self):
+        chain = FiniteMarkovChain(np.eye(3))
+        with pytest.raises(ValueError, match="reducible"):
+            chain.stationary_distribution()
+
+
+class TestSampling:
+    def test_sample_path_respects_support(self, rng):
+        chain = three_state_chain()
+        path = chain.sample_path(2, 200, rng)
+        assert path[0] == 2
+        assert np.all((path >= 0) & (path <= 2))
+        # Once at the absorbing state, the path stays there.
+        hits = np.nonzero(path == 0)[0]
+        if len(hits):
+            assert np.all(path[hits[0]:] == 0)
+
+    def test_empirical_transition_frequencies(self, rng):
+        chain = three_state_chain()
+        path = chain.sample_path(1, 20_000, rng)
+        visits_to_2 = path[:-1] == 2
+        if visits_to_2.sum() > 100:
+            frequency_up = np.mean(path[1:][visits_to_2] == 1)
+            assert abs(frequency_up - 0.6) < 0.05
+
+    def test_bad_start_rejected(self, rng):
+        with pytest.raises(ValueError, match="start"):
+            three_state_chain().sample_path(5, 10, rng)

@@ -1,0 +1,81 @@
+"""Tests for stochastic-monotonicity checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.coupling import is_stochastically_monotone, tables_are_monotone
+from repro.markov.exact import count_chain
+from repro.protocols import majority, minority, two_choices, voter
+
+
+class TestTableCondition:
+    def test_voter_monotone(self):
+        assert tables_are_monotone(voter(3))
+
+    def test_majority_monotone(self):
+        assert tables_are_monotone(majority(5))
+
+    def test_two_choices_monotone(self):
+        assert tables_are_monotone(two_choices())
+
+    def test_minority_not_monotone(self):
+        assert not tables_are_monotone(minority(3))
+
+
+class TestExactCheck:
+    @pytest.mark.parametrize("protocol", [voter(1), majority(3), two_choices()])
+    @pytest.mark.parametrize("z", [0, 1])
+    def test_monotone_tables_give_monotone_chains(self, protocol, z):
+        chain = count_chain(protocol, 40, z)
+        assert is_stochastically_monotone(chain)
+
+    def test_minority3_chain_is_marginally_monotone(self):
+        """The table condition is sufficient, not necessary: Minority(3)'s
+        tables are non-monotone, yet its count chain IS stochastically
+        monotone — the mean map ``x + n F(x/n)`` has slope
+        ``1 + F'(p) >= 0`` everywhere (with equality exactly at p = 1/2)."""
+        chain = count_chain(minority(3), 40, 1)
+        assert not tables_are_monotone(minority(3))
+        assert is_stochastically_monotone(chain)
+
+    def test_minority15_chain_not_monotone(self):
+        """Larger samples push ``1 + F'(1/2)`` below 0 (phi'(1/2) ~ -3.1 at
+        ell = 15): starting higher lands you stochastically *lower* — the
+        overshoot in coupling language."""
+        chain = count_chain(minority(15), 40, 1)
+        assert not is_stochastically_monotone(chain)
+
+    def test_hand_built_counterexample(self):
+        from repro.markov.chain import FiniteMarkovChain
+
+        # State 1 jumps below state 0's support: not monotone.
+        matrix = np.array(
+            [
+                [0.0, 1.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        assert not is_stochastically_monotone(FiniteMarkovChain(matrix))
+
+
+class TestConsequences:
+    def test_monotonicity_justifies_worst_start_for_voter(self):
+        """For a monotone chain, expected hitting times of the top are
+        non-increasing in the start — the all-wrong start is the worst,
+        as the experiments assume for the Voter."""
+        chain = count_chain(voter(1), 30, 1)
+        times = chain.expected_hitting_times([30])
+        admissible = times[1:31]
+        assert np.all(np.diff(admissible) <= 1e-9)
+
+    def test_minority_violates_that_ordering(self):
+        """Without monotonicity the ordering genuinely fails: for Minority
+        the near-wrong-consensus start is *faster* than the mid-well start
+        to reach the escape threshold."""
+        chain = count_chain(minority(3), 40, 1)
+        threshold = list(range(35, 41))
+        times = chain.expected_hitting_times(threshold)
+        assert times[2] < times[20] * 1.01  # x=2 is not slower than x=20

@@ -1,0 +1,157 @@
+"""Tests for the Doob decomposition and concentration bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bias import expected_next_count
+from repro.dynamics.config import Configuration
+from repro.dynamics.run import simulate
+from repro.markov.concentration import (
+    azuma_tail,
+    azuma_with_jumps_tail,
+    empirical_tail_frequency,
+    hoeffding_tail,
+    hoeffding_two_sided,
+)
+from repro.markov.doob import count_chain_doob, doob_decomposition
+from repro.protocols import minority, voter
+
+
+class TestDoobDecomposition:
+    def test_reconstruction_is_exact(self, rng):
+        result = simulate(
+            minority(3), Configuration(n=300, z=1, x0=220), 100, rng, record=True
+        )
+        decomposition = count_chain_doob(minority(3), 300, 1, result.trajectory)
+        assert decomposition.reconstruction_error() < 1e-9
+
+    def test_unshifted_variant(self, rng):
+        result = simulate(
+            voter(1), Configuration(n=100, z=1, x0=50), 60, rng, record=True
+        )
+        decomposition = count_chain_doob(
+            voter(1), 100, 1, result.trajectory, shifted=False
+        )
+        assert decomposition.reconstruction_error() < 1e-9
+        # For the Voter, the compensator is the accumulated source pull
+        # z(1 - P1) = 1 - x/n > 0, so A is non-decreasing.
+        assert np.all(np.diff(decomposition.compensator) >= -1e-9)
+
+    def test_supermartingale_interval_has_nonincreasing_compensator(self, rng):
+        """On the F<0 interval, the shifted compensator steps are negative.
+
+        This is Claim 7's engine: drift <= x + 1 makes A non-increasing for
+        Y_t = X_t - t.
+        """
+        n = 400
+        result = simulate(
+            minority(3), Configuration(n=n, z=1, x0=300), 80, rng, record=True
+        )
+        decomposition = count_chain_doob(minority(3), n, 1, result.trajectory)
+        inside = (result.trajectory[:-1] >= 0.55 * n) & (
+            result.trajectory[:-1] <= 0.95 * n
+        )
+        steps = np.diff(decomposition.compensator)
+        assert np.all(steps[inside] <= 1e-9)
+
+    def test_martingale_increments_have_zero_mean(self, rng_factory):
+        """Averaged over many runs, sum of martingale increments ~ 0."""
+        n = 200
+        totals = []
+        for i in range(300):
+            rng = rng_factory(i)
+            result = simulate(
+                minority(3), Configuration(n=n, z=1, x0=140), 30, rng, record=True
+            )
+            d = count_chain_doob(minority(3), n, 1, result.trajectory)
+            totals.append(d.martingale[-1] - d.martingale[0])
+        standard_error = np.std(totals) / np.sqrt(len(totals))
+        assert abs(np.mean(totals)) < 5 * standard_error + 1e-9
+
+    def test_generic_decomposition_on_synthetic_chain(self, rng):
+        # Biased walk with known drift mu(y) = y + 0.25.
+        steps = rng.choice([-1, 0, 1], size=500, p=[0.25, 0.25, 0.5])
+        path = np.concatenate([[0.0], np.cumsum(steps)])
+        decomposition = doob_decomposition(path, lambda y: y + 0.25)
+        assert decomposition.reconstruction_error() < 1e-9
+        np.testing.assert_allclose(
+            decomposition.compensator, 0.25 * np.arange(len(path)), atol=1e-9
+        )
+
+    def test_single_point_path(self):
+        decomposition = doob_decomposition(np.array([5.0]), lambda y: y)
+        assert decomposition.reconstruction_error() == 0.0
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            doob_decomposition(np.array([]), lambda y: y)
+
+
+class TestHoeffding:
+    def test_bound_values(self):
+        assert hoeffding_tail(100, 0.0) == 1.0
+        assert hoeffding_tail(100, 10.0) == pytest.approx(np.exp(-2.0))
+        assert hoeffding_two_sided(100, 10.0) == pytest.approx(2 * np.exp(-2.0))
+
+    def test_bound_dominates_empirical_tails(self, rng):
+        """Hoeffding really is an upper bound for binomial deviations."""
+        n, p, trials = 400, 0.3, 5000
+        samples = rng.binomial(n, p, size=trials).astype(float)
+        for delta in (10, 20, 40):
+            empirical = empirical_tail_frequency(samples, n * p, delta)
+            bound = hoeffding_two_sided(n, delta)
+            assert empirical <= bound + 0.02
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            hoeffding_tail(0, 1.0)
+        with pytest.raises(ValueError):
+            hoeffding_tail(10, -1.0)
+
+
+class TestAzuma:
+    def test_azuma_closed_form(self):
+        bound = azuma_tail([1.0] * 100, 20.0)
+        assert bound == pytest.approx(2 * np.exp(-400 / 200))
+
+    def test_azuma_dominates_simple_walk(self, rng):
+        walks = np.cumsum(rng.choice([-1.0, 1.0], size=(3000, 64)), axis=1)
+        for delta in (8.0, 16.0, 24.0):
+            empirical = np.mean(np.abs(walks[:, -1]) > delta)
+            assert empirical <= azuma_tail([1.0] * 64, delta) + 0.02
+
+    def test_jump_variant_reduces_to_classical(self):
+        classical = azuma_tail([2.0] * 50, 10.0)
+        with_jumps = azuma_with_jumps_tail(50, 2.0, 10.0, jump_probability=0.0)
+        assert with_jumps == pytest.approx(classical)
+
+    def test_jump_probability_added(self):
+        base = azuma_with_jumps_tail(50, 2.0, 10.0, 0.0)
+        assert azuma_with_jumps_tail(50, 2.0, 10.0, 0.1) == pytest.approx(
+            min(1.0, base + 0.1)
+        )
+
+    @given(st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=25, deadline=None)
+    def test_bounds_are_probabilities(self, delta):
+        assert 0.0 <= azuma_tail([1.0] * 10, delta) <= 1.0
+        assert 0.0 <= hoeffding_two_sided(10, delta) <= 1.0
+
+
+class TestOneStepConcentration:
+    def test_paper_assumption_iii_holds_empirically(self, rng):
+        """P(|X' - E[X'|x]| > n^(1/2 + eps/4)) is tiny, as the proofs use."""
+        from repro.dynamics.engine import step_count
+
+        protocol = minority(3)
+        n, z, x = 2500, 1, 1600
+        epsilon = 0.5
+        threshold = n ** (0.5 + epsilon / 4)
+        mean = expected_next_count(protocol, n, z, x)
+        samples = np.array([step_count(protocol, n, z, x, rng) for _ in range(2000)])
+        frequency = empirical_tail_frequency(samples.astype(float), mean, threshold)
+        assert frequency <= 2 * np.exp(-2 * n ** (epsilon / 2)) + 0.01

@@ -1,0 +1,117 @@
+"""Tests for the Theorem-6 escape checker on synthetic and count chains."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bias import expected_next_count
+from repro.markov.escape import EscapeProblem, verify_escape_theorem
+from repro.protocols import minority
+
+
+def supermartingale_problem(n: int, epsilon: float = 0.5) -> EscapeProblem:
+    """A lazy downward-biased walk: drift mu(x) = x - 0.1, tiny tails."""
+    return EscapeProblem(
+        n=n,
+        a1=0.25,
+        a2=0.5,
+        a3=0.75,
+        epsilon=epsilon,
+        drift=lambda x: np.asarray(x, dtype=float) - 0.1,
+        jump_tail=math.exp(-math.sqrt(n)),
+        step_tail=2 * math.exp(-2 * n ** (epsilon / 2)),
+    )
+
+
+class TestEscapeProblem:
+    def test_constant_ordering_enforced(self):
+        with pytest.raises(ValueError, match="a1 < a2 < a3"):
+            EscapeProblem(
+                n=100, a1=0.5, a2=0.5, a3=0.75, epsilon=0.5,
+                drift=lambda x: x, jump_tail=0.0, step_tail=0.0,
+            )
+
+    def test_horizon_and_start(self):
+        problem = supermartingale_problem(10_000)
+        assert problem.horizon == 100  # n^(1/2)
+        assert problem.start == 6250  # (0.5 + 0.75)/2 * n
+
+
+class TestVerdicts:
+    def test_supermartingale_chain_passes(self):
+        verdict = verify_escape_theorem(supermartingale_problem(100_000))
+        assert verdict.drift_ok
+        assert verdict.failure_probability < 0.5
+        assert verdict.holds_whp
+
+    def test_upward_drift_fails_assumption_i(self):
+        problem = EscapeProblem(
+            n=10_000, a1=0.25, a2=0.5, a3=0.75, epsilon=0.5,
+            drift=lambda x: np.asarray(x, dtype=float) + 5.0,
+            jump_tail=0.0, step_tail=0.0,
+        )
+        verdict = verify_escape_theorem(problem)
+        assert not verdict.drift_ok
+        assert verdict.worst_drift_margin < 0
+
+    def test_large_jump_tail_fails(self):
+        problem = EscapeProblem(
+            n=10_000, a1=0.25, a2=0.5, a3=0.75, epsilon=0.5,
+            drift=lambda x: np.asarray(x, dtype=float),
+            jump_tail=0.5, step_tail=0.0,
+        )
+        verdict = verify_escape_theorem(problem)
+        assert verdict.drift_ok
+        assert not verdict.holds_whp
+
+    def test_failure_probability_shrinks_with_n(self):
+        small = verify_escape_theorem(supermartingale_problem(10_000))
+        large = verify_escape_theorem(supermartingale_problem(1_000_000))
+        assert large.failure_probability <= small.failure_probability
+
+
+class TestCountChainInstance:
+    def test_minority_case1_interval_passes(self):
+        """The count chain of Minority on its F<0 interval fits Theorem 6."""
+        protocol = minority(3)
+        n, z = 50_000, 1
+        # The narrow interval (alpha = 1/32) makes the confinement bound
+        # vacuous at eps = 1/2 for this n; eps = 3/4 trades horizon for a
+        # meaningful tail, exactly as the theorem's quantifiers allow.
+        epsilon = 0.75
+        problem = EscapeProblem(
+            n=n,
+            a1=0.625,
+            a2=0.75,
+            a3=0.875,
+            epsilon=epsilon,
+            drift=lambda x: np.asarray(expected_next_count(protocol, n, z, x)),
+            jump_tail=math.exp(-2 * math.sqrt(n)),
+            step_tail=2 * math.exp(-2 * n ** (epsilon / 2)),
+        )
+        verdict = verify_escape_theorem(problem)
+        assert verdict.drift_ok
+        assert verdict.holds_whp
+        assert verdict.horizon == int(n ** (1 - epsilon))
+
+    def test_escape_simulated_slower_than_horizon(self, rng):
+        """Simulation agreement: the chain stays under a3 n for >= T rounds."""
+        from repro.dynamics.engine import step_count
+
+        protocol = minority(3)
+        n, z = 4096, 1
+        epsilon = 0.5
+        horizon = int(n ** (1 - epsilon))
+        start = int(0.8125 * n)  # (a2 + a3)/2 with a2=0.75, a3=0.875
+        for _ in range(3):
+            x = start
+            escaped_at = None
+            for t in range(1, horizon + 1):
+                x = step_count(protocol, n, z, x, rng)
+                if x >= 0.875 * n:
+                    escaped_at = t
+                    break
+            assert escaped_at is None, f"escaped at {escaped_at} < {horizon}"

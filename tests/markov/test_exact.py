@@ -1,0 +1,105 @@
+"""Tests for the exact count-chain construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bias import expected_next_count
+from repro.dynamics.config import Configuration
+from repro.markov.exact import (
+    count_chain,
+    exact_expected_convergence_time,
+    transition_row,
+)
+from repro.protocols import majority, minority, voter
+
+
+class TestTransitionRow:
+    @pytest.mark.parametrize("protocol", [voter(1), minority(3), majority(3)])
+    @pytest.mark.parametrize("z", [0, 1])
+    def test_rows_are_distributions(self, protocol, z):
+        n = 30
+        low, high = Configuration.count_bounds(n, z)
+        for x in range(low, high + 1):
+            row = transition_row(protocol, n, z, x)
+            assert row.min() >= -1e-12
+            assert row.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_row_mean_matches_drift(self):
+        protocol = minority(3)
+        n, z = 40, 1
+        for x in (1, 10, 25, 39):
+            row = transition_row(protocol, n, z, x)
+            mean = row @ np.arange(n + 1)
+            assert mean == pytest.approx(expected_next_count(protocol, n, z, x), abs=1e-9)
+
+    def test_consensus_row_is_point_mass(self):
+        row = transition_row(minority(3), 20, 1, 20)
+        assert row[20] == pytest.approx(1.0)
+        row0 = transition_row(minority(3), 20, 0, 0)
+        assert row0[0] == pytest.approx(1.0)
+
+    def test_support_respects_source(self):
+        # z = 1: X_{t+1} >= 1 always (the source holds 1).
+        row = transition_row(voter(1), 25, 1, 10)
+        assert row[0] == 0.0
+
+
+class TestCountChain:
+    def test_chain_is_stochastic_and_absorbing_at_consensus(self):
+        chain = count_chain(minority(3), 25, 1)
+        assert 25 in chain.absorbing_states()
+
+    def test_inadmissible_states_frozen(self):
+        chain = count_chain(voter(1), 20, 1)
+        # x = 0 impossible when z = 1: modeled as a frozen self-loop.
+        assert chain.transition[0, 0] == 1.0
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            count_chain(voter(1), 100_000, 1)
+
+
+class TestExactConvergenceTime:
+    def test_voter_exact_matches_monte_carlo(self, rng_factory):
+        from repro.dynamics.run import simulate
+
+        config = Configuration(n=40, z=1, x0=1)
+        exact = exact_expected_convergence_time(voter(1), config)
+        samples = [
+            simulate(voter(1), config, 10**6, rng_factory(i)).rounds
+            for i in range(200)
+        ]
+        mean = np.mean(samples)
+        standard_error = np.std(samples) / np.sqrt(len(samples))
+        assert abs(mean - exact) < 5 * standard_error + 1e-9
+
+    def test_time_zero_at_consensus(self):
+        config = Configuration(n=30, z=0, x0=0)
+        assert exact_expected_convergence_time(voter(1), config) == 0.0
+
+    def test_monotone_in_wrongness_for_voter(self):
+        # Starting farther from the correct consensus cannot be faster.
+        times = [
+            exact_expected_convergence_time(voter(1), Configuration(n=30, z=1, x0=x))
+            for x in (25, 15, 5, 1)
+        ]
+        assert times == sorted(times)
+
+    def test_minority_exact_time_explodes_with_n(self):
+        """Theorem 1 seen exactly: witness-side expected times grow fast."""
+        times = []
+        for n in (16, 32, 48):
+            config = Configuration(n=n, z=1, x0=(3 * n) // 4)
+            times.append(exact_expected_convergence_time(minority(3), config))
+        assert times[0] < times[1] < times[2]
+        # Doubling n much more than doubles the expected time (super-linear).
+        assert times[2] / times[1] > 2.0
+
+    def test_prop3_violator_rejected(self):
+        from repro.core.protocol import Protocol
+
+        bad = Protocol(ell=1, g0=[0.1, 1.0], g1=[0.0, 1.0])
+        with pytest.raises(ValueError, match="Proposition 3"):
+            exact_expected_convergence_time(bad, Configuration(n=10, z=1, x0=5))

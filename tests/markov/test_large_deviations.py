@@ -1,0 +1,114 @@
+"""Tests for the large-deviations machinery."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.mean_field import mean_field_map
+from repro.markov.large_deviations import bernoulli_kl, quasi_potential, step_rate
+from repro.protocols import majority, minority, voter
+
+
+class TestBernoulliKl:
+    def test_zero_iff_equal(self):
+        assert bernoulli_kl(0.3, 0.3) == 0.0
+        assert bernoulli_kl(0.3, 0.4) > 0.0
+
+    def test_closed_form(self):
+        q, p = 0.7, 0.5
+        expected = q * math.log(q / p) + (1 - q) * math.log((1 - q) / (1 - p))
+        assert bernoulli_kl(q, p) == pytest.approx(expected)
+
+    def test_degenerate_reference(self):
+        assert bernoulli_kl(1.0, 1.0) == 0.0
+        assert bernoulli_kl(0.5, 1.0) == float("inf")
+        assert bernoulli_kl(0.0, 0.0) == 0.0
+
+    def test_degenerate_argument(self):
+        assert bernoulli_kl(0.0, 0.3) == pytest.approx(-math.log(0.7))
+        assert bernoulli_kl(1.0, 0.3) == pytest.approx(-math.log(0.3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bernoulli_kl(1.2, 0.5)
+
+
+class TestStepRate:
+    def test_zero_along_the_drift(self):
+        """Following the mean-field map costs no action."""
+        for protocol in (minority(3), majority(3)):
+            for p in (0.1, 0.35, 0.6, 0.9):
+                q = float(mean_field_map(protocol, p))
+                assert step_rate(protocol, p, q) < 1e-8
+
+    def test_positive_off_the_drift(self):
+        protocol = minority(3)
+        p = 0.6
+        drift_target = float(mean_field_map(protocol, p))
+        assert step_rate(protocol, p, drift_target + 0.1) > 1e-3
+        assert step_rate(protocol, p, drift_target - 0.1) > 1e-3
+
+    def test_voter_rate_is_kl_to_identity(self):
+        # Voter: P0 = P1 = p, so I(p -> q) = KL(q || p) with no split freedom
+        # advantage (all agents behave identically).
+        p, q = 0.4, 0.6
+        assert step_rate(voter(1), p, q) == pytest.approx(
+            bernoulli_kl(q, p), abs=1e-6
+        )
+
+    def test_impossible_moves_are_infinite(self):
+        # From consensus 1, minority keeps everyone at 1 (P1(1) = 1): moving
+        # anywhere else has infinite rate.
+        assert step_rate(minority(3), 1.0, 0.5) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_rate(minority(3), 1.5, 0.5)
+
+
+class TestQuasiPotential:
+    def test_zero_when_drift_carries_you(self):
+        """Majority from 0.6 flows to 1 for free: V ~ 0.
+
+        The grid DP pays a small discretization toll (the drift path lands
+        between grid nodes), so "free" means orders of magnitude below any
+        genuine barrier.
+        """
+        value, _ = quasi_potential(majority(3), 0.6, 0.9, grid_points=41)
+        assert value < 5e-3
+
+    def test_positive_against_the_drift(self):
+        value, _ = quasi_potential(minority(3), 0.5, 0.875, grid_points=41)
+        assert value > 0.1
+
+    def test_monotone_in_target(self):
+        near, _ = quasi_potential(minority(3), 0.5, 0.7, grid_points=41)
+        far, _ = quasi_potential(minority(3), 0.5, 0.9, grid_points=41)
+        assert far >= near - 1e-9
+
+    def test_predicts_measured_well_depth_slope(self):
+        """The headline: V(0.5 -> 0.875) matches the E18 exponential slope.
+
+        Exact well depths at n=16..48 grow like exp(0.334 n); the
+        Freidlin-Wentzell action on a modest grid lands within a few
+        percent of that slope.
+        """
+        from repro.markov.exact import count_chain
+
+        depths = []
+        sizes = (16, 32, 48)
+        for n in sizes:
+            chain = count_chain(minority(3), n, 1)
+            threshold = int(0.875 * n)
+            escape = chain.expected_hitting_times(list(range(threshold, n + 1)))
+            depths.append(float(escape[n // 2]))
+        measured_slope = math.log(depths[-1] / depths[0]) / (sizes[-1] - sizes[0])
+        predicted, _ = quasi_potential(minority(3), 0.5, 0.875, grid_points=81)
+        assert predicted == pytest.approx(measured_slope, rel=0.08)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quasi_potential(minority(3), 0.9, 0.5)

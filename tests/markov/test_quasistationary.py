@@ -1,0 +1,87 @@
+"""Tests for quasi-stationary well analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.exact import count_chain
+from repro.markov.quasistationary import quasi_stationary
+from repro.protocols import minority
+
+
+class TestBasics:
+    def test_two_state_well_closed_form(self):
+        # Well = single state with survival s: lambda_1 = s exactly.
+        result = quasi_stationary(np.array([[0.9]]))
+        assert result.survival_rate == pytest.approx(0.9)
+        assert result.mean_escape_time == pytest.approx(10.0)
+
+    def test_uniform_leak_well(self):
+        # Doubly symmetric 2-state well with total leak 0.1 per step.
+        q = np.array([[0.45, 0.45], [0.45, 0.45]])
+        result = quasi_stationary(q)
+        assert result.survival_rate == pytest.approx(0.9, abs=1e-9)
+        np.testing.assert_allclose(result.distribution, [0.5, 0.5], atol=1e-9)
+
+    def test_distribution_normalized(self):
+        rng = np.random.default_rng(0)
+        q = rng.random((6, 6))
+        q = 0.9 * q / q.sum(axis=1, keepdims=True)
+        result = quasi_stationary(q)
+        assert result.distribution.sum() == pytest.approx(1.0)
+        assert np.all(result.distribution >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            quasi_stationary(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="substochastic"):
+            quasi_stationary(np.array([[0.8, 0.8], [0.1, 0.1]]))
+
+
+class TestMinorityWell:
+    def test_escape_rate_matches_exact_hitting_time(self):
+        """Two routes to the well depth agree to many digits.
+
+        The quasi-stationary escape time ``1/(1 - lambda_1)`` must equal the
+        exact expected hitting time of the escape threshold from deep inside
+        the well (the chain equilibrates to the QSD long before escaping).
+        """
+        n, z = 40, 1
+        protocol = minority(3)
+        chain = count_chain(protocol, n, z)
+        threshold = int(0.875 * n)  # the certificate's a3
+        well_states = np.arange(1, threshold)
+        restricted = chain.transition[np.ix_(well_states, well_states)]
+        qsd = quasi_stationary(restricted)
+
+        escape_times = chain.expected_hitting_times(list(range(threshold, n + 1)))
+        from_well = float(escape_times[n // 2])
+        assert from_well == pytest.approx(qsd.mean_escape_time, rel=1e-3)
+
+        # Escaping the well once is NOT converging: the adverse drift above
+        # the threshold throws the chain back, so full consensus takes many
+        # escape attempts — visible as orders of magnitude between the two.
+        consensus_times = chain.expected_hitting_times([n])
+        assert consensus_times[n // 2] > 100 * from_well
+
+    def test_well_deepens_exponentially(self):
+        rates = []
+        for n in (24, 32, 40):
+            chain = count_chain(minority(3), n, 1)
+            threshold = int(0.875 * n)
+            well_states = np.arange(1, threshold)
+            restricted = chain.transition[np.ix_(well_states, well_states)]
+            rates.append(quasi_stationary(restricted).escape_rate)
+        # Escape rate shrinks by a big factor per +8 agents: exp(Omega(n)).
+        assert rates[0] / rates[1] > 5
+        assert rates[1] / rates[2] > 5
+
+    def test_qsd_concentrates_at_the_attracting_fixed_point(self):
+        n = 48
+        chain = count_chain(minority(3), n, 1)
+        well_states = np.arange(1, int(0.875 * n))
+        restricted = chain.transition[np.ix_(well_states, well_states)]
+        qsd = quasi_stationary(restricted)
+        mode = well_states[int(np.argmax(qsd.distribution))]
+        assert abs(mode / n - 0.5) < 0.1  # phi's attracting fixed point

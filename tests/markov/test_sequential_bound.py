@@ -1,0 +1,64 @@
+"""Tests for the exact sequential worst case."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.birth_death import sequential_birth_death_chain
+from repro.markov.sequential_bound import sequential_worst_case
+from repro.protocols import minority, two_choices, voter
+
+
+class TestLadderVectorization:
+    def test_all_starts_match_single_start(self):
+        chain = sequential_birth_death_chain(voter(1), 40, 1)
+        all_times = chain.expected_times_to_top()
+        for x0 in (1, 7, 20, 39, 40):
+            assert all_times[x0] == pytest.approx(
+                chain.expected_time_to_top(x0), rel=1e-12
+            )
+
+    def test_bottom_mirror(self):
+        chain = sequential_birth_death_chain(voter(1), 30, 0)
+        all_times = chain.expected_times_to_bottom()
+        for x0 in (0, 5, 15, 29):
+            assert all_times[x0] == pytest.approx(
+                chain.expected_time_to_bottom(x0), rel=1e-12
+            )
+
+
+class TestWorstCase:
+    def test_voter_floor_constant(self):
+        """[14]'s Omega(n), exactly: worst E[tau]/n is bounded below and
+        essentially constant across sizes for the Voter."""
+        statistics = [
+            sequential_worst_case(voter(1), n).rounds_per_n for n in (32, 64, 128, 256)
+        ]
+        assert min(statistics) > 1.0
+        assert max(statistics) / min(statistics) < 1.5
+
+    def test_voter_worst_start_is_a_wrong_consensus(self):
+        worst = sequential_worst_case(voter(1), 64)
+        # By symmetry either source opinion; the start is the opposite end.
+        if worst.z == 1:
+            assert worst.x0 == 1
+        else:
+            assert worst.x0 == 63
+
+    def test_two_choices_sequential_well(self):
+        """Majority-like rules have exp-deep wrong-majority basins even
+        sequentially — far above the Voter's linear floor."""
+        worst = sequential_worst_case(two_choices(), 128)
+        assert worst.rounds_per_n > 1e6
+
+    def test_minority_sequential_well(self):
+        worst = sequential_worst_case(minority(3), 64)
+        assert worst.rounds_per_n > 1e6
+
+    def test_prop3_violator_rejected(self):
+        from repro.core.protocol import Protocol
+
+        bad = Protocol(ell=1, g0=[0.1, 1.0], g1=[0.0, 1.0])
+        with pytest.raises(ValueError, match="Proposition 3"):
+            sequential_worst_case(bad, 16)

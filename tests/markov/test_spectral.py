@@ -1,0 +1,94 @@
+"""Tests for spectral analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import FiniteMarkovChain
+from repro.markov.spectral import (
+    mixing_time,
+    spectral_summary,
+    total_variation_distance,
+)
+
+
+def two_state(a: float, b: float) -> FiniteMarkovChain:
+    return FiniteMarkovChain(np.array([[1 - a, a], [b, 1 - b]]))
+
+
+class TestSpectralSummary:
+    def test_two_state_gap_closed_form(self):
+        # Eigenvalues of the 2-state chain: 1 and 1 - a - b.
+        chain = two_state(0.3, 0.2)
+        summary = spectral_summary(chain)
+        assert summary.spectral_gap == pytest.approx(0.5, abs=1e-10)
+        assert summary.relaxation_time == pytest.approx(2.0, abs=1e-9)
+
+    def test_identity_chain_has_zero_gap(self):
+        summary = spectral_summary(FiniteMarkovChain(np.eye(3)))
+        assert summary.spectral_gap == 0.0
+        assert summary.relaxation_time == float("inf")
+
+    def test_eigenvalues_sorted_with_top_one(self):
+        chain = two_state(0.4, 0.1)
+        summary = spectral_summary(chain)
+        assert summary.eigenvalues[0] == pytest.approx(1.0, abs=1e-10)
+        assert np.all(np.diff(summary.eigenvalues) <= 1e-12)
+
+
+class TestTotalVariation:
+    def test_basic_values(self):
+        assert total_variation_distance([1, 0], [0, 1]) == 1.0
+        assert total_variation_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+        assert total_variation_distance([0.75, 0.25], [0.25, 0.75]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation_distance([1.0], [0.5, 0.5])
+
+
+class TestMixingTime:
+    def test_two_state_mixing_matches_gap(self):
+        chain = two_state(0.3, 0.2)
+        t_mix = mixing_time(chain, threshold=0.25)
+        # TV from the worst start decays like (1 - a - b)^t; need 0.5^t * tv0
+        # below 0.25 starting from tv0 = max(pi) distance.
+        assert 1 <= t_mix <= 5
+
+    def test_slower_chain_mixes_slower(self):
+        fast = mixing_time(two_state(0.45, 0.45))
+        slow = mixing_time(two_state(0.02, 0.02))
+        assert slow > fast
+
+    def test_reducible_chain_rejected(self):
+        with pytest.raises(ValueError, match="reducible"):
+            mixing_time(FiniteMarkovChain(np.eye(2)))
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            mixing_time(two_state(0.3, 0.3), threshold=0.0)
+
+    def test_count_chain_with_noise_is_ergodic(self):
+        """A noisy count chain has a unique stationary law and finite mixing."""
+        from repro.dynamics.noise import noisy_response_probabilities
+        from repro.protocols import voter
+        from scipy.stats import binom
+
+        # Build the noisy voter chain explicitly for a small population.
+        n, z, delta = 12, 1, 0.1
+        protocol = voter(1)
+        matrix = np.zeros((n + 1, n + 1))
+        for x in range(1, n + 1):
+            p0, p1 = noisy_response_probabilities(protocol, x / n, delta)
+            ones = binom.pmf(np.arange(x), x - 1, p1)
+            zeros = binom.pmf(np.arange(n - x + 1), n - x, p0)
+            row = np.convolve(ones, zeros)
+            matrix[x, 1 : 1 + len(row)] = row
+        matrix[0, 0] = 1.0  # unreachable padding state
+        chain = FiniteMarkovChain(matrix)
+        sub = FiniteMarkovChain(
+            matrix[1:, 1:] / matrix[1:, 1:].sum(axis=1, keepdims=True)
+        )
+        t_mix = mixing_time(sub, threshold=0.25)
+        assert t_mix < 1000

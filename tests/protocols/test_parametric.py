@@ -1,0 +1,83 @@
+"""Tests for the quorum (parametric logistic) protocol family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bias import bias_value
+from repro.core.lower_bound import lower_bound_certificate
+from repro.core.roots import is_zero_bias
+from repro.protocols import contrarian_quorum, majority, quorum
+
+
+class TestQuorum:
+    def test_boundary_pinned(self):
+        protocol = quorum(5, center=2.5, sharpness=2.0)
+        assert protocol.satisfies_boundary_conditions()
+
+    def test_monotone_response(self):
+        protocol = quorum(7, center=3.5, sharpness=1.0)
+        assert np.all(np.diff(protocol.g0) >= 0)
+
+    def test_sharp_limit_is_majority(self):
+        soft = quorum(5, center=2.5, sharpness=50.0)
+        hard = majority(5)
+        np.testing.assert_allclose(soft.g0, hard.g0, atol=1e-6)
+
+    def test_symmetric_center_gives_symmetric_protocol(self):
+        protocol = quorum(6, center=3.0, sharpness=2.0)
+        assert protocol.is_opinion_symmetric(tolerance=1e-9)
+
+    def test_off_center_breaks_symmetry(self):
+        protocol = quorum(6, center=2.0, sharpness=2.0)
+        assert not protocol.is_opinion_symmetric(tolerance=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ell"):
+            quorum(1, 0.5, 1.0)
+        with pytest.raises(ValueError, match="sharpness"):
+            quorum(4, 2.0, 0.0)
+
+    @given(
+        st.integers(min_value=2, max_value=9),
+        st.floats(min_value=0.5, max_value=8.0),
+        st.floats(min_value=0.2, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_quorum_rule_gets_a_certificate(self, ell, center, sharpness):
+        """The Theorem-12 pipeline handles the whole parameter space."""
+        protocol = quorum(ell, center=min(center, ell - 0.5), sharpness=sharpness)
+        if is_zero_bias(protocol):
+            return
+        certificate = lower_bound_certificate(protocol)
+        assert certificate.a1 < certificate.a2 < certificate.a3
+
+    def test_symmetric_quorum_is_majority_like(self):
+        """A symmetric quorum drifts toward the local majority: Case 2."""
+        protocol = quorum(5, center=2.5, sharpness=3.0)
+        grid = np.linspace(0.55, 0.95, 9)
+        assert np.all(np.asarray(bias_value(protocol, grid)) > 0)
+        certificate = lower_bound_certificate(protocol)
+        assert "case 2" in certificate.case
+
+
+class TestContrarianQuorum:
+    def test_boundary_pinned(self):
+        protocol = contrarian_quorum(5, center=2.5, sharpness=2.0)
+        assert protocol.satisfies_boundary_conditions()
+
+    def test_interior_is_decreasing(self):
+        protocol = contrarian_quorum(7, center=3.5, sharpness=1.5)
+        interior = protocol.g0[1:-1]
+        assert np.all(np.diff(interior) <= 0)
+
+    def test_minority_like_bias(self):
+        """Contrarian quorum is biased against a large majority: Case 1."""
+        protocol = contrarian_quorum(5, center=2.5, sharpness=3.0)
+        grid = np.linspace(0.6, 0.9, 7)
+        assert np.all(np.asarray(bias_value(protocol, grid)) < 0)
+        certificate = lower_bound_certificate(protocol)
+        assert "case 1" in certificate.case

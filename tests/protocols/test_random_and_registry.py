@@ -1,0 +1,74 @@
+"""Tests for random protocol sampling and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols import available_protocols, get_family, random_protocol, register
+from repro.protocols.registry import _REGISTRY
+
+
+class TestRandomProtocol:
+    @given(st.integers(min_value=1, max_value=8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_solving_flag_pins_boundary(self, ell, seed):
+        protocol = random_protocol(ell, np.random.default_rng(seed), solving=True)
+        assert protocol.satisfies_boundary_conditions()
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_oblivious_flag(self, ell, seed):
+        protocol = random_protocol(
+            ell, np.random.default_rng(seed), solving=False, oblivious=True
+        )
+        assert protocol.is_oblivious()
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric_flag(self, ell, seed):
+        protocol = random_protocol(
+            ell, np.random.default_rng(seed), solving=False, symmetric=True
+        )
+        assert protocol.is_opinion_symmetric()
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetric_and_oblivious_compose(self, ell, seed):
+        protocol = random_protocol(
+            ell, np.random.default_rng(seed), solving=True, oblivious=True, symmetric=True
+        )
+        assert protocol.is_oblivious()
+        assert protocol.is_opinion_symmetric()
+        assert protocol.satisfies_boundary_conditions()
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        names = available_protocols()
+        for expected in ("voter", "minority-3", "minority-sqrt", "majority-3"):
+            assert expected in names
+
+    def test_get_family_resolves(self):
+        family = get_family("minority-3")
+        assert family.at(100).ell == 3
+
+    def test_sqrt_family_through_registry(self):
+        family = get_family("minority-sqrt")
+        assert family.at(1000).ell > family.at(100).ell
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="known protocols"):
+            get_family("the-best-protocol")
+
+    def test_register_custom(self):
+        from repro.core.protocol import constant_family
+        from repro.protocols import voter
+
+        register("test-custom", lambda: constant_family(voter(2)))
+        try:
+            assert get_family("test-custom").at(10).ell == 2
+        finally:
+            _REGISTRY.pop("test-custom", None)

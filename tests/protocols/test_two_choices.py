@@ -1,0 +1,76 @@
+"""Tests for the 2-Choices dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bias import bias_value
+from repro.core.lower_bound import lower_bound_certificate
+from repro.core.mean_field import fixed_points
+from repro.protocols import minority_ell3_bias, two_choices, two_choices_bias
+
+GRID = np.linspace(0.0, 1.0, 41)
+
+
+class TestTable:
+    def test_table_values(self):
+        protocol = two_choices()
+        np.testing.assert_allclose(protocol.g0, [0.0, 0.0, 1.0])
+        np.testing.assert_allclose(protocol.g1, [0.0, 1.0, 1.0])
+
+    def test_non_oblivious(self):
+        assert not two_choices().is_oblivious()
+
+    def test_opinion_symmetric(self):
+        assert two_choices().is_opinion_symmetric()
+
+    def test_boundary_conditions(self):
+        assert two_choices().satisfies_boundary_conditions()
+
+
+class TestBias:
+    def test_closed_form(self):
+        np.testing.assert_allclose(
+            bias_value(two_choices(), GRID), two_choices_bias(GRID), atol=1e-12
+        )
+
+    def test_is_negated_half_of_minority3(self):
+        # F_2choices(p) = -(1/2) F_minority3(p).
+        np.testing.assert_allclose(
+            two_choices_bias(GRID), -0.5 * np.asarray(minority_ell3_bias(GRID)), atol=1e-12
+        )
+
+    def test_majority_like_fixed_points(self):
+        points = {round(fp.location, 6): fp for fp in fixed_points(two_choices())}
+        assert points[0.0].stability == "attracting"
+        assert points[0.5].stability == "repelling"
+        assert points[1.0].stability == "attracting"
+
+
+class TestLowerBound:
+    def test_case_two_certificate(self):
+        certificate = lower_bound_certificate(two_choices())
+        assert "case 2" in certificate.case
+        assert certificate.z == 0
+        assert certificate.interval[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_stuck_on_wrong_majority(self, rng):
+        """Like Majority: a wrong-majority start never recovers in time."""
+        from repro.dynamics.config import Configuration
+        from repro.dynamics.run import simulate
+
+        config = Configuration(n=400, z=0, x0=300)  # wrong 3/4 majority of 1s
+        result = simulate(two_choices(), config, 3000, rng)
+        assert not result.converged
+
+    def test_solves_plain_consensus_fast(self, rng):
+        """From a correct majority it converges quickly — the point of the
+        dynamics in the consensus literature."""
+        from repro.dynamics.config import Configuration
+        from repro.dynamics.run import simulate
+
+        config = Configuration(n=400, z=1, x0=300)
+        result = simulate(two_choices(), config, 3000, rng)
+        assert result.converged
+        assert result.rounds < 100

@@ -1,0 +1,148 @@
+"""Unit tests for the named protocols (Voter, Minority, Majority, blends)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bias import bias_value
+from repro.protocols import (
+    biased_voter,
+    double_lobe,
+    majority,
+    minority,
+    minority_ell3_bias,
+    minority_sqrt_family,
+    table_protocol,
+    voter,
+    voter_minority_blend,
+)
+from repro.protocols.minority import TIE_BREAK_RULES
+
+
+class TestVoter:
+    def test_table_is_k_over_ell(self):
+        protocol = voter(4)
+        np.testing.assert_allclose(protocol.g0, [0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_ell_independence_of_response(self):
+        # A uniform element of a uniform sample is a uniform agent: the
+        # marginal adopt probability equals p for every ell.
+        grid = np.linspace(0, 1, 17)
+        for ell in (1, 2, 6):
+            p0, _ = voter(ell).response_probabilities(grid)
+            np.testing.assert_allclose(p0, grid, atol=1e-12)
+
+
+class TestMinority:
+    def test_protocol2_table_odd(self):
+        protocol = minority(5)
+        np.testing.assert_allclose(protocol.g0, [0, 1, 1, 0, 0, 1])
+
+    def test_protocol2_table_even_uniform_tie(self):
+        protocol = minority(4)
+        np.testing.assert_allclose(protocol.g0, [0, 1, 0.5, 0, 1])
+
+    def test_unanimity_is_followed(self):
+        for ell in (2, 3, 6):
+            protocol = minority(ell)
+            assert protocol.g0[0] == 0.0 and protocol.g0[ell] == 1.0
+
+    def test_tie_break_variants(self):
+        stay = minority(4, tie_break="stay")
+        assert stay.g0[2] == 0.0 and stay.g1[2] == 1.0
+        adopt = minority(4, tie_break="adopt-one")
+        assert adopt.g0[2] == 1.0 and adopt.g1[2] == 1.0
+
+    def test_unknown_tie_break_rejected(self):
+        with pytest.raises(ValueError, match="tie_break"):
+            minority(4, tie_break="flip-a-table")
+
+    def test_tie_break_irrelevant_for_odd_ell(self):
+        for rule in TIE_BREAK_RULES:
+            np.testing.assert_allclose(minority(3, rule).g0, minority(3).g0)
+
+    def test_closed_form_bias_sign_structure(self):
+        grid = np.linspace(0.01, 0.49, 10)
+        assert np.all(minority_ell3_bias(grid) > 0)
+        assert np.all(minority_ell3_bias(1 - grid) < 0)
+
+    def test_sqrt_family_sample_size_grows(self):
+        family = minority_sqrt_family()
+        assert family.at(100).ell < family.at(10_000).ell
+        assert family.at(10_000).ell % 2 == 1
+
+    def test_sqrt_family_rejects_bad_constant(self):
+        with pytest.raises(ValueError):
+            minority_sqrt_family(constant=0.0)
+
+
+class TestMajority:
+    def test_table(self):
+        np.testing.assert_allclose(majority(3).g0, [0, 0, 1, 1])
+        np.testing.assert_allclose(majority(4).g0, [0, 0, 0.5, 1, 1])
+
+    def test_satisfies_boundary_conditions(self):
+        # Proposition 3 is necessary, not sufficient: Majority passes it yet
+        # fails the problem (demonstrated in the integration tests).
+        assert majority(5).satisfies_boundary_conditions()
+
+    def test_majority_bias_opposes_minority(self):
+        grid = np.linspace(0.05, 0.45, 9)
+        assert np.all(bias_value(majority(3), grid) < 0)
+        assert np.all(bias_value(minority(3), grid) > 0)
+
+
+class TestBlends:
+    def test_blend_bias_is_linear_in_weight(self):
+        grid = np.linspace(0, 1, 21)
+        full = bias_value(minority(3), grid)
+        for weight in (0.25, 0.5, 0.75):
+            blended = bias_value(voter_minority_blend(3, weight), grid)
+            np.testing.assert_allclose(blended, weight * np.asarray(full), atol=1e-12)
+
+    def test_blend_weight_validated(self):
+        with pytest.raises(ValueError):
+            voter_minority_blend(3, 1.5)
+
+    def test_biased_voter_boundary_k_rejected(self):
+        with pytest.raises(ValueError, match="interior"):
+            biased_voter(3, 0, 0.1)
+        with pytest.raises(ValueError, match="interior"):
+            biased_voter(3, 3, 0.1)
+
+    def test_biased_voter_overflow_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            biased_voter(2, 1, 0.6)  # 1/2 + 0.6 > 1
+
+    def test_double_lobe_validates_arguments(self):
+        with pytest.raises(ValueError):
+            double_lobe(0.0)
+        with pytest.raises(ValueError):
+            double_lobe(0.5, strength=0.0)
+
+    @given(st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_double_lobe_bias_closed_form(self, root):
+        protocol = double_lobe(root, strength=0.4)
+        grid = np.linspace(0, 1, 31)
+        d0, d1 = 0.4 * root, -0.4 * (1 - root)
+        expected = 2 * grid * (1 - grid) * ((1 - grid) * d0 + grid * d1)
+        np.testing.assert_allclose(bias_value(protocol, grid), expected, atol=1e-12)
+
+
+class TestTableProtocols:
+    def test_table_protocol_infers_ell(self):
+        protocol = table_protocol([0.0, 0.3, 1.0])
+        assert protocol.ell == 2
+        assert protocol.is_oblivious()
+
+    def test_table_protocol_distinct_g1(self):
+        protocol = table_protocol([0.0, 1.0], [0.5, 1.0])
+        assert not protocol.is_oblivious()
+
+    def test_short_table_rejected(self):
+        with pytest.raises(ValueError):
+            table_protocol([0.5])

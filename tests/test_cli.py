@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, resolve_protocol
+
+
+class TestResolve:
+    def test_registry_name(self):
+        protocol = resolve_protocol("minority-3", 100)
+        assert protocol.ell == 3
+
+    def test_n_dependent_family(self):
+        small = resolve_protocol("minority-sqrt", 100)
+        large = resolve_protocol("minority-sqrt", 10_000)
+        assert small.ell < large.ell
+
+    def test_table_literal(self):
+        protocol = resolve_protocol("table:0,0.5,1", 100)
+        assert protocol.ell == 2
+        assert protocol.is_oblivious()
+
+    def test_table_literal_with_g1(self):
+        protocol = resolve_protocol("table:0,0.5,1;0,0.7,1", 100)
+        assert not protocol.is_oblivious()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            resolve_protocol("nope", 100)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "voter" in out and "minority-3" in out
+
+    def test_audit_minority(self, capsys):
+        assert main(["audit", "minority-3", "--n", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "case 1" in out
+        assert "witness" in out
+
+    def test_audit_zero_bias(self, capsys):
+        assert main(["audit", "voter", "--n", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma-11" in out or "Lemma 11" in out
+
+    def test_audit_violator_exits_nonzero(self, capsys):
+        assert main(["audit", "table:0.3,1", "--n", "128"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+
+    def test_run_converges(self, capsys):
+        code = main(
+            ["run", "voter", "--n", "200", "--rounds", "100000", "--seed", "3"]
+        )
+        assert code == 0
+        assert "converged=True" in capsys.readouterr().out
+
+    def test_run_censored_exit_code(self, capsys):
+        code = main(["run", "minority-3", "--n", "500", "--rounds", "20"])
+        assert code == 2
+
+    def test_run_with_recording(self, capsys):
+        main(["run", "voter", "--n", "100", "--rounds", "50000", "--record"])
+        out = capsys.readouterr().out
+        assert "count" in out  # the ascii plot legend
+
+    def test_sweep(self, capsys):
+        assert main(
+            ["sweep", "voter", "--sizes", "64,128", "--replicas", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fit: tau ~" in out
+
+    def test_landscape(self, capsys):
+        assert main(["landscape", "minority-3", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "F(p)" in out
+        assert "p," in out  # csv header
+
+    def test_worst(self, capsys):
+        assert main(["worst", "voter", "--n", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "worst start x0=1" in out
+
+    def test_worst_with_profile(self, capsys):
+        assert main(["worst", "minority-3", "--n", "24", "--profile"]) == 0
+        assert "log10" in capsys.readouterr().out
+
+    def test_meanfield(self, capsys):
+        assert main(["meanfield", "minority-3"]) == 0
+        out = capsys.readouterr().out
+        assert "attracting" in out and "repelling" in out
+
+    def test_meanfield_zero_bias(self, capsys):
+        assert main(["meanfield", "voter"]) == 0
+        assert "identity" in capsys.readouterr().out
+
+    def test_report(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "E1_x.txt").write_text("table one")
+        (results / "E2_y.txt").write_text("table two")
+        output = tmp_path / "REPORT.md"
+        assert main(
+            ["report", "--results-dir", str(results), "--output", str(output)]
+        ) == 0
+        text = output.read_text()
+        assert "E1_x" in text and "table two" in text
+
+    def test_report_missing_dir(self, tmp_path):
+        assert main(
+            ["report", "--results-dir", str(tmp_path / "nope"), "--output", "r.md"]
+        ) == 1
+
+
+class TestSweepEdgeCases:
+    def test_sweep_all_censored_skips_fit(self, capsys):
+        # minority-3 with a tiny budget factor: every cell censors; the
+        # command must render the table and skip the power-law fit.
+        code = main(
+            [
+                "sweep", "minority-3", "--sizes", "128,256",
+                "--replicas", "2", "--budget-factor", "0.01",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inf" in out
+        assert "fit: tau ~" not in out
+
+    def test_sweep_z_zero(self, capsys):
+        assert main(
+            ["sweep", "voter", "--sizes", "64,128", "--replicas", "2", "--z", "0"]
+        ) == 0
+        assert "median tau" in capsys.readouterr().out

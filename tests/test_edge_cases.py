@@ -1,0 +1,106 @@
+"""Edge cases: tiny populations, extreme tables, boundary counts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bias import bias_value, expected_next_count
+from repro.core.lower_bound import lower_bound_certificate
+from repro.core.protocol import Protocol
+from repro.dynamics.config import Configuration
+from repro.dynamics.engine import step_count
+from repro.dynamics.run import simulate
+from repro.markov.exact import count_chain, exact_expected_convergence_time
+from repro.protocols import minority, table_protocol, voter
+
+
+class TestTinyPopulations:
+    def test_n_equals_2(self, rng):
+        """One source, one follower: the smallest meaningful population."""
+        config = Configuration(n=2, z=1, x0=1)
+        result = simulate(voter(1), config, 10_000, rng)
+        assert result.converged
+
+    def test_n2_exact_time_is_geometric(self):
+        # The follower copies a uniform agent (itself or the source): it
+        # adopts the correct opinion with probability 1/2 per round.
+        exact = exact_expected_convergence_time(voter(1), Configuration(n=2, z=1, x0=1))
+        assert exact == pytest.approx(2.0)
+
+    def test_n_equals_3_chain_valid(self):
+        chain = count_chain(minority(3), 3, 0)
+        assert 0 in chain.absorbing_states()
+
+
+class TestSampleSizeVsPopulation:
+    def test_ell_larger_than_n_is_legal(self, rng):
+        """Sampling is with replacement: ell > n poses no problem."""
+        protocol = minority(9)
+        config = Configuration(n=5, z=1, x0=1)
+        x = config.x0
+        for _ in range(50):
+            x = step_count(protocol, 5, 1, x, rng)
+            assert 1 <= x <= 5
+
+    def test_bias_well_defined_for_large_ell(self):
+        values = bias_value(minority(21), np.linspace(0, 1, 11))
+        assert np.all(np.isfinite(values))
+
+
+class TestExtremeTables:
+    def test_always_follow_one_sample_of_self_population(self, rng):
+        """g = (0, 1): adopt 1 iff the single sample holds 1 — the Voter."""
+        protocol = table_protocol([0.0, 1.0], name="copy")
+        np.testing.assert_allclose(protocol.g0, voter(1).g0)
+
+    def test_inert_protocol_never_converges_from_wrong_start(self, rng):
+        inert = Protocol(ell=1, g0=[0.0, 0.0], g1=[1.0, 1.0], name="inert")
+        assert inert.satisfies_boundary_conditions()
+        config = Configuration(n=20, z=1, x0=10)
+        result = simulate(inert, config, 100, rng)
+        assert not result.converged
+        assert result.final_count == 10  # literally nothing moves
+
+    def test_inert_protocol_is_zero_bias(self):
+        """Stasis is zero drift: P1 = 1, P0 = 0 give F(p) = p + 0 - p = 0.
+
+        The inert protocol is thus a Lemma-11 specimen with *zero variance*
+        as well — the degenerate end of the zero-bias class whose diffusive
+        escape never happens at all."""
+        inert = Protocol(ell=1, g0=[0.0, 0.0], g1=[1.0, 1.0], name="inert")
+        grid = np.linspace(0.1, 0.9, 9)
+        np.testing.assert_allclose(bias_value(inert, grid), 0.0, atol=1e-12)
+        certificate = lower_bound_certificate(inert)
+        assert "Lemma 11" in certificate.case
+
+    def test_antivoter(self, rng):
+        """g = adopt the opposite of the sample, except unanimity pins.
+
+        With ell = 2: g(0)=0, g(2)=1 (Prop 3) and g(1) = 1/2 gives the
+        fair-coin middle; a legal if bizarre protocol the pipeline must
+        still classify."""
+        anti = table_protocol([0.0, 0.5, 1.0], name="coin-middle")
+        # This is exactly the Voter at ell=2: F = 0.
+        from repro.core.roots import is_zero_bias
+
+        assert is_zero_bias(anti)
+
+
+class TestBoundaryCounts:
+    def test_drift_at_extreme_admissible_counts(self):
+        protocol = minority(3)
+        for n in (10, 100):
+            assert np.isfinite(expected_next_count(protocol, n, 1, 1))
+            assert np.isfinite(expected_next_count(protocol, n, 0, n - 1))
+
+    def test_step_from_extremes_stays_admissible(self, rng):
+        protocol = minority(3)
+        for _ in range(100):
+            assert 1 <= step_count(protocol, 10, 1, 1, rng) <= 10
+            assert 0 <= step_count(protocol, 10, 0, 9, rng) <= 9
+
+    def test_config_n2_bounds(self):
+        assert Configuration.count_bounds(2, 1) == (1, 2)
+        config = Configuration(n=2, z=0, x0=1)
+        assert config.fraction == 0.5

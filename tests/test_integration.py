@@ -1,0 +1,136 @@
+"""End-to-end integration tests: miniature versions of the reproductions.
+
+These tie the layers together — protocol -> bias analysis -> certificate ->
+engines -> statistics — on budgets small enough for the unit-test suite,
+asserting the same *shapes* the full benchmarks assert at scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    Configuration,
+    adversarial_configurations,
+    lower_bound_certificate,
+    make_rng,
+    minority,
+    simulate,
+    simulate_ensemble,
+    verify_escape_assumptions,
+    voter,
+)
+from repro.analysis.scaling import fit_power_law
+from repro.core.theory import minority_sqrt_sample_size, voter_upper_bound_rounds
+from repro.dynamics.run import escape_time_ensemble
+
+
+class TestTheorem1Miniature:
+    """The full lower-bound pipeline on a small sweep."""
+
+    def test_minority_escape_beats_sqrt_n(self, rng):
+        certificate = lower_bound_certificate(minority(3))
+        for n in (256, 512, 1024):
+            report = verify_escape_assumptions(certificate, n, epsilon=0.5)
+            assert report.drift_ok and report.jump_ok
+            times = escape_time_ensemble(
+                minority(3), certificate, n, 2 * n, rng, replicas=4
+            )
+            bound = math.sqrt(n)
+            observed = np.where(np.isnan(times), 2 * n, times)
+            assert np.all(observed >= bound)
+
+    def test_voter_escape_beats_sqrt_n(self, rng):
+        certificate = lower_bound_certificate(voter(1))
+        n = 4096
+        times = escape_time_ensemble(voter(1), certificate, n, 40 * n, rng, replicas=4)
+        observed = np.where(np.isnan(times), 40 * n, times)
+        assert np.all(observed >= math.sqrt(n))
+
+
+class TestTheorem2Miniature:
+    def test_voter_within_bound_from_every_adversarial_start(self, rng):
+        n = 256
+        horizon = int(voter_upper_bound_rounds(n))
+        for config in adversarial_configurations(n):
+            result = simulate(voter(1), config, horizon, rng)
+            assert result.converged, config
+
+
+class TestSelfStabilization:
+    """A protocol must converge from *every* initial configuration."""
+
+    def test_voter_is_self_stabilizing(self, rng):
+        n = 128
+        for config in adversarial_configurations(n):
+            result = simulate(voter(1), config, 200_000, rng)
+            assert result.converged, config
+
+    def test_sqrt_minority_is_self_stabilizing(self, rng):
+        n = 1024
+        protocol = minority(minority_sqrt_sample_size(n))
+        for config in adversarial_configurations(n):
+            result = simulate(protocol, config, 2_000, rng)
+            assert result.converged, config
+
+    def test_constant_minority_fails_self_stabilization_budget(self, rng):
+        """The other side of the dichotomy on the same panel."""
+        n = 1024
+        failures = 0
+        for config in adversarial_configurations(n):
+            result = simulate(minority(3), config, 200, rng)
+            failures += not result.converged
+        assert failures > 0
+
+
+class TestScalingShapes:
+    def test_voter_tau_scales_linearly(self, rng_factory):
+        sizes = (64, 128, 256, 512)
+        medians = []
+        for i, n in enumerate(sizes):
+            config = Configuration(n=n, z=1, x0=1)
+            times = simulate_ensemble(
+                voter(1), config, 10**6, rng_factory(i), replicas=15
+            )
+            medians.append(float(np.median(times)))
+        fit = fit_power_law(list(sizes), medians)
+        assert 0.7 <= fit.exponent <= 1.4
+
+    def test_sqrt_minority_tau_flat(self, rng_factory):
+        sizes = (256, 1024, 4096)
+        medians = []
+        for i, n in enumerate(sizes):
+            protocol = minority(minority_sqrt_sample_size(n))
+            config = Configuration(n=n, z=1, x0=1)
+            times = simulate_ensemble(protocol, config, 500, rng_factory(i), 10)
+            medians.append(float(np.median(times)))
+        fit = fit_power_law(list(sizes), medians)
+        assert fit.exponent < 0.3
+
+
+class TestCrossEngineConsistency:
+    def test_exact_time_within_monte_carlo_band(self, rng):
+        from repro.markov.exact import exact_expected_convergence_time
+
+        config = Configuration(n=30, z=1, x0=10)
+        exact = exact_expected_convergence_time(voter(1), config)
+        times = simulate_ensemble(voter(1), config, 10**6, rng, replicas=300)
+        standard_error = float(np.std(times) / math.sqrt(len(times)))
+        assert abs(float(np.mean(times)) - exact) < 5 * standard_error + 1e-9
+
+    def test_sequential_simulation_matches_birth_death(self, rng):
+        from repro.dynamics.sequential import simulate_sequential
+        from repro.markov.birth_death import sequential_birth_death_chain
+
+        n = 32
+        config = Configuration(n=n, z=1, x0=16)
+        exact = sequential_birth_death_chain(voter(1), n, 1).expected_time_to_top(16)
+        samples = [
+            simulate_sequential(voter(1), config, 10**8, rng).activations
+            for _ in range(100)
+        ]
+        standard_error = float(np.std(samples) / math.sqrt(len(samples)))
+        assert abs(float(np.mean(samples)) - exact) < 5 * standard_error + 1.0

@@ -1,0 +1,140 @@
+"""Cross-module property tests: invariants over *random* protocols.
+
+Theorem 1 quantifies over every protocol, so the pipeline must be correct
+on arbitrary response tables, not just the named dynamics.  These
+hypothesis suites tie several modules together per example: random table
+-> bias -> roots -> certificate -> exact chain -> engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bias import bias_value, expected_next_count
+from repro.core.lower_bound import lower_bound_certificate
+from repro.core.mean_field import mean_field_map
+from repro.core.roots import is_zero_bias
+from repro.dynamics.config import Configuration
+from repro.dynamics.engine import step_count, step_counts_batch
+from repro.markov.exact import transition_row
+from repro.protocols import random_protocol
+
+protocol_strategy = st.builds(
+    lambda ell, seed, oblivious, symmetric: random_protocol(
+        ell,
+        np.random.default_rng(seed),
+        solving=True,
+        oblivious=oblivious,
+        symmetric=symmetric,
+    ),
+    st.integers(min_value=1, max_value=6),
+    st.integers(0, 2**32 - 1),
+    st.booleans(),
+    st.booleans(),
+)
+
+
+class TestBiasChainConsistency:
+    @given(protocol_strategy, st.sampled_from([0, 1]), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_row_mean_is_the_drift(self, protocol, z, state_seed):
+        n = 37
+        low, high = Configuration.count_bounds(n, z)
+        x = low + state_seed % (high - low + 1)
+        row = transition_row(protocol, n, z, x)
+        mean = float(row @ np.arange(n + 1))
+        assert mean == pytest.approx(
+            float(expected_next_count(protocol, n, z, x)), abs=1e-9
+        )
+
+    @given(protocol_strategy, st.sampled_from([0, 1]))
+    @settings(max_examples=30, deadline=None)
+    def test_row_support_respects_source(self, protocol, z):
+        n = 23
+        low, high = Configuration.count_bounds(n, z)
+        x = (low + high) // 2
+        row = transition_row(protocol, n, z, x)
+        if z == 1:
+            assert row[0] == 0.0  # the source keeps X >= 1
+        else:
+            assert row[n] == 0.0
+
+    @given(protocol_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_mean_field_map_stays_in_unit_interval(self, protocol):
+        grid = np.linspace(0.0, 1.0, 33)
+        image = np.asarray(mean_field_map(protocol, grid))
+        assert np.all(image >= -1e-12) and np.all(image <= 1 + 1e-12)
+
+
+class TestCertificateProperties:
+    @given(protocol_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_certificate_sign_consistency(self, protocol):
+        """The drift at the witness start opposes the escape direction."""
+        certificate = lower_bound_certificate(protocol)
+        n = 1009
+        witness = certificate.witness_configuration(n)
+        drift = float(expected_next_count(protocol, n, witness.z, witness.x0))
+        if is_zero_bias(protocol):
+            assert abs(drift - witness.x0) <= 1.0  # martingale up to source pull
+        elif certificate.escape_is_upward:
+            assert drift <= witness.x0 + 1.0
+        else:
+            assert drift >= witness.x0 - 1.0
+
+    @given(protocol_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_witness_is_not_escaped_at_start(self, protocol):
+        certificate = lower_bound_certificate(protocol)
+        for n in (512, 2048):
+            if (certificate.a3 - certificate.a1) * n < 4:
+                # Below integer resolution the interval has no interior at
+                # this n ("for n large enough" has not kicked in yet).
+                continue
+            witness = certificate.witness_configuration(n)
+            assert not certificate.has_escaped(n, witness.x0)
+
+    @given(protocol_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_bias_sign_constant_on_certified_interval(self, protocol):
+        certificate = lower_bound_certificate(protocol)
+        if is_zero_bias(protocol):
+            return
+        grid = np.linspace(certificate.a1 + 1e-6, certificate.a3 - 1e-6, 33)
+        values = np.asarray(bias_value(protocol, grid))
+        if "case 1" in certificate.case:
+            assert np.all(values < 1e-9)
+        else:
+            assert np.all(values > -1e-9)
+
+
+class TestEngineProperties:
+    @given(protocol_strategy, st.sampled_from([0, 1]), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_counts_stay_admissible(self, protocol, z, seed):
+        n = 61
+        rng = np.random.default_rng(seed)
+        low, high = Configuration.count_bounds(n, z)
+        x = (low + high) // 2
+        for _ in range(20):
+            x = step_count(protocol, n, z, x, rng)
+            assert low <= x <= high
+
+    @given(protocol_strategy, st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_batch_and_scalar_share_support(self, protocol, seed):
+        n, z = 41, 1
+        rng = np.random.default_rng(seed)
+        batch = step_counts_batch(protocol, n, z, np.full(64, 21), rng)
+        assert batch.min() >= 1 and batch.max() <= n
+
+    @given(protocol_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_consensus_absorbing_for_solving_protocols(self, protocol):
+        rng = np.random.default_rng(0)
+        assert step_count(protocol, 50, 1, 50, rng) == 50
+        assert step_count(protocol, 50, 0, 0, rng) == 0
