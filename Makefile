@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples report clean
+.PHONY: install test bench examples report trace-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,9 @@ examples:
 
 report:
 	$(PYTHON) -m repro report
+
+trace-smoke:
+	$(PYTHON) scripts/trace_smoke.py
 
 clean:
 	rm -rf results/*.txt .pytest_cache

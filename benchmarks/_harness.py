@@ -9,16 +9,28 @@ claim or a figure's phenomenon).  The pattern:
   ``results/`` so EXPERIMENTS.md can quote it verbatim;
 * soft shape assertions (who wins, bounded ratios) make regressions loud
   without pretending the simulator matches the authors' constants.
+
+Timing telemetry: :func:`run_once` measures the wall clock of the heavy
+computation, and :func:`emit` archives it as ``results/BENCH_<id>.json``
+next to the text artifact.  A benchmark that knows how many simulated
+rounds its computation executed can call :func:`note_rounds` so the JSON
+entry also carries a ``rounds_per_second`` field (schema in
+docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
-from typing import Iterable
+import time
+from typing import Optional
 
 from repro.analysis.series import Series, Table, ascii_plot
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+# Timing of the most recent run_once(), consumed by the next emit().
+_pending_timing: dict = {}
 
 
 def emit(experiment_id: str, *blocks: object) -> None:
@@ -26,6 +38,8 @@ def emit(experiment_id: str, *blocks: object) -> None:
 
     Each block may be a :class:`Table`, a :class:`Series` (rendered as CSV),
     a pre-rendered string (e.g. an ascii plot), or anything with ``str``.
+    Also writes ``results/BENCH_<experiment_id>.json`` with the wall clock
+    recorded by the enclosing :func:`run_once` call (if any).
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     rendered = []
@@ -44,8 +58,44 @@ def emit(experiment_id: str, *blocks: object) -> None:
     banner = f"\n===== {experiment_id} =====\n"
     print(banner + text)
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(banner + text)
+    _write_bench_record(experiment_id)
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run ``fn`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The wall clock of the call is kept aside so the next :func:`emit` can
+    archive it in the experiment's ``BENCH_*.json`` record.
+    """
+    _pending_timing.clear()
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    _pending_timing["wall_clock_s"] = time.perf_counter() - start
+    return result
+
+
+def note_rounds(rounds: Optional[int]) -> None:
+    """Record how many simulated rounds the pending benchmark executed.
+
+    Call between :func:`run_once` and :func:`emit`; the next ``BENCH_*.json``
+    then reports ``rounds`` and ``rounds_per_second`` alongside the wall
+    clock.  Passing ``None`` is a no-op so callers can forward optional
+    counts unconditionally.
+    """
+    if rounds is not None:
+        _pending_timing["rounds"] = int(rounds)
+
+
+def _write_bench_record(experiment_id: str) -> None:
+    record = {"experiment": experiment_id, "schema": 1}
+    wall = _pending_timing.get("wall_clock_s")
+    record["wall_clock_s"] = wall
+    rounds = _pending_timing.get("rounds")
+    record["rounds"] = rounds
+    record["rounds_per_second"] = (
+        rounds / wall if rounds is not None and wall else None
+    )
+    (RESULTS_DIR / f"BENCH_{experiment_id}.json").write_text(
+        json.dumps(record, sort_keys=True) + "\n"
+    )
+    _pending_timing.clear()

@@ -18,7 +18,7 @@ import math
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, note_rounds, run_once
 from repro.analysis.scaling import fit_power_law
 from repro.analysis.series import Table
 from repro.core.theory import voter_upper_bound_rounds
@@ -26,6 +26,7 @@ from repro.dynamics.config import wrong_consensus_configuration
 from repro.dynamics.rng import make_rng
 from repro.dynamics.run import simulate_ensemble
 from repro.protocols import voter
+from repro.telemetry import MetricsRecorder
 
 SIZES = (128, 256, 512, 1024, 2048, 4096)
 REPLICAS = 40
@@ -34,22 +35,26 @@ REPLICAS = 40
 def _measure():
     rows = []
     medians = []
+    total_rounds = 0
     for n in SIZES:
         config = wrong_consensus_configuration(n, z=1)
         horizon = int(math.ceil(voter_upper_bound_rounds(n)))
+        recorder = MetricsRecorder()
         times = simulate_ensemble(
-            voter(1), config, horizon, make_rng(42 + n), REPLICAS
+            voter(1), config, horizon, make_rng(42 + n), REPLICAS, recorder
         )
+        total_rounds += recorder.metrics().rounds
         over_horizon = int(np.isnan(times).sum())
         finite = times[~np.isnan(times)]
         median = float(np.median(finite)) if len(finite) else float("nan")
         rows.append((n, horizon, median, float(np.max(finite)), over_horizon))
         medians.append(median)
-    return rows, medians
+    return rows, medians, total_rounds
 
 
 def test_thm2_voter_upper_bound(benchmark):
-    rows, medians = run_once(benchmark, _measure)
+    rows, medians, total_rounds = run_once(benchmark, _measure)
+    note_rounds(total_rounds)
 
     table = Table(
         "E2 / Theorem 2 — Voter from the all-wrong configuration (z=1, x0=1); "

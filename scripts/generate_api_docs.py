@@ -22,6 +22,7 @@ MODULES = [
     "repro.dynamics.multiopinion", "repro.dynamics.noise", "repro.dynamics.zealots",
     "repro.dynamics.adversary", "repro.dynamics.graphs", "repro.dynamics.heterogeneous",
     "repro.dynamics.rng",
+    "repro.telemetry.recorder", "repro.telemetry.jsonl",
     "repro.markov.chain", "repro.markov.exact", "repro.markov.birth_death",
     "repro.markov.doob", "repro.markov.concentration", "repro.markov.escape",
     "repro.markov.spectral", "repro.markov.quasistationary",
@@ -35,10 +36,24 @@ MODULES = [
 ]
 
 
+def _signature(item) -> str:
+    """A function's signature for the index, or "" where it has none.
+
+    Emitted so the index can't silently drift from the code: regenerating
+    after an API change (e.g. a new ``recorder=`` parameter) updates every
+    affected entry.
+    """
+    try:
+        return str(inspect.signature(item))
+    except (TypeError, ValueError):
+        return ""
+
+
 def main() -> None:
     out = io.StringIO()
     out.write("# API reference\n\n")
-    out.write("One-line index of every public item, generated from docstrings\n")
+    out.write("One-line index of every public item, with call signatures,\n")
+    out.write("generated from the code\n")
     out.write("(`python scripts/generate_api_docs.py` regenerates this file).\n")
     for name in MODULES:
         module = importlib.import_module(name)
@@ -48,12 +63,16 @@ def main() -> None:
             item = getattr(module, item_name)
             doc = (inspect.getdoc(item) or "").strip().splitlines()
             summary = doc[0] if doc else ""
-            kind = (
-                "class" if inspect.isclass(item)
-                else "def" if callable(item)
-                else "const"
-            )
-            out.write(f"- **`{item_name}`** ({kind}) — {summary}\n")
+            if inspect.isclass(item):
+                kind = "class"
+                label = item_name
+            elif callable(item):
+                kind = "def"
+                label = f"{item_name}{_signature(item)}"
+            else:
+                kind = "const"
+                label = item_name
+            out.write(f"- **`{label}`** ({kind}) — {summary}\n")
     target = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
     target.write_text(out.getvalue())
     print(f"wrote {target} ({len(out.getvalue())} bytes)")

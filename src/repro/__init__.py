@@ -20,6 +20,7 @@ Subpackages:
     dual        the coalescing-random-walk dual of the Voter (Appendix B)
     extensions  memory and population-protocol escape hatches (Section 1.3)
     analysis    ensembles, scaling fits, text/CSV figure rendering
+    telemetry   run recorders: per-round metrics, JSONL traces, provenance
 """
 
 from repro.core import (
@@ -48,6 +49,7 @@ from repro.dynamics import (
     balanced_configuration,
     consensus_configuration,
     escape_time,
+    escape_time_ensemble,
     make_rng,
     simulate,
     simulate_ensemble,
@@ -55,6 +57,16 @@ from repro.dynamics import (
     spawn_rngs,
     time_to_leave_consensus,
     wrong_consensus_configuration,
+)
+from repro.telemetry import (
+    NULL_RECORDER,
+    JsonlTraceWriter,
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    compose_recorders,
+    read_trace,
+    validate_trace,
 )
 from repro.protocols import (
     biased_voter,
@@ -113,5 +125,15 @@ __all__ = [
     "simulate_ensemble",
     "simulate_sequential",
     "escape_time",
+    "escape_time_ensemble",
     "time_to_leave_consensus",
+    # telemetry
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "MetricsRecorder",
+    "JsonlTraceWriter",
+    "compose_recorders",
+    "read_trace",
+    "validate_trace",
 ]

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.protocol import Protocol
 from repro.dynamics.config import Configuration
 from repro.dynamics.run import simulate_ensemble
+from repro.telemetry import NULL_RECORDER, Recorder
 
 __all__ = ["ConvergenceStats", "summarize_times", "convergence_ensemble"]
 
@@ -86,7 +87,12 @@ def convergence_ensemble(
     max_rounds: int,
     rng: np.random.Generator,
     replicas: int,
+    recorder: Recorder = NULL_RECORDER,
 ) -> ConvergenceStats:
-    """Run ``replicas`` independent chains and summarize their ``tau``."""
-    times = simulate_ensemble(protocol, config, max_rounds, rng, replicas)
+    """Run ``replicas`` independent chains and summarize their ``tau``.
+
+    ``recorder`` is forwarded to :func:`repro.dynamics.run.simulate_ensemble`
+    (one record per lock-step round; see docs/OBSERVABILITY.md).
+    """
+    times = simulate_ensemble(protocol, config, max_rounds, rng, replicas, recorder)
     return summarize_times(times, budget=max_rounds)

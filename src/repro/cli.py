@@ -32,6 +32,7 @@ from repro.dynamics.config import Configuration, wrong_consensus_configuration
 from repro.dynamics.rng import make_rng
 from repro.dynamics.run import simulate, simulate_ensemble
 from repro.protocols import available_protocols, get_family, table_protocol
+from repro.telemetry import JsonlTraceWriter, MetricsRecorder, compose_recorders
 
 __all__ = ["main", "resolve_protocol"]
 
@@ -93,14 +94,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     low, high = Configuration.count_bounds(args.n, args.z)
     x0 = args.x0 if args.x0 is not None else wrong_consensus_configuration(args.n, args.z).x0
     config = Configuration(n=args.n, z=args.z, x0=min(max(x0, low), high))
-    result = simulate(
-        protocol, config, args.rounds, make_rng(args.seed), record=args.record
-    )
+    metrics = MetricsRecorder() if args.metrics else None
+    trace = JsonlTraceWriter(args.trace) if args.trace else None
+    recorder = compose_recorders(metrics, trace)
+    try:
+        result = simulate(
+            protocol, config, args.rounds, make_rng(args.seed),
+            record=args.record, recorder=recorder,
+        )
+    finally:
+        if trace is not None:
+            trace.close()
     print(
         f"{protocol.name} on n={args.n}, z={args.z}, x0={config.x0}: "
         f"converged={result.converged}, rounds={result.rounds}, "
         f"final count={result.final_count}"
     )
+    if metrics is not None:
+        m = metrics.metrics()
+        print(
+            f"telemetry: rounds={m.rounds} wall={m.wall_clock_s:.4f}s "
+            f"rounds/sec={m.rounds_per_second:,.0f} "
+            f"mean |drift|={m.mean_abs_drift:.3f}"
+        )
+    if trace is not None:
+        print(f"trace: wrote {trace.records_written} records to {args.trace}")
     if args.record and result.trajectory is not None:
         series = Series(
             "count", np.arange(len(result.trajectory), dtype=float),
@@ -255,6 +273,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rounds", type=int, default=100_000)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--record", action="store_true", help="plot the trajectory")
+    run.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="stream a JSONL telemetry trace to PATH (see docs/OBSERVABILITY.md)",
+    )
+    run.add_argument(
+        "--metrics", action="store_true",
+        help="print run telemetry (rounds, wall-clock, rounds/sec)",
+    )
     run.set_defaults(handler=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="tau vs n with a power-law fit")

@@ -15,6 +15,8 @@ from typing import List
 
 __all__ = [
     "Configuration",
+    "validate_count",
+    "validate_counts",
     "consensus_configuration",
     "wrong_consensus_configuration",
     "balanced_configuration",
@@ -65,6 +67,33 @@ class Configuration:
     @property
     def fraction(self) -> float:
         return self.x0 / self.n
+
+
+def validate_count(n: int, z: int, x: int) -> tuple:
+    """Check a scalar count against :meth:`Configuration.count_bounds`.
+
+    The single source of truth for the admissibility check shared by the
+    parallel and sequential engines.  Returns ``(low, high)`` so callers can
+    reuse the bounds; raises ``ValueError`` when ``x`` falls outside them.
+    """
+    low, high = Configuration.count_bounds(n, z)
+    if not low <= x <= high:
+        raise ValueError(f"count x must lie in [{low}, {high}] for n={n}, z={z}; got {x}")
+    return low, high
+
+
+def validate_counts(n: int, z: int, counts) -> tuple:
+    """Vectorized :func:`validate_count` for an array of replica counts."""
+    import numpy as np
+
+    counts = np.asarray(counts)
+    low, high = Configuration.count_bounds(n, z)
+    if counts.size and (np.any(counts < low) or np.any(counts > high)):
+        raise ValueError(
+            f"counts must lie in [{low}, {high}] for n={n}, z={z}; got "
+            f"range [{counts.min()}, {counts.max()}]"
+        )
+    return low, high
 
 
 def consensus_configuration(n: int, z: int) -> Configuration:

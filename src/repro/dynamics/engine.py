@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.protocol import Protocol
-from repro.dynamics.config import Configuration
+from repro.dynamics.config import validate_count, validate_counts
 
 __all__ = ["step_count", "step_counts_batch"]
 
@@ -33,9 +33,7 @@ def step_count(
     rng: np.random.Generator,
 ) -> int:
     """Sample one parallel round of the count chain: ``X_{t+1} | X_t = x``."""
-    low, high = Configuration.count_bounds(n, z)
-    if not low <= x <= high:
-        raise ValueError(f"count x must lie in [{low}, {high}] for n={n}, z={z}; got {x}")
+    validate_count(n, z, x)
     p = x / n
     p0, p1 = protocol.response_probabilities(p)
     m1 = x - z
@@ -59,12 +57,7 @@ def step_counts_batch(
     of current counts, one per replica.
     """
     counts = np.asarray(counts)
-    low, high = Configuration.count_bounds(n, z)
-    if np.any(counts < low) or np.any(counts > high):
-        raise ValueError(
-            f"counts must lie in [{low}, {high}] for n={n}, z={z}; got "
-            f"range [{counts.min()}, {counts.max()}]"
-        )
+    validate_counts(n, z, counts)
     p = counts / n
     p0, p1 = protocol.response_probabilities(p)
     m1 = counts - z

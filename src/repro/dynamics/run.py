@@ -7,6 +7,11 @@ simply the hitting time of ``X = n z`` and the runner stops there.  For
 protocols violating Proposition 3 the consensus is left almost surely
 (``tau_n`` is infinite); :func:`time_to_leave_consensus` measures how fast,
 which is the E10 experiment.
+
+Every runner accepts an optional ``recorder=`` (default: the disabled
+:data:`repro.telemetry.NULL_RECORDER`) that observes the run's provenance,
+one record per round, and a closing summary — see docs/OBSERVABILITY.md for
+the schema and the zero-overhead-when-disabled contract.
 """
 
 from __future__ import annotations
@@ -22,12 +27,14 @@ if TYPE_CHECKING:  # avoid a circular import: core.lower_bound needs dynamics.co
     from repro.core.lower_bound import LowerBoundCertificate
 from repro.dynamics.config import Configuration
 from repro.dynamics.engine import step_count, step_counts_batch
+from repro.telemetry import NULL_RECORDER, Recorder, run_provenance
 
 __all__ = [
     "RunResult",
     "simulate",
     "simulate_ensemble",
     "escape_time",
+    "escape_time_ensemble",
     "time_to_leave_consensus",
 ]
 
@@ -59,39 +66,56 @@ def simulate(
     max_rounds: int,
     rng: np.random.Generator,
     record: bool = False,
+    recorder: Recorder = NULL_RECORDER,
 ) -> RunResult:
     """Run the count chain until the correct consensus or the round budget.
 
     Raises ``ValueError`` for protocols violating Proposition 3: their
     "consensus" is not absorbing, so a hitting time would misrepresent
     ``tau_n`` (use :func:`time_to_leave_consensus` for those).
+
+    ``recorder`` observes one record per executed round (``t`` starting at
+    1, ``count`` the post-round count); ``record=True`` additionally keeps
+    the trajectory in memory on the returned :class:`RunResult`.
     """
     if not protocol.satisfies_boundary_conditions(tolerance=1e-12):
         raise ValueError(
             f"protocol {protocol.name!r} violates Proposition 3; its "
             "convergence time is infinite (see time_to_leave_consensus)"
         )
+    recording = recorder.enabled
+    if recording:
+        recorder.run_started(
+            run_provenance(
+                "simulate", protocol, rng,
+                n=config.n, z=config.z, x0=config.x0, max_rounds=max_rounds,
+            )
+        )
     target = config.target_count
     x = config.x0
     trajectory = [x] if record else None
+    converged = False
+    rounds: Optional[int] = None
     for t in range(max_rounds + 1):
         if x == target:
-            return RunResult(
-                config=config,
-                converged=True,
-                rounds=t,
-                final_count=x,
-                trajectory=_as_array(trajectory),
-            )
+            converged = True
+            rounds = t
+            break
         if t == max_rounds:
             break
         x = step_count(protocol, config.n, config.z, x, rng)
         if record:
             trajectory.append(x)
+        if recording:
+            recorder.round_recorded(t + 1, x)
+    if recording:
+        recorder.run_finished(
+            {"converged": converged, "rounds": rounds, "final_count": x}
+        )
     return RunResult(
         config=config,
-        converged=False,
-        rounds=None,
+        converged=converged,
+        rounds=rounds,
         final_count=x,
         trajectory=_as_array(trajectory),
     )
@@ -103,6 +127,7 @@ def simulate_ensemble(
     max_rounds: int,
     rng: np.random.Generator,
     replicas: int,
+    recorder: Recorder = NULL_RECORDER,
 ) -> np.ndarray:
     """Convergence times of ``replicas`` independent runs, advanced in lock-step.
 
@@ -111,6 +136,10 @@ def simulate_ensemble(
     Vectorized across replicas via :func:`step_counts_batch`, so the cost is
     ``O(max_rounds)`` batched binomial draws rather than ``replicas`` full
     runs.
+
+    ``recorder`` observes one record per lock-step round: ``count`` is the
+    mean count over *all* replicas, with ``active`` (replicas still running
+    after the round) and ``newly_converged`` in the extra fields.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be >= 1, got {replicas}")
@@ -119,6 +148,15 @@ def simulate_ensemble(
             f"protocol {protocol.name!r} violates Proposition 3; its "
             "convergence time is infinite (see time_to_leave_consensus)"
         )
+    recording = recorder.enabled
+    if recording:
+        recorder.run_started(
+            run_provenance(
+                "simulate_ensemble", protocol, rng,
+                n=config.n, z=config.z, x0=config.x0,
+                max_rounds=max_rounds, replicas=replicas,
+            )
+        )
     target = config.target_count
     counts = np.full(replicas, config.x0, dtype=np.int64)
     times = np.full(replicas, np.nan)
@@ -126,6 +164,7 @@ def simulate_ensemble(
     newly_done = counts == target
     times[newly_done] = 0.0
     active &= ~newly_done
+    final_round = 0
     for t in range(1, max_rounds + 1):
         if not active.any():
             break
@@ -135,6 +174,25 @@ def simulate_ensemble(
         newly_done = active & (counts == target)
         times[newly_done] = float(t)
         active &= ~newly_done
+        final_round = t
+        if recording:
+            recorder.round_recorded(
+                t,
+                float(counts.mean()),
+                {
+                    "active": int(active.sum()),
+                    "newly_converged": int(newly_done.sum()),
+                },
+            )
+    if recording:
+        censored = int(np.isnan(times).sum())
+        recorder.run_finished(
+            {
+                "converged": replicas - censored,
+                "censored": censored,
+                "final_round": final_round,
+            }
+        )
     return times
 
 
@@ -144,6 +202,7 @@ def escape_time(
     n: int,
     max_rounds: int,
     rng: np.random.Generator,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Optional[int]:
     """Rounds until the chain first crosses the certificate's escape threshold.
 
@@ -154,14 +213,33 @@ def escape_time(
     run is a *success* (the escape took even longer than the budget).
     """
     config = certificate.witness_configuration(n)
+    recording = recorder.enabled
+    if recording:
+        recorder.run_started(
+            run_provenance(
+                "escape_time", protocol, rng,
+                n=n, z=config.z, x0=config.x0, max_rounds=max_rounds,
+                threshold=int(certificate.escape_threshold(n)),
+                escape_is_upward=bool(certificate.escape_is_upward),
+            )
+        )
     x = config.x0
+    escaped_at: Optional[int] = None
     if certificate.has_escaped(n, x):
-        return 0
-    for t in range(1, max_rounds + 1):
-        x = step_count(protocol, n, config.z, x, rng)
-        if certificate.has_escaped(n, x):
-            return t
-    return None
+        escaped_at = 0
+    else:
+        for t in range(1, max_rounds + 1):
+            x = step_count(protocol, n, config.z, x, rng)
+            if recording:
+                recorder.round_recorded(t, x)
+            if certificate.has_escaped(n, x):
+                escaped_at = t
+                break
+    if recording:
+        recorder.run_finished(
+            {"escaped": escaped_at is not None, "rounds": escaped_at, "final_count": x}
+        )
+    return escaped_at
 
 
 def escape_time_ensemble(
@@ -171,6 +249,7 @@ def escape_time_ensemble(
     max_rounds: int,
     rng: np.random.Generator,
     replicas: int,
+    recorder: Recorder = NULL_RECORDER,
 ) -> np.ndarray:
     """Escape times of many independent witness runs, advanced in lock-step.
 
@@ -182,6 +261,16 @@ def escape_time_ensemble(
         raise ValueError(f"replicas must be >= 1, got {replicas}")
     config = certificate.witness_configuration(n)
     threshold = certificate.escape_threshold(n)
+    recording = recorder.enabled
+    if recording:
+        recorder.run_started(
+            run_provenance(
+                "escape_time_ensemble", protocol, rng,
+                n=n, z=config.z, x0=config.x0, max_rounds=max_rounds,
+                replicas=replicas, threshold=int(threshold),
+                escape_is_upward=bool(certificate.escape_is_upward),
+            )
+        )
     counts = np.full(replicas, config.x0, dtype=np.int64)
     times = np.full(replicas, np.nan)
     active = np.ones(replicas, dtype=bool)
@@ -194,6 +283,7 @@ def escape_time_ensemble(
     done = escaped(counts)
     times[done] = 0.0
     active &= ~done
+    final_round = 0
     for t in range(1, max_rounds + 1):
         if not active.any():
             break
@@ -203,6 +293,22 @@ def escape_time_ensemble(
         done = active & escaped(counts)
         times[done] = float(t)
         active &= ~done
+        final_round = t
+        if recording:
+            recorder.round_recorded(
+                t,
+                float(counts.mean()),
+                {"active": int(active.sum()), "newly_converged": int(done.sum())},
+            )
+    if recording:
+        censored = int(np.isnan(times).sum())
+        recorder.run_finished(
+            {
+                "escaped": replicas - censored,
+                "censored": censored,
+                "final_round": final_round,
+            }
+        )
     return times
 
 
@@ -212,6 +318,7 @@ def time_to_leave_consensus(
     z: int,
     max_rounds: int,
     rng: np.random.Generator,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Optional[int]:
     """Rounds until the population first *leaves* the correct consensus.
 
@@ -224,13 +331,29 @@ def time_to_leave_consensus(
     """
     if protocol.satisfies_boundary_conditions(tolerance=1e-12):
         return None
+    recording = recorder.enabled
+    if recording:
+        recorder.run_started(
+            run_provenance(
+                "time_to_leave_consensus", protocol, rng,
+                n=n, z=z, x0=n * z, max_rounds=max_rounds,
+            )
+        )
     target = n * z
     x = target
+    left_at: Optional[int] = None
     for t in range(1, max_rounds + 1):
         x = step_count(protocol, n, z, x, rng)
+        if recording:
+            recorder.round_recorded(t, x)
         if x != target:
-            return t
-    return None
+            left_at = t
+            break
+    if recording:
+        recorder.run_finished(
+            {"left": left_at is not None, "rounds": left_at, "final_count": x}
+        )
+    return left_at
 
 
 def _as_array(trajectory) -> Optional[np.ndarray]:

@@ -20,7 +20,8 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.protocol import Protocol
-from repro.dynamics.config import Configuration
+from repro.dynamics.config import Configuration, validate_count
+from repro.telemetry import NULL_RECORDER, Recorder, run_provenance
 
 __all__ = [
     "sequential_transition_probabilities",
@@ -39,9 +40,7 @@ def sequential_transition_probabilities(
     marginal response probability at fraction ``p = x / n`` (samples are
     drawn from the whole population, source included).
     """
-    low, high = Configuration.count_bounds(n, z)
-    if not low <= x <= high:
-        raise ValueError(f"count x must lie in [{low}, {high}] for n={n}, z={z}; got {x}")
+    validate_count(n, z, x)
     p0, p1 = protocol.response_probabilities(x / n)
     zeros = n - x - (1 - z)
     ones = x - z
@@ -79,6 +78,7 @@ def simulate_sequential(
     config: Configuration,
     max_activations: int,
     rng: np.random.Generator,
+    recorder: Recorder = NULL_RECORDER,
 ) -> SequentialRunResult:
     """Run the sequential chain until the correct consensus or the budget.
 
@@ -88,34 +88,58 @@ def simulate_sequential(
     ``p_up / q``.  Exact in distribution and dramatically faster than
     activation-by-activation simulation when the chain is lazy (the typical
     regime: near consensus ``q = O(1/n)``).
+
+    ``recorder`` observes one record per *move* (not per activation): ``t``
+    is the activation clock after the move and ``holding`` the activations
+    spent waiting for it (see docs/OBSERVABILITY.md).
     """
     if not protocol.satisfies_boundary_conditions(tolerance=1e-12):
         raise ValueError(
             f"protocol {protocol.name!r} violates Proposition 3; its "
             "convergence time is infinite"
         )
+    recording = recorder.enabled
+    if recording:
+        recorder.run_started(
+            run_provenance(
+                "simulate_sequential", protocol, rng,
+                n=config.n, z=config.z, x0=config.x0,
+                max_activations=max_activations,
+            )
+        )
     n, z = config.n, config.z
     target = config.target_count
     x = config.x0
     activations = 0
+    frozen = False
     while activations < max_activations:
         if x == target:
-            return SequentialRunResult(
-                config=config, converged=True, activations=activations
-            )
+            break
         p_up, p_down = sequential_transition_probabilities(protocol, n, z, x)
         total = p_up + p_down
         if total <= 0.0:
-            return SequentialRunResult(
-                config=config, converged=False, activations=activations, frozen=True
-            )
+            frozen = True
+            break
         holding = int(rng.geometric(total))
         activations += holding
         if activations > max_activations:
             activations = max_activations
             break
         x += 1 if rng.random() < p_up / total else -1
-    converged = x == target
-    return SequentialRunResult(
-        config=config, converged=converged, activations=activations
+        if recording:
+            recorder.round_recorded(activations, x, {"holding": holding})
+    converged = not frozen and x == target
+    result = SequentialRunResult(
+        config=config, converged=converged, activations=activations, frozen=frozen
     )
+    if recording:
+        recorder.run_finished(
+            {
+                "converged": converged,
+                "activations": activations,
+                "parallel_rounds": result.parallel_rounds,
+                "frozen": frozen,
+                "final_count": x,
+            }
+        )
+    return result

@@ -1,0 +1,56 @@
+"""Run telemetry: structured traces, per-round metrics, timing hooks.
+
+Every dynamics runner accepts an optional ``recorder=`` argument (default:
+the no-op :data:`NULL_RECORDER`, whose disabled flag keeps the hot loops on
+the exact pre-telemetry code path).  Three concrete recorders ship:
+
+* :class:`MetricsRecorder` — O(1)-memory aggregates: rounds, wall-clock,
+  rounds/sec, realized drift.
+* :class:`JsonlTraceWriter` — streams one JSON record per round, plus a
+  provenance header (protocol fingerprint, RNG state hash, parameters) and
+  a closing summary.
+* :class:`TeeRecorder` / :func:`compose_recorders` — fan events out to both.
+
+See docs/OBSERVABILITY.md for the record schema, overhead measurements and
+a worked trace-reading example.
+"""
+
+from repro.telemetry.jsonl import (
+    JsonlTraceWriter,
+    read_trace,
+    trace_counts,
+    trace_to_series,
+    validate_trace,
+)
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    RunMetrics,
+    RunProvenance,
+    TeeRecorder,
+    compose_recorders,
+    protocol_fingerprint,
+    rng_provenance,
+    run_provenance,
+)
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "MetricsRecorder",
+    "RunMetrics",
+    "TeeRecorder",
+    "compose_recorders",
+    "RunProvenance",
+    "run_provenance",
+    "protocol_fingerprint",
+    "rng_provenance",
+    "JsonlTraceWriter",
+    "read_trace",
+    "trace_counts",
+    "trace_to_series",
+    "validate_trace",
+]

@@ -1,0 +1,246 @@
+"""Streaming JSON-lines traces: write, read back, and validate.
+
+A trace is one ``run_start`` record, zero or more ``round`` records, and
+one ``run_end`` record, one JSON object per line.  The exact field-by-field
+schema is documented in ``docs/OBSERVABILITY.md``; :func:`validate_trace`
+is that document's executable counterpart and is what ``make trace-smoke``
+runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, IO, List, Mapping, Optional, Union
+
+from repro.telemetry.recorder import Recorder, RunProvenance, TRACE_SCHEMA_VERSION
+
+__all__ = [
+    "JsonlTraceWriter",
+    "read_trace",
+    "trace_counts",
+    "trace_to_series",
+    "validate_trace",
+]
+
+PathOrFile = Union[str, Path, IO[str]]
+
+
+class JsonlTraceWriter(Recorder):
+    """Stream a run as JSON-lines records to a path or an open text file.
+
+    One ``round`` record is written per observed round, so the trace is
+    usable (modulo the missing ``run_end``) even if the process dies mid-run.
+    Use as a context manager, or call :meth:`close` explicitly; a path given
+    as a string/`Path` is opened lazily on the first record and truncated.
+
+    Args:
+        target: output path or an already-open text file (not closed by us).
+        include_timings: when ``False``, omit the wall-clock fields
+            (``wall_s``, ``wall_clock_s``, ``rounds_per_second``) so that
+            traces of seed-identical runs are byte-identical — the mode the
+            determinism tests use.
+    """
+
+    def __init__(self, target: PathOrFile, include_timings: bool = True) -> None:
+        self.include_timings = include_timings
+        self.records_written = 0
+        self._path: Optional[Path] = None
+        self._file: Optional[IO[str]] = None
+        self._owns_file = False
+        if isinstance(target, (str, Path)):
+            self._path = Path(target)
+            self._owns_file = True
+        else:
+            self._file = target
+        self._previous_count: Optional[float] = None
+        self._started_at: Optional[float] = None
+        self._last_seen_at: Optional[float] = None
+        self._rounds = 0
+
+    # ------------------------------------------------------------------
+    # Recorder hooks
+    # ------------------------------------------------------------------
+
+    def run_started(self, provenance: RunProvenance) -> None:
+        record: Dict[str, Any] = {
+            "kind": "run_start",
+            "schema": TRACE_SCHEMA_VERSION,
+        }
+        record.update(provenance.to_dict())
+        x0 = provenance.params.get("x0")
+        self._previous_count = float(x0) if x0 is not None else None
+        self._started_at = self._last_seen_at = time.perf_counter()
+        self._write(record)
+
+    def round_recorded(
+        self, t: int, count: float, extra: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        record: Dict[str, Any] = {"kind": "round", "t": int(t), "count": _number(count)}
+        if self._previous_count is not None:
+            record["drift"] = _number(float(count) - self._previous_count)
+        self._previous_count = float(count)
+        if self.include_timings:
+            now = time.perf_counter()
+            if self._last_seen_at is not None:
+                record["wall_s"] = now - self._last_seen_at
+            self._last_seen_at = now
+        if extra:
+            record.update({key: _number(value) for key, value in extra.items()})
+        self._rounds += 1
+        self._write(record)
+
+    def run_finished(self, summary: Mapping[str, Any]) -> None:
+        record: Dict[str, Any] = {"kind": "run_end"}
+        record.update({key: _number(value) for key, value in summary.items()})
+        record["rounds_recorded"] = self._rounds
+        if self.include_timings and self._started_at is not None:
+            wall = time.perf_counter() - self._started_at
+            record["wall_clock_s"] = wall
+            record["rounds_per_second"] = self._rounds / wall if wall > 0 else 0.0
+        self._write(record)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the underlying file (if this writer opened it)."""
+        if self._file is not None:
+            self._file.flush()
+            if self._owns_file:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._file is None:
+            if self._path is None:
+                raise ValueError("trace writer already closed")
+            self._file = self._path.open("w")
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self.records_written += 1
+
+
+def _number(value):
+    """Coerce numpy scalars to plain Python so json keeps the trace portable."""
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
+def read_trace(path: PathOrFile) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into a list of record dicts (in file order)."""
+    text = Path(path).read_text() if isinstance(path, (str, Path)) else path.read()
+    records = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            raise ValueError(f"trace line {line_number} is not valid JSON: {error}")
+    return records
+
+
+def trace_counts(records: List[Dict[str, Any]]):
+    """The count trajectory of a trace: ``x0`` (from ``run_start``) then rounds."""
+    import numpy as np
+
+    counts = []
+    for record in records:
+        if record.get("kind") == "run_start":
+            x0 = record.get("params", {}).get("x0")
+            if x0 is not None:
+                counts.append(x0)
+        elif record.get("kind") == "round":
+            counts.append(record["count"])
+    return np.asarray(counts)
+
+
+def trace_to_series(path: PathOrFile, name: Optional[str] = None):
+    """Read a trace back as an :class:`repro.analysis.series.Series`.
+
+    The worked example of docs/OBSERVABILITY.md: the x-axis is the round
+    index (0 = the initial configuration) and the y-axis the count, ready
+    for :func:`repro.analysis.series.ascii_plot` or CSV export.
+    """
+    import numpy as np
+
+    from repro.analysis.series import Series
+
+    records = read_trace(path)
+    counts = trace_counts(records).astype(float)
+    if name is None:
+        start = next((r for r in records if r.get("kind") == "run_start"), {})
+        protocol = start.get("protocol", {}).get("name", "trace")
+        name = f"count ({protocol})"
+    return Series(name, np.arange(len(counts), dtype=float), counts)
+
+
+_REQUIRED_START_KEYS = ("schema", "runner", "protocol", "params", "rng")
+
+
+def validate_trace(path: PathOrFile) -> List[Dict[str, Any]]:
+    """Validate a trace against the documented schema; return its records.
+
+    Checks: the file is JSONL; the first record is a ``run_start`` with the
+    supported schema version and all provenance sections; every interior
+    record is a ``round`` with integer ``t`` (non-decreasing) and numeric
+    ``count``; the last record is a ``run_end``.  Raises ``ValueError`` on
+    the first violation.  This is the check behind ``make trace-smoke``.
+    """
+    records = read_trace(path)
+    if not records:
+        raise ValueError("trace is empty")
+    start = records[0]
+    if start.get("kind") != "run_start":
+        raise ValueError(f"first record must be run_start, got {start.get('kind')!r}")
+    if start.get("schema") != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema {start.get('schema')!r} "
+            f"(expected {TRACE_SCHEMA_VERSION})"
+        )
+    for key in _REQUIRED_START_KEYS:
+        if key not in start:
+            raise ValueError(f"run_start record is missing {key!r}")
+    for key in ("bit_generator", "state_hash"):
+        if key not in start["rng"]:
+            raise ValueError(f"run_start rng provenance is missing {key!r}")
+    for key in ("name", "ell", "fingerprint"):
+        if key not in start["protocol"]:
+            raise ValueError(f"run_start protocol provenance is missing {key!r}")
+    end = records[-1]
+    if end.get("kind") != "run_end":
+        raise ValueError(f"last record must be run_end, got {end.get('kind')!r}")
+    previous_t = None
+    round_records = 0
+    for index, record in enumerate(records[1:-1], start=2):
+        if record.get("kind") != "round":
+            raise ValueError(
+                f"record {index} must be a round record, got {record.get('kind')!r}"
+            )
+        t = record.get("t")
+        if not isinstance(t, int):
+            raise ValueError(f"round record {index} has non-integer t: {t!r}")
+        if previous_t is not None and t < previous_t:
+            raise ValueError(
+                f"round record {index} goes back in time: t={t} after t={previous_t}"
+            )
+        previous_t = t
+        count = record.get("count")
+        if not isinstance(count, (int, float)):
+            raise ValueError(f"round record {index} has non-numeric count: {count!r}")
+        round_records += 1
+    if end.get("rounds_recorded") != round_records:
+        raise ValueError(
+            f"run_end claims {end.get('rounds_recorded')} rounds but the trace "
+            f"holds {round_records}"
+        )
+    return records

@@ -1,0 +1,284 @@
+"""Recorder protocol and in-memory recorders.
+
+A :class:`Recorder` observes one run of a dynamics runner: it is told the
+run's provenance (protocol fingerprint, configuration, RNG state, budget)
+when the run starts, each per-round observation as the run progresses, and
+a summary when the run stops.  Runners accept a ``recorder=`` argument
+defaulting to :data:`NULL_RECORDER`, whose ``enabled`` flag is ``False``;
+every hot loop guards its telemetry calls behind that flag, so a run with
+the default recorder executes exactly the pre-telemetry code path.
+
+The schema of every emitted field is documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "MetricsRecorder",
+    "RunMetrics",
+    "TeeRecorder",
+    "compose_recorders",
+    "RunProvenance",
+    "run_provenance",
+    "protocol_fingerprint",
+    "rng_provenance",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+
+def protocol_fingerprint(protocol) -> str:
+    """A short stable content hash of a protocol's response tables.
+
+    Two protocols fingerprint equally iff they have the same ``ell`` and the
+    same ``g0``/``g1`` vectors (to float repr precision) — the name is
+    deliberately excluded so renamed-but-identical tables stay attributable
+    to the same dynamics.
+    """
+    payload = json.dumps(
+        {
+            "ell": int(protocol.ell),
+            "g0": [repr(float(v)) for v in protocol.g0],
+            "g1": [repr(float(v)) for v in protocol.g1],
+        },
+        sort_keys=True,
+    )
+    return "sha256:" + hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def rng_provenance(rng) -> Dict[str, str]:
+    """Bit-generator name and a stable hash of the generator's current state.
+
+    Captured *before* the run consumes randomness, the state hash pins down
+    the entire trajectory: two runs with equal provenance (and equal inputs)
+    are sample-for-sample identical.  The raw state is hashed rather than
+    embedded because it is hundreds of digits long and its layout is a numpy
+    implementation detail.
+    """
+    state = rng.bit_generator.state
+    payload = json.dumps(state, sort_keys=True, default=str)
+    return {
+        "bit_generator": str(state.get("bit_generator", type(rng.bit_generator).__name__)),
+        "state_hash": "sha256:" + hashlib.sha256(payload.encode()).hexdigest()[:16],
+    }
+
+
+@dataclass(frozen=True)
+class RunProvenance:
+    """Everything needed to attribute and reproduce a recorded run.
+
+    Attributes:
+        runner: name of the entry point (``"simulate"``, ``"escape_time"``, ...).
+        protocol: ``{"name", "ell", "fingerprint"}`` of the protocol under test.
+        params: runner-specific scalar parameters (``n``, ``z``, ``x0``,
+            budgets, replica counts, thresholds — see docs/OBSERVABILITY.md).
+        rng: output of :func:`rng_provenance` at run start.
+    """
+
+    runner: str
+    protocol: Dict[str, Any]
+    params: Dict[str, Any]
+    rng: Dict[str, str]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "runner": self.runner,
+            "protocol": dict(self.protocol),
+            "params": dict(self.params),
+            "rng": dict(self.rng),
+        }
+
+
+def run_provenance(runner: str, protocol, rng, **params) -> RunProvenance:
+    """Assemble a :class:`RunProvenance` for a run that is about to start."""
+    return RunProvenance(
+        runner=runner,
+        protocol={
+            "name": protocol.name,
+            "ell": int(protocol.ell),
+            "fingerprint": protocol_fingerprint(protocol),
+        },
+        params=params,
+        rng=rng_provenance(rng),
+    )
+
+
+class Recorder:
+    """Base class / protocol for run instrumentation.
+
+    Subclasses override any of the three hooks; the base implementations do
+    nothing, so a recorder only pays for what it observes.  ``enabled`` is
+    the zero-overhead contract: runners skip *all* telemetry work (including
+    building provenance) when it is ``False``.
+    """
+
+    enabled: bool = True
+
+    def run_started(self, provenance: RunProvenance) -> None:
+        """Called once, before the first round, with the run's provenance."""
+
+    def round_recorded(
+        self, t: int, count: float, extra: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        """Called after each round with the round index and the new count.
+
+        ``count`` is the scalar count for single-run runners and the mean
+        count across live replicas for ensemble runners; ``extra`` carries
+        runner-specific fields (``active``, ``newly_converged``, ``holding``).
+        """
+
+    def run_finished(self, summary: Mapping[str, Any]) -> None:
+        """Called once when the run stops, with a runner-specific summary."""
+
+
+class NullRecorder(Recorder):
+    """The do-nothing recorder: the default for every runner.
+
+    Its ``enabled`` flag is ``False``, which runners use to skip telemetry
+    entirely — the hot loop with a :class:`NullRecorder` is byte-for-byte
+    the pre-telemetry loop.
+    """
+
+    enabled = False
+
+    def __repr__(self) -> str:
+        return "NullRecorder()"
+
+
+NULL_RECORDER = NullRecorder()
+"""Module-level singleton used as the default ``recorder=`` argument."""
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregate metrics of one recorded run.
+
+    Attributes:
+        rounds: number of rounds observed (telemetry records, not the
+            runner's own round budget accounting).
+        wall_clock_s: wall-clock seconds from ``run_started`` to the last
+            observation.
+        rounds_per_second: ``rounds / wall_clock_s`` (``0.0`` for an empty
+            or instantaneous run).
+        mean_abs_drift: mean ``|count_t - count_{t-1}|`` over observed
+            rounds (``nan`` if no rounds were observed).
+        final_count: the last observed count (``nan`` if none).
+        provenance: the run's :class:`RunProvenance` (``None`` until
+            ``run_started`` fires).
+        summary: the runner's ``run_finished`` payload (``None`` until then).
+    """
+
+    rounds: int
+    wall_clock_s: float
+    rounds_per_second: float
+    mean_abs_drift: float
+    final_count: float
+    provenance: Optional[RunProvenance]
+    summary: Optional[Dict[str, Any]]
+
+
+class MetricsRecorder(Recorder):
+    """Accumulate per-round statistics in memory; read them via :meth:`metrics`.
+
+    Records the round count, realized per-round drift, wall-clock per round
+    (via :func:`time.perf_counter`), and the run's provenance and summary.
+    Suitable for long runs: memory is O(1), not O(rounds), unless
+    ``keep_wall_times=True`` asks for the full per-round timing vector.
+    """
+
+    def __init__(self, keep_wall_times: bool = False) -> None:
+        self.keep_wall_times = keep_wall_times
+        self.wall_times: List[float] = []
+        self.provenance: Optional[RunProvenance] = None
+        self.summary: Optional[Dict[str, Any]] = None
+        self._rounds = 0
+        self._abs_drift_sum = 0.0
+        self._previous_count: Optional[float] = None
+        self._started_at: Optional[float] = None
+        self._last_seen_at: Optional[float] = None
+
+    def run_started(self, provenance: RunProvenance) -> None:
+        self.provenance = provenance
+        x0 = provenance.params.get("x0")
+        self._previous_count = float(x0) if x0 is not None else None
+        self._started_at = self._last_seen_at = time.perf_counter()
+
+    def round_recorded(
+        self, t: int, count: float, extra: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        now = time.perf_counter()
+        if self.keep_wall_times and self._last_seen_at is not None:
+            self.wall_times.append(now - self._last_seen_at)
+        self._last_seen_at = now
+        if self._previous_count is not None:
+            self._abs_drift_sum += abs(float(count) - self._previous_count)
+        self._previous_count = float(count)
+        self._rounds += 1
+
+    def run_finished(self, summary: Mapping[str, Any]) -> None:
+        self.summary = dict(summary)
+        self._last_seen_at = time.perf_counter()
+
+    def metrics(self) -> RunMetrics:
+        """Snapshot the accumulated metrics (valid at any point in the run)."""
+        if self._started_at is None or self._last_seen_at is None:
+            wall = 0.0
+        else:
+            wall = self._last_seen_at - self._started_at
+        return RunMetrics(
+            rounds=self._rounds,
+            wall_clock_s=wall,
+            rounds_per_second=self._rounds / wall if wall > 0 else 0.0,
+            mean_abs_drift=(
+                self._abs_drift_sum / self._rounds if self._rounds else float("nan")
+            ),
+            final_count=(
+                self._previous_count if self._previous_count is not None else float("nan")
+            ),
+            provenance=self.provenance,
+            summary=self.summary,
+        )
+
+
+@dataclass
+class TeeRecorder(Recorder):
+    """Fan one run's events out to several recorders (e.g. metrics + trace)."""
+
+    recorders: List[Recorder] = field(default_factory=list)
+
+    def run_started(self, provenance: RunProvenance) -> None:
+        for recorder in self.recorders:
+            recorder.run_started(provenance)
+
+    def round_recorded(
+        self, t: int, count: float, extra: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        for recorder in self.recorders:
+            recorder.round_recorded(t, count, extra)
+
+    def run_finished(self, summary: Mapping[str, Any]) -> None:
+        for recorder in self.recorders:
+            recorder.run_finished(summary)
+
+
+def compose_recorders(*recorders: Optional[Recorder]) -> Recorder:
+    """Combine any number of recorders into one (dropping ``None`` entries).
+
+    Returns :data:`NULL_RECORDER` for zero recorders and the recorder itself
+    for one, so callers can build their recorder stack unconditionally.
+    """
+    live = [r for r in recorders if r is not None and r.enabled]
+    if not live:
+        return NULL_RECORDER
+    if len(live) == 1:
+        return live[0]
+    return TeeRecorder(live)

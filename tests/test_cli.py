@@ -118,6 +118,46 @@ class TestCommands:
         ) == 1
 
 
+class TestTelemetryFlags:
+    def test_trace_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.telemetry import validate_trace
+
+        path = tmp_path / "run.jsonl"
+        code = main(
+            ["run", "voter", "--n", "100", "--rounds", "50000", "--seed", "3",
+             "--trace", str(path)]
+        )
+        assert code == 0
+        records = validate_trace(path)
+        assert records[0]["runner"] == "simulate"
+        assert records[0]["protocol"]["name"] == "voter(ell=1)"
+        out = capsys.readouterr().out
+        assert f"trace: wrote {len(records)} records to {path}" in out
+
+    def test_metrics_prints_rounds_per_second(self, capsys):
+        code = main(
+            ["run", "voter", "--n", "100", "--rounds", "50000", "--seed", "3",
+             "--metrics"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry: rounds=" in out
+        assert "rounds/sec=" in out
+
+    def test_metrics_and_trace_agree_with_result_line(self, tmp_path, capsys):
+        from repro.telemetry import read_trace
+
+        path = tmp_path / "run.jsonl"
+        main(
+            ["run", "voter", "--n", "100", "--rounds", "50000", "--seed", "3",
+             "--metrics", "--trace", str(path)]
+        )
+        out = capsys.readouterr().out
+        end = read_trace(path)[-1]
+        assert f"converged={end['converged']}" in out
+        assert f"telemetry: rounds={end['rounds_recorded']}" in out
+
+
 class TestSweepEdgeCases:
     def test_sweep_all_censored_skips_fit(self, capsys):
         # minority-3 with a tiny budget factor: every cell censors; the

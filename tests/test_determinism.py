@@ -44,6 +44,58 @@ class TestSeedDeterminism:
         assert a.rounds != b.rounds or not np.array_equal(a.trajectory, b.trajectory)
 
 
+class TestTraceDeterminism:
+    """Equal seeds produce byte-identical traces (timings excluded)."""
+
+    @staticmethod
+    def _trace_bytes(path, seed):
+        from repro.telemetry import JsonlTraceWriter
+
+        config = Configuration(n=120, z=1, x0=60)
+        with JsonlTraceWriter(path, include_timings=False) as writer:
+            simulate(voter(1), config, 50_000, make_rng(seed), recorder=writer)
+        return path.read_bytes()
+
+    def test_equal_seed_traces_are_byte_identical(self, tmp_path):
+        a = self._trace_bytes(tmp_path / "a.jsonl", seed=42)
+        b = self._trace_bytes(tmp_path / "b.jsonl", seed=42)
+        assert a == b
+
+    def test_different_seed_traces_differ(self, tmp_path):
+        a = self._trace_bytes(tmp_path / "a.jsonl", seed=42)
+        b = self._trace_bytes(tmp_path / "b.jsonl", seed=43)
+        assert a != b
+
+    def test_recorder_does_not_consume_randomness(self):
+        from repro.telemetry import MetricsRecorder
+
+        config = Configuration(n=200, z=1, x0=100)
+        bare = simulate(voter(1), config, 50_000, make_rng(7), record=True)
+        recorded = simulate(
+            voter(1), config, 50_000, make_rng(7), record=True,
+            recorder=MetricsRecorder(),
+        )
+        np.testing.assert_array_equal(bare.trajectory, recorded.trajectory)
+
+    def test_timed_traces_still_structurally_equal(self, tmp_path):
+        from repro.telemetry import JsonlTraceWriter, read_trace
+
+        config = Configuration(n=120, z=1, x0=60)
+        traces = []
+        for name in ("a.jsonl", "b.jsonl"):
+            path = tmp_path / name
+            with JsonlTraceWriter(path) as writer:
+                simulate(voter(1), config, 50_000, make_rng(9), recorder=writer)
+            traces.append(read_trace(path))
+        wall_keys = {"wall_s", "wall_clock_s", "rounds_per_second"}
+        stripped = [
+            [{k: v for k, v in record.items() if k not in wall_keys}
+             for record in trace]
+            for trace in traces
+        ]
+        assert stripped[0] == stripped[1]
+
+
 class TestSpawnedStreams:
     def test_spawned_streams_are_deterministic(self):
         a = [rng.integers(0, 10**9) for rng in spawn_rngs(7, 5)]
