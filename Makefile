@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples report trace-smoke clean
+.PHONY: install test bench bench-smoke examples report perf-gate trace-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,11 +13,17 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+bench-smoke:
+	$(PYTHON) -m repro bench --smoke
+
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done
 
 report:
-	$(PYTHON) -m repro report
+	$(PYTHON) -m repro report results/
+
+perf-gate:
+	$(PYTHON) scripts/perf_gate.py
 
 trace-smoke:
 	$(PYTHON) scripts/trace_smoke.py

@@ -16,21 +16,56 @@ next to the text artifact.  A benchmark that knows how many simulated
 rounds its computation executed can call :func:`note_rounds` so the JSON
 entry also carries a ``rounds_per_second`` field (schema in
 docs/OBSERVABILITY.md).
+
+Smoke sizing: with ``REPRO_SMOKE=1`` in the environment (what
+``python -m repro bench --smoke`` sets), benchmarks shrink their heavy
+constants via :func:`pick` and the conftest downgrades their shape
+assertions (calibrated for full sizing) to xfails — the timing records are
+still written, which is all the regression ledger needs.
+
+The regression ledger: :func:`load_baseline` reads the committed
+``results/BASELINE.json`` snapshot and :func:`compare` gates the current
+``BENCH_*.json`` wall clocks against it with noise-aware thresholds
+(implementation in :mod:`repro.analysis.report`; ``scripts/perf_gate.py``
+is the CI entry point).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
-from typing import Optional
+from typing import List, Mapping, Optional
 
+from repro.analysis.report import (
+    ComparisonRow,
+    compare_against_baseline,
+    load_baseline as _load_baseline,
+    load_bench_records,
+)
 from repro.analysis.series import Series, Table, ascii_plot
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BASELINE.json"
 
 # Timing of the most recent run_once(), consumed by the next emit().
 _pending_timing: dict = {}
+
+
+def smoke_mode() -> bool:
+    """True when the suite runs in smoke sizing (``REPRO_SMOKE=1``)."""
+    return os.environ.get("REPRO_SMOKE") == "1"
+
+
+def pick(full, smoke):
+    """Choose a benchmark constant by sizing mode.
+
+    ``SIZES = pick((128, ..., 4096), (64, 128, 256))`` keeps the full-run
+    calibration in view while letting ``repro bench --smoke`` finish in
+    seconds per experiment.
+    """
+    return smoke if smoke_mode() else full
 
 
 def emit(experiment_id: str, *blocks: object) -> None:
@@ -95,7 +130,38 @@ def _write_bench_record(experiment_id: str) -> None:
     record["rounds_per_second"] = (
         rounds / wall if rounds is not None and wall else None
     )
+    if smoke_mode():
+        record["smoke"] = True
     (RESULTS_DIR / f"BENCH_{experiment_id}.json").write_text(
         json.dumps(record, sort_keys=True) + "\n"
     )
     _pending_timing.clear()
+
+
+# ----------------------------------------------------------------------
+# Regression ledger
+# ----------------------------------------------------------------------
+
+
+def load_baseline(path: Optional[pathlib.Path] = None) -> dict:
+    """Read the committed baseline snapshot (``results/BASELINE.json``)."""
+    return _load_baseline(path or BASELINE_PATH)
+
+
+def compare(
+    current: Optional[Mapping[str, Mapping]] = None,
+    baseline: Optional[Mapping] = None,
+    **gate_kwargs,
+) -> List[ComparisonRow]:
+    """Compare ``BENCH_*.json`` records against the baseline snapshot.
+
+    With no arguments, reads both sides from ``results/``.  The verdict
+    gate is noise-aware — see
+    :func:`repro.analysis.report.compare_against_baseline` for the exact
+    threshold formula (``gate_kwargs`` forward to it).
+    """
+    if current is None:
+        current = load_bench_records(RESULTS_DIR)
+    if baseline is None:
+        baseline = load_baseline()
+    return compare_against_baseline(current, baseline, **gate_kwargs)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Table
 from repro.core.lower_bound import lower_bound_certificate
 from repro.core.roots import sign_profile
@@ -29,8 +29,8 @@ from repro.dynamics.run import escape_time_ensemble
 from repro.protocols import minority
 from repro.protocols.minority import TIE_BREAK_RULES
 
-N = 2048
-REPLICAS = 10
+N = pick(2048, 256)
+REPLICAS = pick(10, 3)
 BUDGET = 2 * N
 
 

@@ -19,13 +19,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Series, Table, ascii_plot
 from repro.core.lower_bound import lower_bound_certificate
 from repro.dynamics.adversary import exact_worst_start
 from repro.protocols import majority, minority, voter
 
-N = 56  # exact O(n^3) analysis, within extended-precision conditioning
+N = pick(56, 24)  # exact O(n^3) analysis, within extended-precision conditioning
 
 
 def _measure():

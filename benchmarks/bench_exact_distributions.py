@@ -18,15 +18,15 @@ import math
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Table
 from repro.core.lower_bound import lower_bound_certificate
 from repro.markov.absorption_time import absorption_time_cdf, exceedance_probability
 from repro.markov.exact import count_chain
 from repro.protocols import minority, voter
 
-VOTER_SIZES = (16, 32, 64, 128)
-MINORITY_SIZES = (32, 64, 128)
+VOTER_SIZES = pick((16, 32, 64, 128), (16, 32))
+MINORITY_SIZES = pick((32, 64, 128), (32,))
 
 
 def _measure():

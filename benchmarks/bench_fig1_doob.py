@@ -22,7 +22,7 @@ import math
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Series, Table, ascii_plot
 from repro.core.lower_bound import lower_bound_certificate
 from repro.dynamics.config import Configuration
@@ -35,9 +35,9 @@ from repro.protocols import minority
 # martingale wanders ~ sqrt(T n)/2; the claim only has force when
 # alpha^2 n^eps >> 1.  With Minority's alpha = 1/32 that means a large n and
 # a large eps — cheap here because the count-level engine is O(1) per round.
-N = 65536
+N = pick(65536, 4096)
 EPSILON = 0.75
-RUNS = 10
+RUNS = pick(10, 3)
 
 
 def _measure():

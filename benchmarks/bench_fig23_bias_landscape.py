@@ -17,15 +17,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Series, Table, ascii_plot
 from repro.core.bias import bias_value
 from repro.core.lower_bound import lower_bound_certificate, verify_escape_assumptions
 from repro.core.roots import sign_profile
 from repro.protocols import biased_voter, minority
 
-N_CHECK = 8192
-GRID = np.linspace(0.0, 1.0, 201)
+N_CHECK = pick(8192, 512)
+GRID = np.linspace(0.0, 1.0, pick(201, 51))
 
 FIGURES = (
     ("fig2_case1", minority(3)),

@@ -18,7 +18,7 @@ import math
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Series, Table, ascii_plot
 from repro.dual.coalescing import (
     coalescence_profile,
@@ -27,8 +27,8 @@ from repro.dual.coalescing import (
 )
 from repro.dynamics.rng import make_rng, spawn_rngs
 
-N = 1024
-RUNS = 20
+N = pick(1024, 256)
+RUNS = pick(20, 5)
 
 
 def _measure():

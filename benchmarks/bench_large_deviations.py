@@ -19,15 +19,15 @@ import math
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Series, Table, ascii_plot
 from repro.markov.exact import count_chain
 from repro.markov.large_deviations import quasi_potential
 from repro.protocols import minority
 
-SIZES = (16, 24, 32, 40, 48)
+SIZES = pick((16, 24, 32, 40, 48), (16, 24))
 THRESHOLD = 0.875
-GRID_POINTS = 81
+GRID_POINTS = pick(81, 21)
 
 
 def _measure():

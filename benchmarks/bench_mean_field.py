@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Table
 from repro.core.mean_field import fixed_points, mean_field_map, tracking_error
 from repro.dynamics.config import Configuration
@@ -25,7 +25,7 @@ from repro.dynamics.rng import make_rng
 from repro.dynamics.run import simulate
 from repro.protocols import majority, minority
 
-TRACK_SIZES = (1_000, 10_000, 100_000, 1_000_000)
+TRACK_SIZES = pick((1_000, 10_000, 100_000, 1_000_000), (1_000, 10_000))
 TRACK_ROUNDS = 30
 
 

@@ -20,7 +20,7 @@ import math
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Table
 from repro.core.theory import minority_sqrt_sample_size
 from repro.dynamics.config import wrong_consensus_configuration
@@ -34,8 +34,8 @@ from repro.extensions.population import (
 )
 from repro.protocols import minority, voter
 
-N = 4096
-REPLICAS = 5
+N = pick(4096, 512)
+REPLICAS = pick(5, 2)
 BUDGET = 3 * N  # rounds; >> sqrt(n), >> the fast models, << minority-3's needs
 
 

@@ -19,7 +19,7 @@ import math
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.scaling import fit_power_law, is_bounded_shape, normalized_ratios
 from repro.analysis.series import Series, Table, ascii_plot
 from repro.core.theory import minority_sqrt_sample_size
@@ -28,9 +28,9 @@ from repro.dynamics.rng import make_rng
 from repro.dynamics.run import simulate, simulate_ensemble
 from repro.protocols import minority
 
-SIZES = (256, 1024, 4096, 16384)
-REPLICAS = 20
-BUDGET = 2000  # rounds; >> log^2 n for every size here
+SIZES = pick((256, 1024, 4096, 16384), (256, 1024))
+REPLICAS = pick(20, 5)
+BUDGET = pick(2000, 500)  # rounds; >> log^2 n for every size here
 
 
 def _measure():

@@ -18,15 +18,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Table
 from repro.dynamics.heterogeneous import initial_mixed_state, simulate_mixed
 from repro.dynamics.rng import make_rng
 from repro.protocols import minority, voter
 
-N = 512
-REPLICAS = 5
-BUDGET = 20_000
+N = pick(512, 128)
+REPLICAS = pick(5, 2)
+BUDGET = pick(20_000, 2_000)
 MINORITY_SHARES = (0.0, 0.02, 0.05, 0.125, 0.5, 1.0)
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Table
 from repro.core.theory import minority_sqrt_sample_size
 from repro.dynamics.config import Configuration
@@ -29,9 +29,9 @@ from repro.dynamics.noise import noisy_occupancy
 from repro.dynamics.rng import make_rng
 from repro.protocols import majority, minority, voter
 
-N = 1024
-ROUNDS = 12000
-BURN_IN = 7000  # past the clean Voter's ~1.7n-round convergence
+N = pick(1024, 256)
+ROUNDS = pick(12000, 3000)
+BURN_IN = pick(7000, 1500)  # past the clean Voter's ~1.7n-round convergence
 DELTAS = (0.0, 0.01, 0.05, 0.2, 0.45)
 
 

@@ -13,14 +13,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Table
 from repro.core.protocol import Protocol
 from repro.dynamics.rng import make_rng
 from repro.dynamics.run import time_to_leave_consensus
 
-N = 256
-TRIALS = 200
+N = pick(256, 64)
+TRIALS = pick(200, 50)
 
 
 def _leak_protocol(leak: float) -> Protocol:

@@ -19,14 +19,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Table
 from repro.core.jump_bound import check_jump_bound, jump_failure_probability
 from repro.dynamics.rng import make_rng
 from repro.protocols import majority, minority, voter
 
-N = 4096
-TRIALS = 400
+N = pick(4096, 512)
+TRIALS = pick(400, 100)
 CASES = [
     (voter(1), 0.25),
     (voter(1), 0.5),

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Table
 from repro.core.theory import minority_sqrt_sample_size
 from repro.dynamics.config import adversarial_configurations
@@ -26,9 +26,9 @@ from repro.dynamics.rng import make_rng
 from repro.dynamics.run import simulate_ensemble
 from repro.protocols import majority, minority, voter
 
-N = 1024
-REPLICAS = 5
-BUDGET = 20_000
+N = pick(1024, 256)
+REPLICAS = pick(5, 2)
+BUDGET = pick(20_000, 3_000)
 
 
 def _measure():

@@ -21,7 +21,7 @@ import math
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Table
 from repro.dynamics.config import Configuration, wrong_consensus_configuration
 from repro.dynamics.rng import make_rng
@@ -29,7 +29,7 @@ from repro.dynamics.sequential import simulate_sequential
 from repro.markov.birth_death import sequential_birth_death_chain
 from repro.protocols import minority, voter
 
-SIZES = (64, 128, 256, 512, 1024)
+SIZES = pick((64, 128, 256, 512, 1024), (64, 128, 256))
 
 
 def _measure():

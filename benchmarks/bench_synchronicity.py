@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Table
 from repro.core.theory import minority_sqrt_sample_size
 from repro.dynamics.config import wrong_consensus_configuration
@@ -24,9 +24,9 @@ from repro.dynamics.kactivation import simulate_k_activation
 from repro.dynamics.rng import make_rng
 from repro.protocols import minority
 
-N = 1024
+N = pick(1024, 256)
 BUDGET_ROUNDS = 300.0
-REPLICAS = 5
+REPLICAS = pick(5, 2)
 FRACTIONS = (1 / N, 0.01, 0.05, 0.25, 0.5, 0.75, 1.0)
 
 

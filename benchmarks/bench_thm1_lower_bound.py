@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.scaling import fit_power_law
 from repro.core.lower_bound import lower_bound_certificate
 from repro.core.theory import lower_bound_rounds
@@ -32,8 +32,8 @@ EPSILON = 0.5
 # n = 256 sits below the asymptotic regime for the diffusive (zero-bias)
 # case — the Voter's escape median lands a hair under sqrt(n) there — so the
 # sweep starts where the w.h.p. statement has room to hold.
-SIZES = (512, 1024, 2048, 4096, 8192)
-REPLICAS = 10
+SIZES = pick((512, 1024, 2048, 4096, 8192), (512, 1024))
+REPLICAS = pick(10, 3)
 BUDGET_MULTIPLIER = 2  # budget = 2 n rounds >> n^(1-eps) = sqrt(n)
 
 PROTOCOLS = (

@@ -18,7 +18,7 @@ import math
 
 import numpy as np
 
-from _harness import emit, note_rounds, run_once
+from _harness import emit, note_rounds, pick, run_once
 from repro.analysis.scaling import fit_power_law
 from repro.analysis.series import Table
 from repro.core.theory import voter_upper_bound_rounds
@@ -28,8 +28,8 @@ from repro.dynamics.run import simulate_ensemble
 from repro.protocols import voter
 from repro.telemetry import MetricsRecorder
 
-SIZES = (128, 256, 512, 1024, 2048, 4096)
-REPLICAS = 40
+SIZES = pick((128, 256, 512, 1024, 2048, 4096), (128, 256, 512))
+REPLICAS = pick(40, 10)
 
 
 def _measure():

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Table
 from repro.dynamics.graphs import (
     complete_graph,
@@ -32,8 +32,8 @@ from repro.dynamics.rng import make_rng
 from repro.protocols import voter
 
 N = 64
-REPLICAS = 10
-BUDGET = 200_000
+REPLICAS = pick(10, 3)
+BUDGET = pick(200_000, 40_000)
 
 TOPOLOGIES = (
     ("complete", complete_graph),

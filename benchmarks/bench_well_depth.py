@@ -23,7 +23,7 @@ import math
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.scaling import fit_power_law
 from repro.analysis.series import Table
 from repro.dynamics.rng import make_rng
@@ -31,10 +31,10 @@ from repro.markov.exact import count_chain
 from repro.markov.quasistationary import quasi_stationary
 from repro.protocols import minority
 
-SIZES = (16, 24, 32, 40, 48)
+SIZES = pick((16, 24, 32, 40, 48), (16, 24))
 THRESHOLD_FRACTION = 0.875  # the certificate's a3 for Minority(3)
 SIM_SIZE = 16
-SIM_RUNS = 30
+SIM_RUNS = pick(30, 10)
 
 
 def _measure():

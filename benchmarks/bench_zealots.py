@@ -19,15 +19,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _harness import emit, run_once
+from _harness import emit, pick, run_once
 from repro.analysis.series import Table
 from repro.dynamics.rng import make_rng
 from repro.dynamics.zealots import ZealotPopulation, stationary_profile
 from repro.protocols import majority, voter
 
-N = 600
-ROUNDS = 30_000
-BURN_IN = 5_000
+N = pick(600, 200)
+ROUNDS = pick(30_000, 6_000)
+BURN_IN = pick(5_000, 1_000)
 SHARES = ((6, 6), (9, 3), (12, 4), (20, 5), (60, 20))
 
 
@@ -50,7 +50,8 @@ def _measure():
 
     majority_rows = []
     population = ZealotPopulation(n=N, s1=30, s0=10)  # 3:1 zealots for opinion 1
-    for start_side, x0 in (("low", 60), ("high", 540)):
+    low, high = population.count_bounds()
+    for start_side, x0 in (("low", max(low, N // 10)), ("high", min(high, N - N // 10))):
         trace = stationary_profile(
             majority(3), population, 4_000, make_rng(7), burn_in=500, x0=x0
         )

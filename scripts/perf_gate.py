@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate over the ``results/`` ledger.
+
+Compares the current ``results/BENCH_*.json`` wall clocks against the
+committed ``results/BASELINE.json`` snapshot using the noise-aware
+thresholds from :func:`repro.analysis.report.compare_against_baseline`,
+and exits nonzero when any experiment regressed.
+
+Usage:
+    PYTHONPATH=src python scripts/perf_gate.py                # gate (CI)
+    PYTHONPATH=src python scripts/perf_gate.py --report-only  # never fail
+    PYTHONPATH=src python scripts/perf_gate.py --update-baseline
+
+``--update-baseline`` folds the current records into the baseline as new
+samples (accumulating run-to-run variance for the noise gate) and rewrites
+``BASELINE.json``; combine with ``REPRO_SMOKE=1 pytest benchmarks/`` runs
+on the machine that owns the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.report import (  # noqa: E402
+    DEFAULT_MIN_REL_SLOWDOWN,
+    DEFAULT_NOISE_SIGMAS,
+    compare_against_baseline,
+    load_baseline,
+    load_bench_records,
+    update_baseline,
+)
+
+RESULTS_DIR = REPO_ROOT / "results"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        type=pathlib.Path,
+        default=RESULTS_DIR,
+        help="directory holding BENCH_*.json and BASELINE.json (default: results/)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        help="baseline snapshot path (default: <results-dir>/BASELINE.json)",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the comparison but always exit 0",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="fold current records into the baseline as new samples and rewrite it",
+    )
+    parser.add_argument(
+        "--min-rel-slowdown",
+        type=float,
+        default=DEFAULT_MIN_REL_SLOWDOWN,
+        help="floor on the allowed relative slowdown (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--noise-sigmas",
+        type=float,
+        default=DEFAULT_NOISE_SIGMAS,
+        help="allowed slowdown in units of baseline run-to-run cv (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline or args.results_dir / "BASELINE.json"
+    current = load_bench_records(args.results_dir)
+    baseline = load_baseline(baseline_path)
+
+    if args.update_baseline:
+        updated = update_baseline(current, baseline)
+        baseline_path.write_text(json.dumps(updated, indent=2, sort_keys=True) + "\n")
+        print(
+            f"perf_gate: baseline updated with {len(current)} records "
+            f"-> {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    rows = compare_against_baseline(
+        current,
+        baseline,
+        min_rel_slowdown=args.min_rel_slowdown,
+        noise_sigmas=args.noise_sigmas,
+    )
+    if not rows:
+        print("perf_gate: nothing to compare (no BENCH_*.json records)", file=sys.stderr)
+        return 0
+
+    def fmt(value, suffix="s", spec="8.3f"):
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return "-"
+        return f"{value:{spec}}{suffix}"
+
+    width = max(len(row.experiment) for row in rows)
+    for row in rows:
+        base = fmt(row.baseline_s)
+        cur = fmt(row.current_s)
+        ratio = fmt(row.ratio, suffix="x", spec="5.2f")
+        gate = fmt(row.threshold, suffix="x", spec="4.2f")
+        if gate != "-":
+            gate = "<= " + gate
+        print(
+            f"{row.experiment:<{width}}  base={base:>9}  now={cur:>9}  "
+            f"{ratio:>7} ({gate})  {row.verdict}",
+            file=sys.stderr,
+        )
+
+    regressions = [row.experiment for row in rows if row.verdict == "regression"]
+    if regressions:
+        print(
+            f"perf_gate: REGRESSIONS: {', '.join(sorted(regressions))}",
+            file=sys.stderr,
+        )
+        return 0 if args.report_only else 1
+    print("perf_gate: no regressions against the baseline", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,20 @@
-"""Ensemble statistics, scaling fits, and plain-text figure rendering."""
+"""Ensemble statistics, scaling fits, trace analytics, and text rendering."""
 
 from repro.analysis.ensemble import ConvergenceStats, convergence_ensemble, summarize_times
+from repro.analysis.report import (
+    ComparisonRow,
+    ProtocolReport,
+    TraceSummary,
+    build_report,
+    compare_against_baseline,
+    group_by_protocol,
+    load_baseline,
+    load_bench_records,
+    render_report,
+    summarize_trace,
+    summarize_trace_dir,
+    update_baseline,
+)
 from repro.analysis.scaling import (
     PowerLawFit,
     fit_power_law,
@@ -12,6 +26,18 @@ from repro.analysis.series import Series, Table, ascii_plot
 from repro.analysis.traces import TrajectoryFan, trajectory_fan
 
 __all__ = [
+    "ComparisonRow",
+    "ProtocolReport",
+    "TraceSummary",
+    "build_report",
+    "compare_against_baseline",
+    "group_by_protocol",
+    "load_baseline",
+    "load_bench_records",
+    "render_report",
+    "summarize_trace",
+    "summarize_trace_dir",
+    "update_baseline",
     "ConvergenceStats",
     "convergence_ensemble",
     "summarize_times",

@@ -18,7 +18,7 @@ import numpy as np
 from repro.core.protocol import Protocol
 from repro.dynamics.config import Configuration
 from repro.dynamics.run import simulate_ensemble
-from repro.telemetry import NULL_RECORDER, Recorder
+from repro.telemetry import NULL_RECORDER, Recorder, span
 
 __all__ = ["ConvergenceStats", "summarize_times", "convergence_ensemble"]
 
@@ -92,7 +92,16 @@ def convergence_ensemble(
     """Run ``replicas`` independent chains and summarize their ``tau``.
 
     ``recorder`` is forwarded to :func:`repro.dynamics.run.simulate_ensemble`
-    (one record per lock-step round; see docs/OBSERVABILITY.md).
+    (one record per lock-step round; see docs/OBSERVABILITY.md).  The whole
+    call is timed as a ``convergence_ensemble`` telemetry span, with the
+    runner's own ``ensemble`` span and the summary step nested inside it.
     """
-    times = simulate_ensemble(protocol, config, max_rounds, rng, replicas, recorder)
-    return summarize_times(times, budget=max_rounds)
+    with span(recorder, "convergence_ensemble") as timing:
+        times = simulate_ensemble(
+            protocol, config, max_rounds, rng, replicas, recorder
+        )
+        with span(recorder, "summarize"):
+            stats = summarize_times(times, budget=max_rounds)
+        if recorder.enabled:
+            timing.incr("replicas", replicas)
+    return stats

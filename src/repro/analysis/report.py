@@ -1,0 +1,606 @@
+"""Trace analytics and the benchmark-regression ledger.
+
+The write side of observability lives in :mod:`repro.telemetry` (recorders,
+JSONL traces) and :mod:`benchmarks/_harness` (``BENCH_*.json`` timing
+sidecars).  This module is the read side: it ingests directories of those
+artifacts and turns them into
+
+* per-trace summaries — rounds to consensus, rounds/sec, span time
+  breakdowns, and the realized mean drift compared against the Proposition-5
+  prediction ``n · F_n(x/n)`` (recomputed from the response tables embedded
+  in the trace provenance, so a trace is self-contained evidence);
+* per-protocol aggregates — convergence-time percentiles across runs,
+  keyed by the protocol *fingerprint* so renamed-but-identical tables pool;
+* the regression ledger — current ``BENCH_*.json`` wall clocks compared
+  against the committed ``results/BASELINE.json`` snapshot with noise-aware
+  thresholds (the relative slowdown gate widens with the baseline's
+  recorded run-to-run variance).
+
+``repro report`` renders all three; ``scripts/perf_gate.py`` turns the
+ledger verdicts into an exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.series import Table
+from repro.core.bias import bias_value
+from repro.protocols.table import table_protocol
+from repro.telemetry import validate_trace
+
+__all__ = [
+    "TraceSummary",
+    "ProtocolReport",
+    "ComparisonRow",
+    "summarize_trace",
+    "summarize_trace_dir",
+    "group_by_protocol",
+    "load_bench_records",
+    "load_baseline",
+    "compare_against_baseline",
+    "update_baseline",
+    "build_report",
+    "render_report",
+    "BASELINE_SCHEMA_VERSION",
+    "DEFAULT_MIN_REL_SLOWDOWN",
+    "DEFAULT_NOISE_SIGMAS",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+
+# A benchmark must slow down by at least this fraction before it can be
+# called a regression, however quiet its baseline looks — single-shot wall
+# clocks on shared machines jitter this much on their own.
+DEFAULT_MIN_REL_SLOWDOWN = 0.30
+
+# With >= 2 recorded baseline samples the gate widens to this many
+# coefficient-of-variation units, so noisy benchmarks get a wider berth.
+DEFAULT_NOISE_SIGMAS = 3.0
+
+# Runners whose `count` field is a single chain's count; for these the
+# Prop-5 drift comparison is exact.  Ensemble runners average counts over
+# replicas (converged replicas stop moving), and the sequential runner
+# ticks per move, so the per-round prediction does not apply there.
+_SCALAR_COUNT_RUNNERS = frozenset(
+    {"simulate", "escape_time", "time_to_leave_consensus"}
+)
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Everything ``repro report`` shows about one JSONL trace.
+
+    Attributes:
+        path: the trace file.
+        runner: provenance ``runner`` (``"simulate"``, ...).
+        protocol: protocol name from provenance.
+        fingerprint: protocol content hash (the pooling key).
+        n: population size (``None`` if the runner had no ``n`` param).
+        rounds: number of ``round`` records.
+        converged: the run_end outcome, normalized to a bool when the
+            runner reports one (``None`` otherwise).
+        rounds_to_consensus: the runner-reported convergence time
+            (``None`` when censored or not applicable).
+        wall_clock_s: run_end wall clock (``None`` for timing-free traces).
+        rounds_per_second: run_end throughput (``None`` likewise).
+        mean_realized_drift: mean of the per-round ``drift`` fields.
+        mean_predicted_drift: mean of ``n · F_n(x/n)`` along the same
+            trajectory (``None`` when the trace lacks response tables or
+            the runner's counts are not single-chain counts).
+        drift_gap: ``mean_realized_drift - mean_predicted_drift``
+            (``None`` when either side is); Prop. 5 bounds the *exact*
+            per-round gap by 1, so large values flag a broken engine.
+        spans: per-path ``{"calls", "wall_s", "counters"}`` totals from the
+            trace's ``span`` records.
+    """
+
+    path: str
+    runner: str
+    protocol: str
+    fingerprint: str
+    n: Optional[int]
+    rounds: int
+    converged: Optional[bool]
+    rounds_to_consensus: Optional[float]
+    wall_clock_s: Optional[float]
+    rounds_per_second: Optional[float]
+    mean_realized_drift: Optional[float]
+    mean_predicted_drift: Optional[float]
+    drift_gap: Optional[float]
+    spans: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ProtocolReport:
+    """Aggregate over every trace sharing one protocol fingerprint.
+
+    Attributes:
+        protocol: representative protocol name.
+        fingerprint: the pooling key.
+        runs: number of traces.
+        converged_runs: traces whose run reported convergence.
+        rounds_p50, rounds_p90: percentiles of ``rounds_to_consensus``
+            over converged runs (``nan`` if none converged).
+        mean_rounds_per_second: mean throughput over traces that carry
+            timings (``nan`` otherwise).
+        mean_drift_gap: mean of the per-trace Prop-5 drift gaps
+            (``nan`` when no trace could compute one).
+        span_wall_s: per-span-path wall-clock totals summed across traces.
+    """
+
+    protocol: str
+    fingerprint: str
+    runs: int
+    converged_runs: int
+    rounds_p50: float
+    rounds_p90: float
+    mean_rounds_per_second: float
+    mean_drift_gap: float
+    span_wall_s: Dict[str, float] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Trace ingestion
+# ----------------------------------------------------------------------
+
+
+def summarize_trace(path: Union[str, Path]) -> TraceSummary:
+    """Validate one JSONL trace and reduce it to a :class:`TraceSummary`."""
+    records = validate_trace(path)
+    start = records[0]
+    end = next(r for r in records if r.get("kind") == "run_end")
+    rounds = [r for r in records if r.get("kind") == "round"]
+    params = start.get("params", {})
+    protocol_info = start.get("protocol", {})
+
+    converged = end.get("converged")
+    if isinstance(converged, (int, float)) and not isinstance(converged, bool):
+        # Ensemble runners report a converged *count*; the run "converged"
+        # if no replica was censored.
+        converged = end.get("censored") == 0
+    tau = end.get("rounds")
+    if tau is None and end.get("activations") is not None and params.get("n"):
+        tau = end["activations"] / params["n"]  # sequential: parallel rounds
+
+    drifts = [r["drift"] for r in rounds if "drift" in r]
+    realized = float(np.mean(drifts)) if drifts else None
+    predicted = _mean_predicted_drift(start, rounds)
+    gap = (
+        realized - predicted
+        if realized is not None and predicted is not None
+        else None
+    )
+
+    spans: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        entry = spans.setdefault(
+            record["path"], {"calls": 0, "wall_s": 0.0, "counters": {}}
+        )
+        entry["calls"] += 1
+        entry["wall_s"] += record.get("wall_s") or 0.0
+        for key, value in record.get("counters", {}).items():
+            entry["counters"][key] = entry["counters"].get(key, 0) + value
+
+    return TraceSummary(
+        path=str(path),
+        runner=start.get("runner", "?"),
+        protocol=protocol_info.get("name", "?"),
+        fingerprint=protocol_info.get("fingerprint", "?"),
+        n=params.get("n"),
+        rounds=len(rounds),
+        converged=converged if isinstance(converged, bool) else None,
+        rounds_to_consensus=float(tau) if tau is not None else None,
+        wall_clock_s=end.get("wall_clock_s"),
+        rounds_per_second=end.get("rounds_per_second"),
+        mean_realized_drift=realized,
+        mean_predicted_drift=predicted,
+        drift_gap=gap,
+        spans=spans,
+    )
+
+
+def _mean_predicted_drift(
+    start: Mapping[str, Any], rounds: Sequence[Mapping[str, Any]]
+) -> Optional[float]:
+    """Mean Prop-5 prediction ``n · F_n(x/n)`` along the recorded trajectory.
+
+    Evaluated at each round's *previous* count (the state the drift was
+    realized from), exactly like the realized ``drift`` field telescopes.
+    Requires the response tables (``protocol.g0/g1``) in the provenance and
+    a scalar-count runner.
+    """
+    if start.get("runner") not in _SCALAR_COUNT_RUNNERS:
+        return None
+    protocol_info = start.get("protocol", {})
+    g0, g1 = protocol_info.get("g0"), protocol_info.get("g1")
+    n = start.get("params", {}).get("n")
+    x0 = start.get("params", {}).get("x0")
+    if g0 is None or g1 is None or not n or x0 is None or not rounds:
+        return None
+    protocol = table_protocol(g0, g1, name=protocol_info.get("name", "trace"))
+    counts = np.asarray([x0] + [r["count"] for r in rounds], dtype=float)
+    previous = counts[:-1]
+    predictions = n * np.asarray(bias_value(protocol, previous / n))
+    return float(predictions.mean())
+
+
+def summarize_trace_dir(directory: Union[str, Path]) -> List[TraceSummary]:
+    """Summarize every ``*.jsonl`` trace under ``directory`` (sorted).
+
+    Unreadable or schema-violating traces raise ``ValueError`` naming the
+    offending file, so a corrupt artifact fails loudly rather than silently
+    shrinking the report.
+    """
+    directory = Path(directory)
+    summaries = []
+    for path in sorted(directory.glob("*.jsonl")):
+        try:
+            summaries.append(summarize_trace(path))
+        except ValueError as error:
+            raise ValueError(f"{path}: {error}") from error
+    return summaries
+
+
+def group_by_protocol(summaries: Sequence[TraceSummary]) -> List[ProtocolReport]:
+    """Pool trace summaries by protocol fingerprint."""
+    groups: Dict[str, List[TraceSummary]] = {}
+    for summary in summaries:
+        groups.setdefault(summary.fingerprint, []).append(summary)
+    reports = []
+    for fingerprint, members in sorted(groups.items()):
+        taus = [
+            m.rounds_to_consensus
+            for m in members
+            if m.converged and m.rounds_to_consensus is not None
+        ]
+        rates = [m.rounds_per_second for m in members if m.rounds_per_second]
+        gaps = [m.drift_gap for m in members if m.drift_gap is not None]
+        span_wall: Dict[str, float] = {}
+        for member in members:
+            for path, entry in member.spans.items():
+                span_wall[path] = span_wall.get(path, 0.0) + entry["wall_s"]
+        reports.append(
+            ProtocolReport(
+                protocol=members[0].protocol,
+                fingerprint=fingerprint,
+                runs=len(members),
+                converged_runs=sum(1 for m in members if m.converged),
+                rounds_p50=float(np.percentile(taus, 50)) if taus else float("nan"),
+                rounds_p90=float(np.percentile(taus, 90)) if taus else float("nan"),
+                mean_rounds_per_second=(
+                    float(np.mean(rates)) if rates else float("nan")
+                ),
+                mean_drift_gap=float(np.mean(gaps)) if gaps else float("nan"),
+                span_wall_s=span_wall,
+            )
+        )
+    return reports
+
+
+# ----------------------------------------------------------------------
+# Benchmark ledger
+# ----------------------------------------------------------------------
+
+
+def load_bench_records(directory: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """Read every ``BENCH_*.json`` under ``directory``, keyed by experiment id."""
+    directory = Path(directory)
+    records = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path} is not valid JSON: {error}") from error
+        experiment = record.get("experiment") or path.stem[len("BENCH_"):]
+        records[experiment] = record
+    return records
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a ``BASELINE.json`` ledger snapshot; `{}` sentinel if absent.
+
+    The snapshot maps experiment ids to their reference timing::
+
+        {"schema": 1, "experiments": {"E2_...": {
+            "wall_clock_s": 3.17,          # mean of the samples
+            "samples": [3.05, 3.29],       # individual run wall clocks
+            "rounds": 38702, "rounds_per_second": 12198.1}}}
+    """
+    path = Path(path)
+    if not path.exists():
+        return {"schema": BASELINE_SCHEMA_VERSION, "experiments": {}}
+    snapshot = json.loads(path.read_text())
+    if snapshot.get("schema") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported baseline schema {snapshot.get('schema')!r} in {path} "
+            f"(expected {BASELINE_SCHEMA_VERSION})"
+        )
+    if not isinstance(snapshot.get("experiments"), dict):
+        raise ValueError(f"baseline {path} is missing its experiments map")
+    return snapshot
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One experiment's verdict in the regression ledger.
+
+    Attributes:
+        experiment: the experiment id.
+        baseline_s: baseline mean wall clock (``nan`` when new).
+        current_s: current wall clock (``nan`` when missing).
+        ratio: ``current_s / baseline_s`` (``nan`` when undefined).
+        threshold: the ratio above which this experiment regresses —
+            ``1 + max(min_rel_slowdown, sigma · cv)`` with ``cv`` the
+            baseline samples' coefficient of variation.
+        verdict: ``"ok"``, ``"regression"``, ``"improved"``, ``"new"``
+            (no baseline entry), ``"missing"`` (baseline entry but no
+            current record), ``"untimed"`` (record without a wall clock —
+            ``emit()`` was called outside ``run_once()``), or
+            ``"incomparable"`` (one side was timed in smoke sizing and the
+            other at full sizing).
+    """
+
+    experiment: str
+    baseline_s: float
+    current_s: float
+    ratio: float
+    threshold: float
+    verdict: str
+
+
+def compare_against_baseline(
+    current: Mapping[str, Mapping[str, Any]],
+    baseline: Mapping[str, Any],
+    min_rel_slowdown: float = DEFAULT_MIN_REL_SLOWDOWN,
+    noise_sigmas: float = DEFAULT_NOISE_SIGMAS,
+) -> List[ComparisonRow]:
+    """Compare current ``BENCH_*`` records against a baseline snapshot.
+
+    The gate is noise-aware: an experiment whose baseline carries several
+    samples with coefficient of variation ``cv`` must slow down by more
+    than ``max(min_rel_slowdown, noise_sigmas · cv)`` (relative) before it
+    is flagged — within-variance jitter stays ``"ok"``.  Symmetrically,
+    speedups beyond the same gate are reported as ``"improved"`` so the
+    perf trajectory is visible in both directions.
+    """
+    experiments = baseline.get("experiments", {})
+    rows = []
+    for experiment in sorted(set(experiments) | set(current)):
+        entry = experiments.get(experiment)
+        record = current.get(experiment)
+        current_s = record.get("wall_clock_s") if record else None
+        if entry is None:
+            rows.append(
+                ComparisonRow(
+                    experiment=experiment,
+                    baseline_s=float("nan"),
+                    current_s=float(current_s) if current_s else float("nan"),
+                    ratio=float("nan"),
+                    threshold=float("nan"),
+                    # emit() without run_once() archives no wall clock; such
+                    # records can never enter the baseline, so distinguish
+                    # them from genuinely new timed experiments
+                    verdict="new" if current_s else "untimed",
+                )
+            )
+            continue
+        samples = [s for s in entry.get("samples", []) if s]
+        baseline_s = entry.get("wall_clock_s")
+        if baseline_s is None and samples:
+            baseline_s = float(np.mean(samples))
+        cv = 0.0
+        if len(samples) >= 2:
+            mean = float(np.mean(samples))
+            if mean > 0:
+                cv = float(np.std(samples, ddof=1)) / mean
+        allowed = max(min_rel_slowdown, noise_sigmas * cv)
+        threshold = 1.0 + allowed
+        if current_s is None or not baseline_s:
+            rows.append(
+                ComparisonRow(
+                    experiment=experiment,
+                    baseline_s=float(baseline_s) if baseline_s else float("nan"),
+                    current_s=float("nan"),
+                    ratio=float("nan"),
+                    threshold=threshold,
+                    verdict="missing",
+                )
+            )
+            continue
+        ratio = float(current_s) / float(baseline_s)
+        if bool(record.get("smoke")) != bool(entry.get("smoke")):
+            # Smoke and full sizing time different workloads; a ratio
+            # between them is meaningless, not a regression.
+            rows.append(
+                ComparisonRow(
+                    experiment=experiment,
+                    baseline_s=float(baseline_s),
+                    current_s=float(current_s),
+                    ratio=ratio,
+                    threshold=threshold,
+                    verdict="incomparable",
+                )
+            )
+            continue
+        if ratio > threshold:
+            verdict = "regression"
+        elif ratio < 1.0 / threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        rows.append(
+            ComparisonRow(
+                experiment=experiment,
+                baseline_s=float(baseline_s),
+                current_s=float(current_s),
+                ratio=ratio,
+                threshold=threshold,
+                verdict=verdict,
+            )
+        )
+    return rows
+
+
+def update_baseline(
+    current: Mapping[str, Mapping[str, Any]],
+    baseline: Mapping[str, Any],
+    max_samples: int = 10,
+) -> Dict[str, Any]:
+    """Fold current ``BENCH_*`` records into a (new) baseline snapshot.
+
+    Each experiment's wall clock is *appended* to its sample list (capped
+    at the trailing ``max_samples``) and the reference ``wall_clock_s``
+    becomes the sample mean — repeated `perf_gate.py --update-baseline`
+    runs therefore accumulate exactly the run-to-run variance that
+    :func:`compare_against_baseline` gates on.
+    """
+    experiments: Dict[str, Any] = {
+        k: dict(v) for k, v in baseline.get("experiments", {}).items()
+    }
+    for experiment, record in current.items():
+        wall = record.get("wall_clock_s")
+        if wall is None:
+            continue
+        entry = experiments.setdefault(experiment, {})
+        samples = [s for s in entry.get("samples", []) if s]
+        samples.append(float(wall))
+        samples = samples[-max_samples:]
+        entry["samples"] = samples
+        entry["wall_clock_s"] = float(np.mean(samples))
+        entry["smoke"] = bool(record.get("smoke"))
+        for key in ("rounds", "rounds_per_second"):
+            if record.get(key) is not None:
+                entry[key] = record[key]
+    return {"schema": BASELINE_SCHEMA_VERSION, "experiments": experiments}
+
+
+# ----------------------------------------------------------------------
+# Assembly and rendering
+# ----------------------------------------------------------------------
+
+
+def build_report(
+    results_dir: Union[str, Path],
+    baseline_path: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Assemble the full analytics report for a results directory.
+
+    Returns a JSON-able dict with ``traces`` (per-trace summaries),
+    ``protocols`` (per-fingerprint aggregates), ``benchmarks`` (ledger
+    comparison rows), and ``regressions`` (the flagged subset).  The
+    baseline defaults to ``<results_dir>/BASELINE.json``.
+    """
+    results_dir = Path(results_dir)
+    if baseline_path is None:
+        baseline_path = results_dir / "BASELINE.json"
+    summaries = summarize_trace_dir(results_dir)
+    protocols = group_by_protocol(summaries)
+    current = load_bench_records(results_dir)
+    baseline = load_baseline(baseline_path)
+    comparison = compare_against_baseline(current, baseline)
+    return {
+        "results_dir": str(results_dir),
+        "baseline": str(baseline_path),
+        "traces": [asdict(s) for s in summaries],
+        "protocols": [asdict(p) for p in protocols],
+        "benchmarks": [asdict(row) for row in comparison],
+        "regressions": [
+            asdict(row) for row in comparison if row.verdict == "regression"
+        ],
+    }
+
+
+def render_report(report: Mapping[str, Any]) -> str:
+    """Render :func:`build_report` output as the human-readable tables."""
+    sections = []
+
+    protocols = report.get("protocols", [])
+    if protocols:
+        table = Table(
+            f"Per-protocol trace analytics ({len(report.get('traces', []))} traces "
+            f"under {report.get('results_dir')})",
+            ["protocol", "runs", "conv", "tau p50", "tau p90",
+             "rounds/sec", "drift gap"],
+        )
+        for row in protocols:
+            table.add_row(
+                row["protocol"],
+                row["runs"],
+                row["converged_runs"],
+                _fmt(row["rounds_p50"]),
+                _fmt(row["rounds_p90"]),
+                _fmt(row["mean_rounds_per_second"]),
+                _fmt(row["mean_drift_gap"], digits=4),
+            )
+        sections.append(table.render())
+        span_lines = _render_span_breakdown(protocols)
+        if span_lines:
+            sections.append(span_lines)
+    else:
+        sections.append(
+            f"no JSONL traces under {report.get('results_dir')} "
+            "(run e.g. `python -m repro run voter --trace results/run.jsonl`)"
+        )
+
+    benchmarks = report.get("benchmarks", [])
+    if benchmarks:
+        table = Table(
+            f"Benchmark ledger vs {report.get('baseline')}",
+            ["experiment", "baseline s", "current s", "ratio", "gate", "verdict"],
+        )
+        for row in benchmarks:
+            table.add_row(
+                row["experiment"],
+                _fmt(row["baseline_s"]),
+                _fmt(row["current_s"]),
+                _fmt(row["ratio"], digits=3),
+                _fmt(row["threshold"], digits=3),
+                row["verdict"],
+            )
+        sections.append(table.render())
+        regressions = report.get("regressions", [])
+        if regressions:
+            names = ", ".join(r["experiment"] for r in regressions)
+            sections.append(f"REGRESSIONS: {names}")
+        else:
+            sections.append("no regressions against the baseline")
+    else:
+        sections.append(
+            f"no BENCH_*.json records under {report.get('results_dir')} "
+            "(run `python -m repro bench`)"
+        )
+    return "\n\n".join(sections)
+
+
+def _render_span_breakdown(protocols: Sequence[Mapping[str, Any]]) -> str:
+    totals: Dict[str, float] = {}
+    for row in protocols:
+        for path, wall in row.get("span_wall_s", {}).items():
+            totals[path] = totals.get(path, 0.0) + wall
+    if not totals:
+        return ""
+    table = Table(
+        "Span wall-clock breakdown (all traces)", ["span path", "total s"]
+    )
+    for path in sorted(totals, key=totals.get, reverse=True):
+        table.add_row(path, _fmt(totals[path], digits=4))
+    return table.render()
+
+
+def _fmt(value: Any, digits: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        return f"{value:.{digits}f}"
+    return str(value)

@@ -8,10 +8,16 @@ Usage (installed as ``python -m repro``):
     python -m repro run voter --n 1000 --z 1 --x0 1 --rounds 100000
     python -m repro sweep voter --sizes 128,256,512,1024 --replicas 10
     python -m repro landscape minority-3
+    python -m repro bench --smoke
+    python -m repro report results/
 
 Protocols are resolved from the registry (:mod:`repro.protocols.registry`)
 or given inline as ``table:<g0 entries>[;<g1 entries>]`` — comma-separated
 response probabilities, length ``ell + 1``.
+
+Output hygiene: stdout carries the command's machine-parseable result
+(key=value lines, CSV tables, or ``--json`` documents); progress notes,
+telemetry summaries, and ASCII plots go to stderr.
 """
 
 from __future__ import annotations
@@ -115,16 +121,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"telemetry: rounds={m.rounds} wall={m.wall_clock_s:.4f}s "
             f"rounds/sec={m.rounds_per_second:,.0f} "
-            f"mean |drift|={m.mean_abs_drift:.3f}"
+            f"mean |drift|={m.mean_abs_drift:.3f}",
+            file=sys.stderr,
         )
+        for path, agg in sorted(m.spans.items()):
+            print(
+                f"telemetry: span {path}: calls={agg.calls} "
+                f"wall={agg.wall_s:.4f}s",
+                file=sys.stderr,
+            )
     if trace is not None:
-        print(f"trace: wrote {trace.records_written} records to {args.trace}")
+        print(
+            f"trace: wrote {trace.records_written} records to {args.trace}",
+            file=sys.stderr,
+        )
     if args.record and result.trajectory is not None:
         series = Series(
             "count", np.arange(len(result.trajectory), dtype=float),
             result.trajectory.astype(float),
         )
-        print(ascii_plot([series], width=64, height=12))
+        print(ascii_plot([series], width=64, height=12), file=sys.stderr)
     return 0 if result.converged else 2
 
 
@@ -160,6 +176,72 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    """Trace analytics + benchmark-regression table for a results directory."""
+    import json
+    import pathlib
+
+    from repro.analysis.report import build_report, render_report
+
+    results_dir = pathlib.Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(
+            f"no results directory at {results_dir}; run "
+            "`python -m repro bench` or archive traces there first",
+            file=sys.stderr,
+        )
+        return 1
+    report = build_report(results_dir, baseline_path=args.baseline)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    return 1 if args.strict and report["regressions"] else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark suite (optionally smoke-sized) to refresh the ledger."""
+    import os
+    import pathlib
+    import subprocess
+
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    bench_dir = repo_root / "benchmarks"
+    modules = sorted(path.stem for path in bench_dir.glob("bench_*.py"))
+    if args.list:
+        for name in modules:
+            print(name)
+        return 0
+    command = [
+        sys.executable, "-m", "pytest", str(bench_dir),
+        "--benchmark-only", "-q",
+    ]
+    if args.only:
+        command += ["-k", args.only]
+    env = dict(os.environ)
+    if args.smoke:
+        env["REPRO_SMOKE"] = "1"
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(repo_root / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    sizing = "smoke" if args.smoke else "full"
+    print(f"bench: {sizing} sizing: {' '.join(command)}", file=sys.stderr)
+    completed = subprocess.run(
+        command, cwd=repo_root, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    # pytest chatter is progress, not a result: keep stdout machine-clean.
+    sys.stderr.write(completed.stdout)
+    if completed.returncode == 0:
+        print(
+            f"bench: records archived under {repo_root / 'results'} "
+            "(BENCH_*.json); see `python -m repro report results/`",
+            file=sys.stderr,
+        )
+    return completed.returncode
+
+
+def _cmd_assemble(args: argparse.Namespace) -> int:
     """Assemble results/E*.txt into a single REPORT.md."""
     import pathlib
 
@@ -167,7 +249,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not results_dir.is_dir():
         print(
             f"no results directory at {results_dir}; run "
-            "`pytest benchmarks/ --benchmark-only` first"
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
         )
         return 1
     files = sorted(
@@ -175,7 +258,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         key=lambda path: (len(path.stem.split("_")[0]), path.stem),
     )
     if not files:
-        print(f"no experiment outputs under {results_dir}")
+        print(f"no experiment outputs under {results_dir}", file=sys.stderr)
         return 1
     sections = ["# Experiment report\n"]
     sections.append(
@@ -189,7 +272,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         sections.append("```")
     output = pathlib.Path(args.output)
     output.write_text("\n".join(sections) + "\n")
-    print(f"wrote {output} ({len(files)} experiments)")
+    print(f"wrote {output} ({len(files)} experiments)", file=sys.stderr)
     return 0
 
 
@@ -293,11 +376,48 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(handler=_cmd_sweep)
 
     report = sub.add_parser(
-        "report", help="assemble results/E*.txt into REPORT.md"
+        "report",
+        help="trace analytics + benchmark ledger for a results directory",
     )
-    report.add_argument("--results-dir", default="results")
-    report.add_argument("--output", default="REPORT.md")
+    report.add_argument(
+        "results_dir", nargs="?", default="results",
+        help="directory of *.jsonl traces and BENCH_*.json records",
+    )
+    report.add_argument(
+        "--baseline", default=None,
+        help="baseline snapshot (default: <results_dir>/BASELINE.json)",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="emit the report as JSON on stdout"
+    )
+    report.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when the ledger flags a regression",
+    )
     report.set_defaults(handler=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench", help="run the benchmark suite and archive BENCH_*.json records"
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="shrink benchmark sizing (REPRO_SMOKE=1); shape asserts become xfails",
+    )
+    bench.add_argument(
+        "--only", metavar="EXPR", default=None,
+        help="pytest -k expression selecting a subset of benchmarks",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list benchmark modules and exit"
+    )
+    bench.set_defaults(handler=_cmd_bench)
+
+    assemble = sub.add_parser(
+        "assemble", help="assemble results/E*.txt into REPORT.md"
+    )
+    assemble.add_argument("--results-dir", default="results")
+    assemble.add_argument("--output", default="REPORT.md")
+    assemble.set_defaults(handler=_cmd_assemble)
 
     worst = sub.add_parser(
         "worst", help="exact adversarial starting configuration (small n)"

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.protocol import Protocol
 from repro.dynamics.config import validate_count, validate_counts
+from repro.telemetry import NULL_RECORDER, Recorder, current_span
 
 __all__ = ["step_count", "step_counts_batch"]
 
@@ -31,8 +32,14 @@ def step_count(
     z: int,
     x: int,
     rng: np.random.Generator,
+    recorder: Recorder = NULL_RECORDER,
 ) -> int:
-    """Sample one parallel round of the count chain: ``X_{t+1} | X_t = x``."""
+    """Sample one parallel round of the count chain: ``X_{t+1} | X_t = x``.
+
+    With an enabled ``recorder``, the call attributes one ``steps`` tick to
+    the innermost open telemetry span (no span of its own: the kernel is too
+    hot to time per call).
+    """
     validate_count(n, z, x)
     p = x / n
     p0, p1 = protocol.response_probabilities(p)
@@ -40,6 +47,8 @@ def step_count(
     m0 = n - x - (1 - z)
     ones_kept = int(rng.binomial(m1, p1)) if m1 > 0 else 0
     zeros_flipped = int(rng.binomial(m0, p0)) if m0 > 0 else 0
+    if recorder.enabled:
+        current_span(recorder).incr("steps")
     return z + ones_kept + zeros_flipped
 
 
@@ -49,12 +58,15 @@ def step_counts_batch(
     z: int,
     counts: np.ndarray,
     rng: np.random.Generator,
+    recorder: Recorder = NULL_RECORDER,
 ) -> np.ndarray:
     """Advance many independent replicas of the count chain by one round.
 
     Vectorized over replicas: used by the ensemble runner to carry hundreds
     of independent trajectories in lock-step.  ``counts`` is an integer array
-    of current counts, one per replica.
+    of current counts, one per replica.  With an enabled ``recorder``, one
+    ``batch_steps`` tick and ``replica_steps += len(counts)`` land on the
+    innermost open telemetry span.
     """
     counts = np.asarray(counts)
     validate_counts(n, z, counts)
@@ -64,4 +76,8 @@ def step_counts_batch(
     m0 = n - counts - (1 - z)
     ones_kept = rng.binomial(m1, np.asarray(p1))
     zeros_flipped = rng.binomial(m0, np.asarray(p0))
+    if recorder.enabled:
+        span = current_span(recorder)
+        span.incr("batch_steps")
+        span.incr("replica_steps", int(counts.size))
     return z + ones_kept + zeros_flipped

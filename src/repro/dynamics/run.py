@@ -27,7 +27,7 @@ if TYPE_CHECKING:  # avoid a circular import: core.lower_bound needs dynamics.co
     from repro.core.lower_bound import LowerBoundCertificate
 from repro.dynamics.config import Configuration
 from repro.dynamics.engine import step_count, step_counts_batch
-from repro.telemetry import NULL_RECORDER, Recorder, run_provenance
+from repro.telemetry import NULL_RECORDER, Recorder, run_provenance, span
 
 __all__ = [
     "RunResult",
@@ -96,18 +96,21 @@ def simulate(
     trajectory = [x] if record else None
     converged = False
     rounds: Optional[int] = None
-    for t in range(max_rounds + 1):
-        if x == target:
-            converged = True
-            rounds = t
-            break
-        if t == max_rounds:
-            break
-        x = step_count(protocol, config.n, config.z, x, rng)
-        if record:
-            trajectory.append(x)
+    with span(recorder, "simulate") as timing:
+        for t in range(max_rounds + 1):
+            if x == target:
+                converged = True
+                rounds = t
+                break
+            if t == max_rounds:
+                break
+            x = step_count(protocol, config.n, config.z, x, rng, recorder)
+            if record:
+                trajectory.append(x)
+            if recording:
+                recorder.round_recorded(t + 1, x)
         if recording:
-            recorder.round_recorded(t + 1, x)
+            timing.incr("rounds", rounds if rounds is not None else max_rounds)
     if recording:
         recorder.run_finished(
             {"converged": converged, "rounds": rounds, "final_count": x}
@@ -165,25 +168,28 @@ def simulate_ensemble(
     times[newly_done] = 0.0
     active &= ~newly_done
     final_round = 0
-    for t in range(1, max_rounds + 1):
-        if not active.any():
-            break
-        counts[active] = step_counts_batch(
-            protocol, config.n, config.z, counts[active], rng
-        )
-        newly_done = active & (counts == target)
-        times[newly_done] = float(t)
-        active &= ~newly_done
-        final_round = t
-        if recording:
-            recorder.round_recorded(
-                t,
-                float(counts.mean()),
-                {
-                    "active": int(active.sum()),
-                    "newly_converged": int(newly_done.sum()),
-                },
+    with span(recorder, "ensemble") as timing:
+        for t in range(1, max_rounds + 1):
+            if not active.any():
+                break
+            counts[active] = step_counts_batch(
+                protocol, config.n, config.z, counts[active], rng, recorder
             )
+            newly_done = active & (counts == target)
+            times[newly_done] = float(t)
+            active &= ~newly_done
+            final_round = t
+            if recording:
+                recorder.round_recorded(
+                    t,
+                    float(counts.mean()),
+                    {
+                        "active": int(active.sum()),
+                        "newly_converged": int(newly_done.sum()),
+                    },
+                )
+        if recording:
+            timing.incr("rounds", final_round)
     if recording:
         censored = int(np.isnan(times).sum())
         recorder.run_finished(
@@ -228,13 +234,18 @@ def escape_time(
     if certificate.has_escaped(n, x):
         escaped_at = 0
     else:
-        for t in range(1, max_rounds + 1):
-            x = step_count(protocol, n, config.z, x, rng)
+        with span(recorder, "escape") as timing:
+            for t in range(1, max_rounds + 1):
+                x = step_count(protocol, n, config.z, x, rng, recorder)
+                if recording:
+                    recorder.round_recorded(t, x)
+                if certificate.has_escaped(n, x):
+                    escaped_at = t
+                    break
             if recording:
-                recorder.round_recorded(t, x)
-            if certificate.has_escaped(n, x):
-                escaped_at = t
-                break
+                timing.incr(
+                    "rounds", escaped_at if escaped_at is not None else max_rounds
+                )
     if recording:
         recorder.run_finished(
             {"escaped": escaped_at is not None, "rounds": escaped_at, "final_count": x}
@@ -284,22 +295,25 @@ def escape_time_ensemble(
     times[done] = 0.0
     active &= ~done
     final_round = 0
-    for t in range(1, max_rounds + 1):
-        if not active.any():
-            break
-        counts[active] = step_counts_batch(
-            protocol, n, config.z, counts[active], rng
-        )
-        done = active & escaped(counts)
-        times[done] = float(t)
-        active &= ~done
-        final_round = t
-        if recording:
-            recorder.round_recorded(
-                t,
-                float(counts.mean()),
-                {"active": int(active.sum()), "newly_converged": int(done.sum())},
+    with span(recorder, "escape_ensemble") as timing:
+        for t in range(1, max_rounds + 1):
+            if not active.any():
+                break
+            counts[active] = step_counts_batch(
+                protocol, n, config.z, counts[active], rng, recorder
             )
+            done = active & escaped(counts)
+            times[done] = float(t)
+            active &= ~done
+            final_round = t
+            if recording:
+                recorder.round_recorded(
+                    t,
+                    float(counts.mean()),
+                    {"active": int(active.sum()), "newly_converged": int(done.sum())},
+                )
+        if recording:
+            timing.incr("rounds", final_round)
     if recording:
         censored = int(np.isnan(times).sum())
         recorder.run_finished(
@@ -342,13 +356,16 @@ def time_to_leave_consensus(
     target = n * z
     x = target
     left_at: Optional[int] = None
-    for t in range(1, max_rounds + 1):
-        x = step_count(protocol, n, z, x, rng)
+    with span(recorder, "leave_consensus") as timing:
+        for t in range(1, max_rounds + 1):
+            x = step_count(protocol, n, z, x, rng, recorder)
+            if recording:
+                recorder.round_recorded(t, x)
+            if x != target:
+                left_at = t
+                break
         if recording:
-            recorder.round_recorded(t, x)
-        if x != target:
-            left_at = t
-            break
+            timing.incr("rounds", left_at if left_at is not None else max_rounds)
     if recording:
         recorder.run_finished(
             {"left": left_at is not None, "rounds": left_at, "final_count": x}

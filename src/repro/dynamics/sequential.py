@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.protocol import Protocol
 from repro.dynamics.config import Configuration, validate_count
-from repro.telemetry import NULL_RECORDER, Recorder, run_provenance
+from repro.telemetry import NULL_RECORDER, Recorder, run_provenance, span
 
 __all__ = [
     "sequential_transition_probabilities",
@@ -112,22 +112,28 @@ def simulate_sequential(
     x = config.x0
     activations = 0
     frozen = False
-    while activations < max_activations:
-        if x == target:
-            break
-        p_up, p_down = sequential_transition_probabilities(protocol, n, z, x)
-        total = p_up + p_down
-        if total <= 0.0:
-            frozen = True
-            break
-        holding = int(rng.geometric(total))
-        activations += holding
-        if activations > max_activations:
-            activations = max_activations
-            break
-        x += 1 if rng.random() < p_up / total else -1
+    with span(recorder, "sequential") as timing:
+        moves = 0
+        while activations < max_activations:
+            if x == target:
+                break
+            p_up, p_down = sequential_transition_probabilities(protocol, n, z, x)
+            total = p_up + p_down
+            if total <= 0.0:
+                frozen = True
+                break
+            holding = int(rng.geometric(total))
+            activations += holding
+            if activations > max_activations:
+                activations = max_activations
+                break
+            x += 1 if rng.random() < p_up / total else -1
+            moves += 1
+            if recording:
+                recorder.round_recorded(activations, x, {"holding": holding})
         if recording:
-            recorder.round_recorded(activations, x, {"holding": holding})
+            timing.incr("moves", moves)
+            timing.incr("activations", activations)
     converged = not frozen and x == target
     result = SequentialRunResult(
         config=config, converged=converged, activations=activations, frozen=frozen

@@ -25,6 +25,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.markov.concentration import azuma_with_jumps_tail
+from repro.telemetry import NULL_RECORDER, Recorder, span
 
 __all__ = ["EscapeProblem", "EscapeVerdict", "verify_escape_theorem"]
 
@@ -109,7 +110,9 @@ class EscapeVerdict:
         return self.drift_ok and self.failure_probability < 0.5
 
 
-def verify_escape_theorem(problem: EscapeProblem) -> EscapeVerdict:
+def verify_escape_theorem(
+    problem: EscapeProblem, recorder: Recorder = NULL_RECORDER
+) -> EscapeVerdict:
     """Check assumptions (i)-(iii) and assemble the explicit failure bound.
 
     Mirrors the proof: assumption (i) is verified pointwise; the martingale
@@ -131,34 +134,39 @@ def verify_escape_theorem(problem: EscapeProblem) -> EscapeVerdict:
     """
     n = problem.n
     horizon = problem.horizon
-    lo = int(math.ceil(problem.a1 * n))
-    hi = int(math.floor(problem.a3 * n))
-    states = np.arange(lo, hi + 1)
-    drifts = np.asarray(problem.drift(states), dtype=float)
-    margins = (states + 1.0) - drifts
-    worst_margin = float(margins.min()) if len(margins) else float("inf")
-    drift_ok = worst_margin >= 0.0
+    with span(recorder, "escape_check") as timing:
+        with span(recorder, "drift_scan") as drift_span:
+            lo = int(math.ceil(problem.a1 * n))
+            hi = int(math.floor(problem.a3 * n))
+            states = np.arange(lo, hi + 1)
+            drifts = np.asarray(problem.drift(states), dtype=float)
+            margins = (states + 1.0) - drifts
+            worst_margin = float(margins.min()) if len(margins) else float("inf")
+            drift_ok = worst_margin >= 0.0
+            drift_span.incr("states", int(states.size))
 
-    alpha = (problem.a3 - problem.a2) / 4.0
-    increment_bound = n ** (0.5 + problem.epsilon / 4.0)
-    jump_probability = min(1.0, horizon * problem.step_tail)
-    paper_tail = azuma_with_jumps_tail(
-        horizon=horizon,
-        increment_bound=increment_bound,
-        delta=alpha * n,
-        jump_probability=jump_probability,
-    )
-    paper_tail = min(1.0, horizon * paper_tail)  # Claim 8: all t <= T
-    if problem.increment_variance_proxy is None:
-        variance_proxy = n / 4.0
-    else:
-        variance_proxy = problem.increment_variance_proxy
-    # Doob maximal + sub-Gaussian increments: no per-round union bound.
-    sharp_exponent = (alpha * n) ** 2 / (2.0 * horizon * variance_proxy)
-    sharp_tail = min(1.0, 2.0 * math.exp(-sharp_exponent))
-    confinement_tail = min(paper_tail, sharp_tail)
-    skip_tail = min(1.0, horizon * problem.jump_tail)
-    failure = min(1.0, confinement_tail + skip_tail)
+        with span(recorder, "tail_bounds"):
+            alpha = (problem.a3 - problem.a2) / 4.0
+            increment_bound = n ** (0.5 + problem.epsilon / 4.0)
+            jump_probability = min(1.0, horizon * problem.step_tail)
+            paper_tail = azuma_with_jumps_tail(
+                horizon=horizon,
+                increment_bound=increment_bound,
+                delta=alpha * n,
+                jump_probability=jump_probability,
+            )
+            paper_tail = min(1.0, horizon * paper_tail)  # Claim 8: all t <= T
+            if problem.increment_variance_proxy is None:
+                variance_proxy = n / 4.0
+            else:
+                variance_proxy = problem.increment_variance_proxy
+            # Doob maximal + sub-Gaussian increments: no per-round union bound.
+            sharp_exponent = (alpha * n) ** 2 / (2.0 * horizon * variance_proxy)
+            sharp_tail = min(1.0, 2.0 * math.exp(-sharp_exponent))
+            confinement_tail = min(paper_tail, sharp_tail)
+            skip_tail = min(1.0, horizon * problem.jump_tail)
+            failure = min(1.0, confinement_tail + skip_tail)
+        timing.incr("horizon", horizon)
     return EscapeVerdict(
         drift_ok=drift_ok,
         worst_drift_margin=worst_margin,

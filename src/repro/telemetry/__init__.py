@@ -11,6 +11,10 @@ the exact pre-telemetry code path).  Three concrete recorders ship:
   a closing summary.
 * :class:`TeeRecorder` / :func:`compose_recorders` — fan events out to both.
 
+Stage-level timing uses :func:`span` — named, nestable wall-clock spans
+with counters that runners open around their hot loops; spans land in
+:class:`MetricsRecorder` aggregates and in traces as ``span`` records.
+
 See docs/OBSERVABILITY.md for the record schema, overhead measurements and
 a worked trace-reading example.
 """
@@ -35,8 +39,24 @@ from repro.telemetry.recorder import (
     rng_provenance,
     run_provenance,
 )
+from repro.telemetry.spans import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    SpanAggregate,
+    SpanRecord,
+    current_span,
+    span,
+)
 
 __all__ = [
+    "Span",
+    "SpanRecord",
+    "SpanAggregate",
+    "NullSpan",
+    "NULL_SPAN",
+    "span",
+    "current_span",
     "Recorder",
     "NullRecorder",
     "NULL_RECORDER",

@@ -1,20 +1,22 @@
 """Streaming JSON-lines traces: write, read back, and validate.
 
-A trace is one ``run_start`` record, zero or more ``round`` records, and
-one ``run_end`` record, one JSON object per line.  The exact field-by-field
-schema is documented in ``docs/OBSERVABILITY.md``; :func:`validate_trace`
-is that document's executable counterpart and is what ``make trace-smoke``
-runs.
+A trace is one ``run_start`` record, zero or more ``round`` and ``span``
+records, and one ``run_end`` record, one JSON object per line.  The exact
+field-by-field schema is documented in ``docs/OBSERVABILITY.md``;
+:func:`validate_trace` is that document's executable counterpart and is
+what ``make trace-smoke`` runs.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import time
 from pathlib import Path
 from typing import Any, Dict, IO, List, Mapping, Optional, Union
 
 from repro.telemetry.recorder import Recorder, RunProvenance, TRACE_SCHEMA_VERSION
+from repro.telemetry.spans import SpanRecord
 
 __all__ = [
     "JsonlTraceWriter",
@@ -89,6 +91,18 @@ class JsonlTraceWriter(Recorder):
         if extra:
             record.update({key: _number(value) for key, value in extra.items()})
         self._rounds += 1
+        self._write(record)
+
+    def span_recorded(self, span: SpanRecord) -> None:
+        record: Dict[str, Any] = {
+            "kind": "span",
+            "name": span.name,
+            "path": span.path,
+            "depth": span.depth,
+            "counters": {key: _number(value) for key, value in span.counters.items()},
+        }
+        if self.include_timings:
+            record["wall_s"] = span.wall_s
         self._write(record)
 
     def run_finished(self, summary: Mapping[str, Any]) -> None:
@@ -176,7 +190,15 @@ def trace_to_series(path: PathOrFile, name: Optional[str] = None):
     from repro.analysis.series import Series
 
     records = read_trace(path)
+    if not records:
+        raise ValueError("trace is empty: no records to turn into a series")
     counts = trace_counts(records).astype(float)
+    if counts.size == 0:
+        raise ValueError(
+            "trace holds no counts (no round records and no x0 in run_start)"
+        )
+    if not np.all(np.isfinite(counts)):
+        raise ValueError("trace counts contain non-finite values")
     if name is None:
         start = next((r for r in records if r.get("kind") == "run_start"), {})
         protocol = start.get("protocol", {}).get("name", "trace")
@@ -191,9 +213,11 @@ def validate_trace(path: PathOrFile) -> List[Dict[str, Any]]:
     """Validate a trace against the documented schema; return its records.
 
     Checks: the file is JSONL; the first record is a ``run_start`` with the
-    supported schema version and all provenance sections; every interior
-    record is a ``round`` with integer ``t`` (non-decreasing) and numeric
-    ``count``; the last record is a ``run_end``.  Raises ``ValueError`` on
+    supported schema version and all provenance sections; every ``round``
+    record has an integer ``t`` (non-decreasing) and a finite numeric
+    ``count``; ``span`` records carry a name/path and finite timings; there
+    is exactly one ``run_end``, all rounds precede it, and only spans (the
+    ones enclosing the whole run) may trail it.  Raises ``ValueError`` on
     the first violation.  This is the check behind ``make trace-smoke``.
     """
     records = read_trace(path)
@@ -216,31 +240,76 @@ def validate_trace(path: PathOrFile) -> List[Dict[str, Any]]:
     for key in ("name", "ell", "fingerprint"):
         if key not in start["protocol"]:
             raise ValueError(f"run_start protocol provenance is missing {key!r}")
-    end = records[-1]
-    if end.get("kind") != "run_end":
-        raise ValueError(f"last record must be run_end, got {end.get('kind')!r}")
+    end = None
     previous_t = None
     round_records = 0
-    for index, record in enumerate(records[1:-1], start=2):
-        if record.get("kind") != "round":
+    for index, record in enumerate(records[1:], start=2):
+        kind = record.get("kind")
+        if kind == "run_end":
+            if end is not None:
+                raise ValueError(f"record {index} is a second run_end")
+            end = record
+        elif kind == "span":
+            _validate_span_record(record, index)
+        elif kind == "round":
+            if end is not None:
+                raise ValueError(
+                    f"round record {index} appears after run_end "
+                    "(truncated or spliced trace?)"
+                )
+            t = record.get("t")
+            if not isinstance(t, int):
+                raise ValueError(f"round record {index} has non-integer t: {t!r}")
+            if previous_t is not None and t < previous_t:
+                raise ValueError(
+                    f"round record {index} goes back in time: t={t} after t={previous_t}"
+                )
+            previous_t = t
+            count = record.get("count")
+            if not isinstance(count, (int, float)) or not math.isfinite(count):
+                raise ValueError(
+                    f"round record {index} has non-finite count: {count!r}"
+                )
+            drift = record.get("drift")
+            if drift is not None and (
+                not isinstance(drift, (int, float)) or not math.isfinite(drift)
+            ):
+                raise ValueError(
+                    f"round record {index} has non-finite drift: {drift!r}"
+                )
+            round_records += 1
+        else:
             raise ValueError(
-                f"record {index} must be a round record, got {record.get('kind')!r}"
+                f"record {index} has unknown kind {kind!r} "
+                "(expected round, span, or run_end)"
             )
-        t = record.get("t")
-        if not isinstance(t, int):
-            raise ValueError(f"round record {index} has non-integer t: {t!r}")
-        if previous_t is not None and t < previous_t:
-            raise ValueError(
-                f"round record {index} goes back in time: t={t} after t={previous_t}"
-            )
-        previous_t = t
-        count = record.get("count")
-        if not isinstance(count, (int, float)):
-            raise ValueError(f"round record {index} has non-numeric count: {count!r}")
-        round_records += 1
+    if end is None:
+        raise ValueError(
+            f"last record must be run_end, got {records[-1].get('kind')!r} "
+            "(truncated trace?)"
+        )
     if end.get("rounds_recorded") != round_records:
         raise ValueError(
             f"run_end claims {end.get('rounds_recorded')} rounds but the trace "
             f"holds {round_records}"
         )
     return records
+
+
+def _validate_span_record(record: Dict[str, Any], index: int) -> None:
+    for key in ("name", "path"):
+        if not isinstance(record.get(key), str) or not record.get(key):
+            raise ValueError(f"span record {index} has invalid {key}: {record.get(key)!r}")
+    wall = record.get("wall_s")
+    if wall is not None and (
+        not isinstance(wall, (int, float)) or not math.isfinite(wall)
+    ):
+        raise ValueError(f"span record {index} has non-finite wall_s: {wall!r}")
+    counters = record.get("counters", {})
+    if not isinstance(counters, dict):
+        raise ValueError(f"span record {index} counters must be an object")
+    for key, value in counters.items():
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            raise ValueError(
+                f"span record {index} counter {key!r} is non-finite: {value!r}"
+            )

@@ -19,6 +19,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.telemetry.spans import SpanAggregate, SpanRecord
+
 __all__ = [
     "Recorder",
     "NullRecorder",
@@ -106,6 +108,11 @@ def run_provenance(runner: str, protocol, rng, **params) -> RunProvenance:
             "name": protocol.name,
             "ell": int(protocol.ell),
             "fingerprint": protocol_fingerprint(protocol),
+            # The full response tables make the trace self-contained: the
+            # report layer rebuilds F_n from them (Prop. 5 drift prediction)
+            # without having to resolve the name against a registry.
+            "g0": [float(v) for v in protocol.g0],
+            "g1": [float(v) for v in protocol.g1],
         },
         params=params,
         rng=rng_provenance(rng),
@@ -138,6 +145,9 @@ class Recorder:
 
     def run_finished(self, summary: Mapping[str, Any]) -> None:
         """Called once when the run stops, with a runner-specific summary."""
+
+    def span_recorded(self, record: SpanRecord) -> None:
+        """Called when a :class:`~repro.telemetry.spans.Span` exits."""
 
 
 class NullRecorder(Recorder):
@@ -175,6 +185,8 @@ class RunMetrics:
         provenance: the run's :class:`RunProvenance` (``None`` until
             ``run_started`` fires).
         summary: the runner's ``run_finished`` payload (``None`` until then).
+        spans: per-path :class:`~repro.telemetry.spans.SpanAggregate` totals
+            of every span that finished on this recorder.
     """
 
     rounds: int
@@ -184,6 +196,7 @@ class RunMetrics:
     final_count: float
     provenance: Optional[RunProvenance]
     summary: Optional[Dict[str, Any]]
+    spans: Dict[str, SpanAggregate] = field(default_factory=dict)
 
 
 class MetricsRecorder(Recorder):
@@ -205,6 +218,7 @@ class MetricsRecorder(Recorder):
         self._previous_count: Optional[float] = None
         self._started_at: Optional[float] = None
         self._last_seen_at: Optional[float] = None
+        self._spans: Dict[str, SpanAggregate] = {}
 
     def run_started(self, provenance: RunProvenance) -> None:
         self.provenance = provenance
@@ -228,6 +242,12 @@ class MetricsRecorder(Recorder):
         self.summary = dict(summary)
         self._last_seen_at = time.perf_counter()
 
+    def span_recorded(self, record: SpanRecord) -> None:
+        aggregate = self._spans.get(record.path)
+        if aggregate is None:
+            aggregate = self._spans[record.path] = SpanAggregate()
+        aggregate.add(record)
+
     def metrics(self) -> RunMetrics:
         """Snapshot the accumulated metrics (valid at any point in the run)."""
         if self._started_at is None or self._last_seen_at is None:
@@ -246,6 +266,7 @@ class MetricsRecorder(Recorder):
             ),
             provenance=self.provenance,
             summary=self.summary,
+            spans=dict(self._spans),
         )
 
 
@@ -268,6 +289,10 @@ class TeeRecorder(Recorder):
     def run_finished(self, summary: Mapping[str, Any]) -> None:
         for recorder in self.recorders:
             recorder.run_finished(summary)
+
+    def span_recorded(self, record: SpanRecord) -> None:
+        for recorder in self.recorders:
+            recorder.span_recorded(record)
 
 
 def compose_recorders(*recorders: Optional[Recorder]) -> Recorder:

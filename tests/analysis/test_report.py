@@ -1,0 +1,239 @@
+"""Tests for trace analytics and the benchmark-regression ledger."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.report import (
+    DEFAULT_MIN_REL_SLOWDOWN,
+    build_report,
+    compare_against_baseline,
+    group_by_protocol,
+    load_baseline,
+    load_bench_records,
+    render_report,
+    summarize_trace,
+    summarize_trace_dir,
+    update_baseline,
+)
+from repro.dynamics.config import wrong_consensus_configuration
+from repro.dynamics.rng import make_rng
+from repro.dynamics.run import simulate, simulate_ensemble
+from repro.protocols import minority, voter
+from repro.telemetry import JsonlTraceWriter
+
+
+def _write_trace(path, protocol, n=80, seed=0, rounds=50_000):
+    config = wrong_consensus_configuration(n, z=1)
+    with JsonlTraceWriter(path) as writer:
+        result = simulate(protocol, config, rounds, make_rng(seed), recorder=writer)
+    return result
+
+
+class TestSummarizeTrace:
+    def test_voter_trace_summary_fields(self, tmp_path):
+        path = tmp_path / "v.jsonl"
+        result = _write_trace(path, voter(1), seed=3)
+        summary = summarize_trace(path)
+        assert summary.runner == "simulate"
+        assert summary.protocol == "voter(ell=1)"
+        assert summary.n == 80
+        assert summary.converged is result.converged
+        assert summary.rounds_to_consensus == result.rounds
+        assert summary.rounds_per_second > 0
+        assert "simulate" in summary.spans
+
+    def test_drift_gap_within_source_correction(self, tmp_path):
+        # Prop 5: E[drift | x] = n F_n(x/n) up to the +/-1 source correction,
+        # so the gap between realized and predicted mean drift is < 1.
+        path = tmp_path / "v.jsonl"
+        _write_trace(path, voter(1), seed=3)
+        summary = summarize_trace(path)
+        assert summary.mean_realized_drift is not None
+        assert summary.mean_predicted_drift is not None
+        assert summary.drift_gap < 1.0
+
+    def test_ensemble_trace_summarizes(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        config = wrong_consensus_configuration(64, z=1)
+        with JsonlTraceWriter(path) as writer:
+            simulate_ensemble(
+                voter(1), config, 20_000, make_rng(1), replicas=3, recorder=writer
+            )
+        summary = summarize_trace(path)
+        assert summary.runner == "simulate_ensemble"
+        assert summary.converged is True
+
+    def test_dir_error_names_offending_file(self, tmp_path):
+        _write_trace(tmp_path / "good.jsonl", voter(1))
+        (tmp_path / "bad.jsonl").write_text("not json\n")
+        with pytest.raises(ValueError, match="bad.jsonl"):
+            summarize_trace_dir(tmp_path)
+
+    def test_group_by_protocol_pools_runs(self, tmp_path):
+        for seed in range(3):
+            _write_trace(tmp_path / f"v{seed}.jsonl", voter(1), seed=seed)
+        _write_trace(tmp_path / "m.jsonl", minority(3), seed=0, rounds=500)
+        reports = group_by_protocol(summarize_trace_dir(tmp_path))
+        by_name = {r.protocol: r for r in reports}
+        assert by_name["voter(ell=1)"].runs == 3
+        assert by_name["voter(ell=1)"].rounds_p50 is not None
+        assert by_name["minority(ell=3)"].runs == 1
+
+
+class TestLedgerGate:
+    """The acceptance test: a 2x slowdown is flagged, noise is not."""
+
+    BASELINE = {
+        "schema": 1,
+        "experiments": {
+            # tight baseline: cv ~ 0.05, so the 30% floor dominates
+            "E_tight": {"wall_clock_s": 1.0, "samples": [0.95, 1.0, 1.05]},
+            # noisy baseline: cv = 0.5, so 3 sigma allows up to 2.5x
+            "E_noisy": {"wall_clock_s": 1.0, "samples": [0.5, 1.0, 1.5]},
+        },
+    }
+
+    def _verdict(self, experiment, wall):
+        rows = compare_against_baseline(
+            {experiment: {"experiment": experiment, "wall_clock_s": wall}},
+            self.BASELINE,
+        )
+        (row,) = [r for r in rows if r.experiment == experiment]
+        return row
+
+    def test_two_x_slowdown_is_flagged(self):
+        row = self._verdict("E_tight", 2.0)
+        assert row.verdict == "regression"
+        assert row.ratio == pytest.approx(2.0)
+
+    def test_within_variance_noise_is_not_flagged(self):
+        # 20% over the mean: inside the 30% floor for the tight baseline.
+        assert self._verdict("E_tight", 1.2).verdict == "ok"
+
+    def test_noisy_baseline_widens_the_gate(self):
+        # The same 2x wall clock that fails the tight gate passes the noisy
+        # one: 3 sigma of its run-to-run cv (0.5) allows up to 2.5x.
+        assert self._verdict("E_noisy", 2.0).verdict == "ok"
+        assert self._verdict("E_noisy", 2.6).verdict == "regression"
+
+    def test_improvement_verdict(self):
+        assert self._verdict("E_tight", 0.5).verdict == "improved"
+
+    def test_new_and_missing_experiments(self):
+        rows = compare_against_baseline(
+            {"E_new": {"experiment": "E_new", "wall_clock_s": 1.0}},
+            self.BASELINE,
+        )
+        verdicts = {row.experiment: row.verdict for row in rows}
+        assert verdicts["E_new"] == "new"
+        assert verdicts["E_tight"] == "missing"
+        assert verdicts["E_noisy"] == "missing"
+
+    def test_smoke_vs_full_is_incomparable(self):
+        rows = compare_against_baseline(
+            {"E_tight": {"experiment": "E_tight", "wall_clock_s": 0.1, "smoke": True}},
+            self.BASELINE,
+        )
+        (row,) = [r for r in rows if r.experiment == "E_tight"]
+        assert row.verdict == "incomparable"
+
+    def test_threshold_floor_matches_default(self):
+        row = self._verdict("E_tight", 2.0)
+        assert row.threshold == pytest.approx(1.0 + DEFAULT_MIN_REL_SLOWDOWN)
+
+
+class TestBaselineRoundTrip:
+    def test_missing_baseline_is_empty_sentinel(self, tmp_path):
+        baseline = load_baseline(tmp_path / "nope.json")
+        assert baseline == {"schema": 1, "experiments": {}}
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "BASELINE.json"
+        path.write_text('{"schema": 99, "experiments": {}}')
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+    def test_update_accumulates_samples(self):
+        baseline = {"schema": 1, "experiments": {}}
+        for wall in (1.0, 1.2, 0.8):
+            baseline = update_baseline(
+                {"E1": {"experiment": "E1", "wall_clock_s": wall, "rounds": 10}},
+                baseline,
+            )
+        entry = baseline["experiments"]["E1"]
+        assert entry["samples"] == [1.0, 1.2, 0.8]
+        assert entry["wall_clock_s"] == pytest.approx(1.0)
+        assert entry["rounds"] == 10
+
+    def test_update_caps_sample_history(self):
+        baseline = {"schema": 1, "experiments": {}}
+        for i in range(15):
+            baseline = update_baseline(
+                {"E1": {"experiment": "E1", "wall_clock_s": float(i)}},
+                baseline,
+                max_samples=10,
+            )
+        assert len(baseline["experiments"]["E1"]["samples"]) == 10
+        assert baseline["experiments"]["E1"]["samples"][-1] == 14.0
+
+    def test_update_records_smoke_flag(self):
+        baseline = update_baseline(
+            {"E1": {"experiment": "E1", "wall_clock_s": 1.0, "smoke": True}},
+            {"schema": 1, "experiments": {}},
+        )
+        assert baseline["experiments"]["E1"]["smoke"] is True
+
+
+class TestBuildReport:
+    def test_end_to_end_report(self, tmp_path):
+        _write_trace(tmp_path / "v.jsonl", voter(1), seed=3)
+        (tmp_path / "BENCH_E1_demo.json").write_text(
+            json.dumps(
+                {"experiment": "E1_demo", "schema": 1, "wall_clock_s": 2.5}
+            )
+        )
+        (tmp_path / "BASELINE.json").write_text(
+            json.dumps(
+                {"schema": 1, "experiments": {"E1_demo": {"wall_clock_s": 1.0}}}
+            )
+        )
+        report = build_report(tmp_path)
+        assert report["protocols"][0]["protocol"] == "voter(ell=1)"
+        assert report["benchmarks"][0]["verdict"] == "regression"
+        assert report["regressions"]
+        text = render_report(report)
+        assert "voter(ell=1)" in text
+        assert "REGRESSIONS" in text
+        json.dumps(report)  # the whole report must be JSON-able
+
+    def test_report_without_regressions_says_so(self, tmp_path):
+        _write_trace(tmp_path / "v.jsonl", voter(1), seed=3)
+        (tmp_path / "BENCH_E1_demo.json").write_text(
+            json.dumps(
+                {"experiment": "E1_demo", "schema": 1, "wall_clock_s": 1.05}
+            )
+        )
+        (tmp_path / "BASELINE.json").write_text(
+            json.dumps(
+                {"schema": 1, "experiments": {"E1_demo": {"wall_clock_s": 1.0}}}
+            )
+        )
+        report = build_report(tmp_path)
+        assert report["regressions"] == []
+        assert "no regressions" in render_report(report)
+
+    def test_report_without_bench_records_points_at_bench(self, tmp_path):
+        _write_trace(tmp_path / "v.jsonl", voter(1), seed=3)
+        report = build_report(tmp_path)
+        assert report["regressions"] == []
+        assert "repro bench" in render_report(report)
+
+    def test_load_bench_records_skips_malformed(self, tmp_path):
+        (tmp_path / "BENCH_ok.json").write_text(
+            json.dumps({"experiment": "ok", "schema": 1, "wall_clock_s": 1.0})
+        )
+        records = load_bench_records(tmp_path)
+        assert set(records) == {"ok"}

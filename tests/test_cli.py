@@ -66,8 +66,9 @@ class TestCommands:
 
     def test_run_with_recording(self, capsys):
         main(["run", "voter", "--n", "100", "--rounds", "50000", "--record"])
-        out = capsys.readouterr().out
-        assert "count" in out  # the ascii plot legend
+        captured = capsys.readouterr()
+        assert "count" in captured.err  # the ascii plot legend (stderr)
+        assert "converged=" in captured.out  # result line stays on stdout
 
     def test_sweep(self, capsys):
         assert main(
@@ -100,22 +101,75 @@ class TestCommands:
         assert main(["meanfield", "voter"]) == 0
         assert "identity" in capsys.readouterr().out
 
-    def test_report(self, tmp_path, capsys):
+    def test_assemble(self, tmp_path, capsys):
         results = tmp_path / "results"
         results.mkdir()
         (results / "E1_x.txt").write_text("table one")
         (results / "E2_y.txt").write_text("table two")
         output = tmp_path / "REPORT.md"
         assert main(
-            ["report", "--results-dir", str(results), "--output", str(output)]
+            ["assemble", "--results-dir", str(results), "--output", str(output)]
         ) == 0
         text = output.read_text()
         assert "E1_x" in text and "table two" in text
 
-    def test_report_missing_dir(self, tmp_path):
+    def test_assemble_missing_dir(self, tmp_path):
         assert main(
-            ["report", "--results-dir", str(tmp_path / "nope"), "--output", "r.md"]
+            ["assemble", "--results-dir", str(tmp_path / "nope"), "--output", "r.md"]
         ) == 1
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "bench_thm2_voter" in out
+        assert "bench_engine_throughput" in out
+
+
+class TestReportCommand:
+    @pytest.fixture()
+    def results(self, tmp_path, capsys):
+        directory = tmp_path / "results"
+        directory.mkdir()
+        main(
+            ["run", "voter", "--n", "120", "--rounds", "50000", "--seed", "3",
+             "--trace", str(directory / "run1.jsonl")]
+        )
+        (directory / "BENCH_E1_demo.json").write_text(
+            '{"experiment": "E1_demo", "schema": 1, "wall_clock_s": 1.0,'
+            ' "rounds": 100, "rounds_per_second": 100.0}\n'
+        )
+        capsys.readouterr()  # drop the run's own output
+        return directory
+
+    def test_report_renders_tables(self, results, capsys):
+        assert main(["report", str(results)]) == 0
+        captured = capsys.readouterr()
+        assert "voter(ell=1)" in captured.out
+        assert "E1_demo" in captured.out
+        assert "new" in captured.out  # no baseline yet
+
+    def test_report_json_is_parseable(self, results, capsys):
+        import json
+
+        assert main(["report", str(results), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["traces"][0]["protocol"] == "voter(ell=1)"
+        assert report["benchmarks"][0]["verdict"] == "new"
+
+    def test_report_strict_flags_regression(self, results, capsys):
+        (results / "BASELINE.json").write_text(
+            '{"schema": 1, "experiments": {"E1_demo":'
+            ' {"wall_clock_s": 0.25, "samples": [0.25]}}}\n'
+        )
+        assert main(["report", str(results)]) == 0  # informational by default
+        assert main(["report", str(results), "--strict"]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_report_missing_dir(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "no results directory" in captured.err
 
 
 class TestTelemetryFlags:
@@ -131,8 +185,8 @@ class TestTelemetryFlags:
         records = validate_trace(path)
         assert records[0]["runner"] == "simulate"
         assert records[0]["protocol"]["name"] == "voter(ell=1)"
-        out = capsys.readouterr().out
-        assert f"trace: wrote {len(records)} records to {path}" in out
+        err = capsys.readouterr().err
+        assert f"trace: wrote {len(records)} records to {path}" in err
 
     def test_metrics_prints_rounds_per_second(self, capsys):
         code = main(
@@ -140,9 +194,18 @@ class TestTelemetryFlags:
              "--metrics"]
         )
         assert code == 0
+        err = capsys.readouterr().err
+        assert "telemetry: rounds=" in err
+        assert "rounds/sec=" in err
+        assert "telemetry: span simulate:" in err
+
+    def test_metrics_go_to_stderr_not_stdout(self, capsys):
+        main(
+            ["run", "voter", "--n", "100", "--rounds", "50000", "--seed", "3",
+             "--metrics"]
+        )
         out = capsys.readouterr().out
-        assert "telemetry: rounds=" in out
-        assert "rounds/sec=" in out
+        assert "telemetry:" not in out
 
     def test_metrics_and_trace_agree_with_result_line(self, tmp_path, capsys):
         from repro.telemetry import read_trace
@@ -152,10 +215,12 @@ class TestTelemetryFlags:
             ["run", "voter", "--n", "100", "--rounds", "50000", "--seed", "3",
              "--metrics", "--trace", str(path)]
         )
-        out = capsys.readouterr().out
-        end = read_trace(path)[-1]
-        assert f"converged={end['converged']}" in out
-        assert f"telemetry: rounds={end['rounds_recorded']}" in out
+        captured = capsys.readouterr()
+        end = next(
+            r for r in read_trace(path) if r.get("kind") == "run_end"
+        )
+        assert f"converged={end['converged']}" in captured.out
+        assert f"telemetry: rounds={end['rounds_recorded']}" in captured.err
 
 
 class TestSweepEdgeCases:

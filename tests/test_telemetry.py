@@ -257,7 +257,12 @@ class TestJsonlRoundTrip:
             stats = convergence_ensemble(minority(3), config, 200, make_rng(5), 10,
                                          recorder=writer)
         records = validate_trace(path)
-        assert records[-1]["censored"] == stats.censored
+        end = next(r for r in records if r["kind"] == "run_end")
+        assert end["censored"] == stats.censored
+        # The wrapping spans trail the run_end (they close after the runner).
+        trailing = [r["path"] for r in records if r["kind"] == "span"]
+        assert "convergence_ensemble" in trailing
+        assert "convergence_ensemble/ensemble" in trailing
 
     def test_trace_to_series(self, tmp_path):
         path = tmp_path / "run.jsonl"
@@ -322,6 +327,116 @@ class TestValidateTrace:
         path.write_text("\n".join(lines[:1] + ["not json"] + lines[1:]) + "\n")
         with pytest.raises(ValueError, match="not valid JSON"):
             validate_trace(path)
+
+
+class TestTraceEdgeCases:
+    """Malformed inputs the readers must reject with clear errors, not crash."""
+
+    def _trace_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTraceWriter(path, include_timings=False) as writer:
+            simulate(voter(1), Configuration(n=60, z=1, x0=30), 50_000, make_rng(2),
+                     recorder=writer)
+        return path, path.read_text().splitlines()
+
+    def test_truncated_mid_record(self, tmp_path):
+        # A crash mid-write leaves a partial final line.
+        path, lines = self._trace_lines(tmp_path)
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        with pytest.raises(ValueError, match="not valid JSON"):
+            validate_trace(path)
+
+    def test_out_of_order_round_indices(self, tmp_path):
+        path, lines = self._trace_lines(tmp_path)
+        rounds = [i for i, l in enumerate(lines) if json.loads(l).get("kind") == "round"]
+        assert len(rounds) >= 2
+        i, j = rounds[0], rounds[1]
+        lines[i], lines[j] = lines[j], lines[i]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="goes back in time"):
+            validate_trace(path)
+
+    def test_nan_count_rejected(self, tmp_path):
+        path, lines = self._trace_lines(tmp_path)
+        idx = next(i for i, l in enumerate(lines) if json.loads(l).get("kind") == "round")
+        record = json.loads(lines[idx])
+        record["count"] = float("nan")
+        lines[idx] = json.dumps(record)  # json emits the non-standard literal NaN
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="finite"):
+            validate_trace(path)
+
+    def test_inf_drift_rejected(self, tmp_path):
+        path, lines = self._trace_lines(tmp_path)
+        idx = next(i for i, l in enumerate(lines) if json.loads(l).get("kind") == "round")
+        record = json.loads(lines[idx])
+        record["drift"] = float("inf")
+        lines[idx] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="finite"):
+            validate_trace(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path, lines = self._trace_lines(tmp_path)
+        lines.insert(1, json.dumps({"kind": "mystery"}))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="unknown kind"):
+            validate_trace(path)
+
+    def test_duplicate_run_end_rejected(self, tmp_path):
+        path, lines = self._trace_lines(tmp_path)
+        end = next(l for l in lines if json.loads(l).get("kind") == "run_end")
+        path.write_text("\n".join(lines + [end]) + "\n")
+        with pytest.raises(ValueError, match="run_end"):
+            validate_trace(path)
+
+    def test_round_after_run_end_rejected(self, tmp_path):
+        path, lines = self._trace_lines(tmp_path)
+        rnd = next(l for l in lines if json.loads(l).get("kind") == "round")
+        record = json.loads(rnd)
+        record["t"] = record["t"] + 10_000
+        path.write_text("\n".join(lines + [json.dumps(record)]) + "\n")
+        with pytest.raises(ValueError, match="after run_end|rounds"):
+            validate_trace(path)
+
+    def test_bad_span_record_rejected(self, tmp_path):
+        path, lines = self._trace_lines(tmp_path)
+        lines.insert(1, json.dumps({"kind": "span", "name": "", "path": "x"}))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="span"):
+            validate_trace(path)
+
+    def test_trace_to_series_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            trace_to_series(path)
+
+    def test_trace_to_series_start_only_uses_x0(self, tmp_path):
+        # run_start carries x0, so even a rounds-free trace yields a
+        # one-point series rather than an error.
+        path = tmp_path / "start_only.jsonl"
+        _, lines = self._trace_lines(tmp_path)
+        path.write_text(lines[0] + "\n")
+        series = trace_to_series(path)
+        assert list(series.y) == [30.0]
+
+    def test_trace_to_series_no_counts_at_all(self, tmp_path):
+        path = tmp_path / "countless.jsonl"
+        path.write_text(json.dumps({"kind": "span", "name": "x", "path": "x"}) + "\n")
+        with pytest.raises(ValueError, match="no counts"):
+            trace_to_series(path)
+
+    def test_trace_to_series_non_finite_counts(self, tmp_path):
+        path, lines = self._trace_lines(tmp_path)
+        idx = next(i for i, l in enumerate(lines) if json.loads(l).get("kind") == "round")
+        record = json.loads(lines[idx])
+        record["count"] = float("nan")
+        lines[idx] = json.dumps(record)
+        out = tmp_path / "nan.jsonl"
+        out.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="finite"):
+            trace_to_series(out)
 
 
 class TestTraceSmoke:
