@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples report perf-gate trace-smoke clean
+.PHONY: install test bench bench-smoke examples report perf-gate trace-smoke fault-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -27,6 +27,11 @@ perf-gate:
 
 trace-smoke:
 	$(PYTHON) scripts/trace_smoke.py
+
+fault-smoke:
+	$(PYTHON) scripts/fault_smoke.py ensemble:after_replica:2
+	$(PYTHON) scripts/fault_smoke.py ensemble:after_round:25
+	$(PYTHON) scripts/fault_smoke.py checkpoint:after_tmp_write:3
 
 clean:
 	rm -rf results/*.txt .pytest_cache

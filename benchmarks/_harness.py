@@ -28,13 +28,21 @@ The regression ledger: :func:`load_baseline` reads the committed
 ``BENCH_*.json`` wall clocks against it with noise-aware thresholds
 (implementation in :mod:`repro.analysis.report`; ``scripts/perf_gate.py``
 is the CI entry point).
+
+Failure durability: :func:`run_once` takes an ``experiment=`` id so that a
+benchmark that raises (or breaches the ``REPRO_BENCH_TIMEOUT`` wall-clock
+budget that ``repro bench --timeout`` sets) still archives a
+``BENCH_<id>.json`` with ``"status": "failed"`` — a crash leaves a ledger
+record, not a silent gap, and ``repro report --strict`` flags it.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
+import signal
 import time
 from typing import List, Mapping, Optional
 
@@ -46,7 +54,13 @@ from repro.analysis.report import (
 )
 from repro.analysis.series import Series, Table, ascii_plot
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+# REPRO_RESULTS_DIR redirects the whole ledger (records, baseline, text
+# artifacts) — how tests and the CI fault matrix keep scratch runs out of
+# the committed results/ directory.
+RESULTS_DIR = pathlib.Path(
+    os.environ.get("REPRO_RESULTS_DIR")
+    or pathlib.Path(__file__).resolve().parent.parent / "results"
+)
 BASELINE_PATH = RESULTS_DIR / "BASELINE.json"
 
 # Timing of the most recent run_once(), consumed by the next emit().
@@ -96,15 +110,67 @@ def emit(experiment_id: str, *blocks: object) -> None:
     _write_bench_record(experiment_id)
 
 
-def run_once(benchmark, fn, *args, **kwargs):
+class BenchTimeout(Exception):
+    """A benchmark exceeded the ``REPRO_BENCH_TIMEOUT`` wall-clock budget."""
+
+
+def bench_timeout() -> Optional[float]:
+    """The per-experiment wall-clock budget in seconds, or None."""
+    raw = os.environ.get("REPRO_BENCH_TIMEOUT")
+    if not raw:
+        return None
+    try:
+        budget = float(raw)
+    except ValueError:
+        return None
+    return budget if budget > 0 else None
+
+
+@contextlib.contextmanager
+def _alarm(budget: float):
+    """Raise :class:`BenchTimeout` in the main thread after ``budget`` s."""
+    if not hasattr(signal, "SIGALRM"):  # non-POSIX: budget unenforceable
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise BenchTimeout(f"exceeded the {budget:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, budget)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_once(benchmark, fn, *args, experiment: Optional[str] = None, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing.
 
     The wall clock of the call is kept aside so the next :func:`emit` can
-    archive it in the experiment's ``BENCH_*.json`` record.
+    archive it in the experiment's ``BENCH_*.json`` record.  When
+    ``experiment`` is given, a raise or a ``REPRO_BENCH_TIMEOUT`` breach
+    archives a ``"status": "failed"`` record for that id before
+    propagating, so the ledger never holds a silent gap.
     """
     _pending_timing.clear()
+    budget = bench_timeout()
     start = time.perf_counter()
-    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    try:
+        if budget is not None:
+            with _alarm(budget):
+                result = benchmark.pedantic(
+                    fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+                )
+        else:
+            result = benchmark.pedantic(
+                fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+            )
+    except Exception as error:  # noqa: BLE001 — archived, then re-raised
+        if experiment is not None:
+            _write_failed_record(experiment, error, time.perf_counter() - start)
+        raise
     _pending_timing["wall_clock_s"] = time.perf_counter() - start
     return result
 
@@ -122,7 +188,7 @@ def note_rounds(rounds: Optional[int]) -> None:
 
 
 def _write_bench_record(experiment_id: str) -> None:
-    record = {"experiment": experiment_id, "schema": 1}
+    record = {"experiment": experiment_id, "schema": 1, "status": "ok"}
     wall = _pending_timing.get("wall_clock_s")
     record["wall_clock_s"] = wall
     rounds = _pending_timing.get("rounds")
@@ -130,6 +196,31 @@ def _write_bench_record(experiment_id: str) -> None:
     record["rounds_per_second"] = (
         rounds / wall if rounds is not None and wall else None
     )
+    if smoke_mode():
+        record["smoke"] = True
+    (RESULTS_DIR / f"BENCH_{experiment_id}.json").write_text(
+        json.dumps(record, sort_keys=True) + "\n"
+    )
+    _pending_timing.clear()
+
+
+def _write_failed_record(experiment_id: str, error: Exception, wall: float) -> None:
+    """Archive a failure so a crashed benchmark still leaves a ledger entry."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {
+        "experiment": experiment_id,
+        "schema": 1,
+        "status": "failed",
+        "wall_clock_s": None,
+        "rounds": None,
+        "rounds_per_second": None,
+        "error": {
+            "kind": "timeout" if isinstance(error, BenchTimeout) else "exception",
+            "type": type(error).__name__,
+            "message": str(error),
+            "elapsed_s": wall,
+        },
+    }
     if smoke_mode():
         record["smoke"] = True
     (RESULTS_DIR / f"BENCH_{experiment_id}.json").write_text(

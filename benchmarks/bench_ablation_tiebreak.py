@@ -60,7 +60,7 @@ def _measure():
 
 
 def test_ablation_tiebreak(benchmark):
-    rows = run_once(benchmark, _measure)
+    rows = run_once(benchmark, _measure, experiment="E11_ablation_tiebreak")
 
     table = Table(
         f"E11 / ablation — Minority(ell=4) tie-break variants at n={N} "

@@ -42,7 +42,7 @@ def _measure():
 
 
 def test_adversarial_start_profiles(benchmark):
-    results = run_once(benchmark, _measure)
+    results = run_once(benchmark, _measure, experiment="E15_adversarial_start")
 
     table = Table(
         f"E15 / adversarial starts — exact E[tau] profiles at n={N}, z=1",

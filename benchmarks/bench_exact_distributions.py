@@ -50,7 +50,7 @@ def _measure():
 
 
 def test_exact_distributions(benchmark):
-    voter_rows, minority_rows = run_once(benchmark, _measure)
+    voter_rows, minority_rows = run_once(benchmark, _measure, experiment="E19_exact_distributions")
 
     voter_table = Table(
         "E19a / Theorem 2 exactly — worst-case P(tau > 2 n ln n) over every "

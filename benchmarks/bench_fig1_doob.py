@@ -94,7 +94,7 @@ def test_fig1_doob_decomposition(benchmark):
         confinement_violations,
         reconstruction_worst,
         (counts, decomposition),
-    ) = run_once(benchmark, _measure)
+    ) = run_once(benchmark, _measure, experiment="E5_fig1_doob")
 
     table = Table(
         f"E5 / Figure 1 — Doob machinery on Minority(3), n={N}, "

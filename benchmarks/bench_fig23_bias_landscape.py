@@ -45,7 +45,7 @@ def _measure():
 
 
 def test_fig23_bias_landscapes(benchmark):
-    results = run_once(benchmark, _measure)
+    results = run_once(benchmark, _measure, experiment="E4_bias_landscapes")
 
     for label, protocol, values, profile, certificate, report in results:
         series = Series(f"F(p) for {protocol.name}", GRID, values)

@@ -53,7 +53,7 @@ def _measure():
 
 
 def test_fig4_coalescing_dual(benchmark):
-    horizon, profile, collapse_times, duality_checks = run_once(benchmark, _measure)
+    horizon, profile, collapse_times, duality_checks = run_once(benchmark, _measure, experiment="E6_fig4_dual")
 
     failures = int(np.isnan(collapse_times).sum())
     finite = collapse_times[~np.isnan(collapse_times)]

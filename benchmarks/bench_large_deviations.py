@@ -48,7 +48,7 @@ def _measure():
 
 
 def test_large_deviation_prediction(benchmark):
-    depths, slopes, predicted, potential_on_grid = run_once(benchmark, _measure)
+    depths, slopes, predicted, potential_on_grid = run_once(benchmark, _measure, experiment="E20_large_deviations")
 
     table = Table(
         "E20 / Freidlin-Wentzell — Minority(3) well depth exponent: "
@@ -102,7 +102,7 @@ def test_action_zero_iff_with_the_drift(benchmark):
             )
         return rows
 
-    rows = run_once(benchmark, _run)
+    rows = run_once(benchmark, _run, experiment="E20b_action_sanity")
     table = Table(
         "E20b — per-round action: along the mean-field drift vs 0.15 above it",
         ["p", "phi(p)", "I(p -> phi(p))", "I(p -> phi(p)+0.15)"],

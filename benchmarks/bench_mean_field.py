@@ -59,7 +59,7 @@ def _measure():
 
 
 def test_mean_field(benchmark):
-    structure_rows, overshoot_rows, tracking_rows = run_once(benchmark, _measure)
+    structure_rows, overshoot_rows, tracking_rows = run_once(benchmark, _measure, experiment="E16_mean_field")
 
     structure = Table(
         "E16a — fixed points of phi(p) = p + F(p) and their stability",

@@ -130,7 +130,7 @@ def test_memory_separation(benchmark):
         sqrt_times,
         memory_times,
         population_times,
-    ) = run_once(benchmark, _measure)
+    ) = run_once(benchmark, _measure, experiment="E12_memory_separation")
 
     table = Table(
         f"E12 / Section 1.3 — one workload (n={N}, all wrong, z=1), five "

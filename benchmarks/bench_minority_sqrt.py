@@ -62,7 +62,7 @@ def _measure():
 
 
 def test_minority_sqrt_polylog(benchmark):
-    rows, medians, trajectory = run_once(benchmark, _measure)
+    rows, medians, trajectory = run_once(benchmark, _measure, experiment="E3_minority_sqrt")
 
     table = Table(
         "E3 / [15] — Minority with ell = ceil(sqrt(n log n)) from the "
@@ -111,7 +111,7 @@ def test_minority_sqrt_beats_constant_ell(benchmark):
         const_times = simulate_ensemble(minority(3), config, 500, make_rng(2), 10)
         return sqrt_times, const_times
 
-    sqrt_times, const_times = run_once(benchmark, _run)
+    sqrt_times, const_times = run_once(benchmark, _run, experiment="E3b_sample_size_dichotomy")
     table = Table(
         "E3b — same workload (n=4096, all wrong), 500-round budget",
         ["protocol", "converged", "median tau"],

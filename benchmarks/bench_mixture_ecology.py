@@ -58,7 +58,7 @@ def _measure():
 
 
 def test_mixture_ecology(benchmark):
-    rows = run_once(benchmark, _measure)
+    rows = run_once(benchmark, _measure, experiment="E24_mixture_ecology")
 
     table = Table(
         f"E24 / protocol ecology — Voter/Minority(3) mixtures at n={N}, "

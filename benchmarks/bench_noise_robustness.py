@@ -64,7 +64,7 @@ def _measure():
 
 
 def test_noise_robustness(benchmark):
-    rows = run_once(benchmark, _measure)
+    rows = run_once(benchmark, _measure, experiment="E14_noise_robustness")
 
     table = Table(
         f"E14 / extension — observation noise (BSC per sample), n={N}, "

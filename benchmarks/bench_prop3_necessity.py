@@ -70,7 +70,7 @@ def _measure():
 
 
 def test_prop3_necessity(benchmark):
-    rows = run_once(benchmark, _measure)
+    rows = run_once(benchmark, _measure, experiment="E10_prop3_necessity")
 
     table = Table(
         f"E10 / Proposition 3 — violating protocols lose the consensus "

@@ -65,7 +65,7 @@ def _measure():
 
 
 def test_prop4_jump_bound(benchmark):
-    rows, reach = run_once(benchmark, _measure)
+    rows, reach = run_once(benchmark, _measure, experiment="E9_prop4_jump")
 
     table = Table(
         f"E9 / Proposition 4 — one-round jump bound at n={N}, {TRIALS} "

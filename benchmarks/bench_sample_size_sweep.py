@@ -48,7 +48,7 @@ def _measure():
 
 
 def test_sample_size_sweep(benchmark):
-    rows = run_once(benchmark, _measure)
+    rows = run_once(benchmark, _measure, experiment="E8_sample_size_sweep")
 
     reference = minority_sqrt_sample_size(N)
     table = Table(

@@ -62,7 +62,7 @@ def _measure():
 
 
 def test_self_stabilization_panel(benchmark):
-    rows = run_once(benchmark, _measure)
+    rows = run_once(benchmark, _measure, experiment="E23_self_stabilization")
 
     table = Table(
         f"E23 / self-stabilization — adversarial start panel at n={N}, "

@@ -76,7 +76,7 @@ def _measure():
 
 
 def test_sequential_setting(benchmark):
-    rows, exact, samples, zoo_rows = run_once(benchmark, _measure)
+    rows, exact, samples, zoo_rows = run_once(benchmark, _measure, experiment="E7_sequential")
 
     table = Table(
         "E7 / [14] — sequential setting, exact E[tau] in parallel rounds "

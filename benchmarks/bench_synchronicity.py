@@ -51,7 +51,7 @@ def _measure():
 
 
 def test_synchronicity_dial(benchmark):
-    rows = run_once(benchmark, _measure)
+    rows = run_once(benchmark, _measure, experiment="E17_synchronicity")
 
     table = Table(
         f"E17 / the synchronicity dial — Minority(ell=sqrt(n log n)) at "

@@ -76,7 +76,7 @@ def _measure():
 
 
 def test_thm1_escape_times_exceed_bound(benchmark):
-    rows, voter_medians = run_once(benchmark, _measure)
+    rows, voter_medians = run_once(benchmark, _measure, experiment="E1_thm1_lower_bound")
 
     table = Table(
         "E1 / Theorem 1 — escape time from the witness configuration "

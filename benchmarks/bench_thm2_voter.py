@@ -53,7 +53,7 @@ def _measure():
 
 
 def test_thm2_voter_upper_bound(benchmark):
-    rows, medians, total_rounds = run_once(benchmark, _measure)
+    rows, medians, total_rounds = run_once(benchmark, _measure, experiment="E2_thm2_voter_upper_bound")
     note_rounds(total_rounds)
 
     table = Table(

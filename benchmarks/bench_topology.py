@@ -66,7 +66,7 @@ def _measure():
 
 
 def test_topology(benchmark):
-    rows, medians = run_once(benchmark, _measure)
+    rows, medians = run_once(benchmark, _measure, experiment="E21_topology")
 
     table = Table(
         f"E21 / extension — Voter bit-dissemination across topologies "

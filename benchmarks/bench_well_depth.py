@@ -69,7 +69,7 @@ def _measure():
 
 
 def test_well_depth(benchmark):
-    rows, depths, samples = run_once(benchmark, _measure)
+    rows, depths, samples = run_once(benchmark, _measure, experiment="E18_well_depth")
 
     table = Table(
         "E18 / the exp(Omega(n)) well of Minority(3) — escape from x=n/2 "

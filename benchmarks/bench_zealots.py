@@ -60,7 +60,7 @@ def _measure():
 
 
 def test_zealots(benchmark):
-    voter_rows, majority_rows = run_once(benchmark, _measure)
+    voter_rows, majority_rows = run_once(benchmark, _measure, experiment="E22_zealots")
 
     voter_table = Table(
         f"E22a / stubborn agents — Voter, n={N}: long-run mean fraction vs "

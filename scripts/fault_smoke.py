@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Kill-and-resume determinism smoke test (fault-injection harness).
+
+For a given crashpoint (see :mod:`repro.execution.faults`), this script:
+
+1. computes baseline ``ConvergenceStats`` for a fixed ensemble, uninterrupted;
+2. re-runs the same ensemble in a subprocess with ``REPRO_FAULT=<site>`` so
+   the process dies mid-run (``os._exit``, exit code 86 — no cleanup, the
+   closest stdlib stand-in for SIGKILL);
+3. resumes from the surviving checkpoint in a fresh subprocess;
+4. asserts the resumed stats are **bit-identical** to the baseline, that
+   the torn JSONL trace left behind is salvageable
+   (``validate_trace(..., salvage=True)``), and that the resumed run's
+   timing-free trace is a **byte-identical tail** of the baseline's —
+   every round record the resumed run emits matches the uninterrupted
+   run's record for the same round, byte for byte.
+
+Usage:
+    PYTHONPATH=src python scripts/fault_smoke.py ensemble:after_replica:2
+    PYTHONPATH=src python scripts/fault_smoke.py checkpoint:after_tmp_write:3
+
+Exit 0 on pass, 1 on any violated invariant.  The CI fault-injection
+matrix and ``tests/execution/test_faults.py`` both drive this entry point,
+so local pytest and CI exercise one code path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.execution import EXIT_FAULT_INJECTED, Checkpointer  # noqa: E402
+from repro.telemetry.jsonl import validate_trace  # noqa: E402
+
+# Fixed scenario: small enough to finish in seconds, long enough that every
+# supported crashpoint fires well after the first checkpoint write.
+SCENARIO = {
+    "n": 96,
+    "z": 1,
+    "max_rounds": 5000,
+    "replicas": 8,
+    "seed": 7,
+    "every": 5,
+}
+
+
+def _stats_dict(stats) -> dict:
+    return {
+        "trials": stats.trials,
+        "censored": stats.censored,
+        "budget": stats.budget,
+        "median": stats.median,
+        "q10": stats.q10,
+        "q90": stats.q90,
+        "mean_converged": stats.mean_converged,
+        "min": stats.min,
+        "max_converged": stats.max_converged,
+    }
+
+
+def _run_ensemble(outdir: pathlib.Path, resume: bool, with_trace: bool) -> dict:
+    """Worker body: run (or resume) the scenario ensemble to completion."""
+    from repro.analysis.ensemble import convergence_ensemble
+    from repro.dynamics.config import wrong_consensus_configuration
+    from repro.dynamics.rng import make_rng
+    from repro.protocols import voter
+    from repro.telemetry import NULL_RECORDER, JsonlTraceWriter
+
+    checkpoint_path = outdir / "ensemble.ckpt"
+    if resume:
+        checkpoint = Checkpointer.resume(checkpoint_path, every=SCENARIO["every"])
+    else:
+        checkpoint = Checkpointer(checkpoint_path, every=SCENARIO["every"])
+    trace = (
+        JsonlTraceWriter(outdir / "ensemble.jsonl", include_timings=False)
+        if with_trace
+        else None
+    )
+    try:
+        stats = convergence_ensemble(
+            voter(1),
+            wrong_consensus_configuration(SCENARIO["n"], SCENARIO["z"]),
+            SCENARIO["max_rounds"],
+            make_rng(SCENARIO["seed"]),
+            SCENARIO["replicas"],
+            recorder=trace if trace is not None else NULL_RECORDER,
+            checkpoint=checkpoint,
+        )
+    finally:
+        if trace is not None:
+            trace.close()
+    return _stats_dict(stats)
+
+
+def _worker(argv) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("outdir", type=pathlib.Path)
+    parser.add_argument("--resume", action="store_true")
+    args = parser.parse_args(argv)
+    stats = _run_ensemble(args.outdir, resume=args.resume, with_trace=True)
+    (args.outdir / "stats.json").write_text(json.dumps(stats, sort_keys=True) + "\n")
+    return 0
+
+
+def _spawn_worker(outdir: pathlib.Path, fault: str = "", resume: bool = False):
+    command = [sys.executable, str(pathlib.Path(__file__).resolve()), "--worker",
+               str(outdir)]
+    if resume:
+        command.append("--resume")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    if fault:
+        env["REPRO_FAULT"] = fault
+    else:
+        env.pop("REPRO_FAULT", None)
+    return subprocess.run(command, env=env, capture_output=True, text=True)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "--worker":
+        return _worker(argv[1:])
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fault", help="crashpoint spec, e.g. ensemble:after_replica:2"
+    )
+    parser.add_argument(
+        "--workdir", type=pathlib.Path, default=None,
+        help="scratch directory (default: a fresh tempdir)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.workdir is None:
+        import tempfile
+
+        scratch = tempfile.TemporaryDirectory(prefix="fault_smoke_")
+        workdir = pathlib.Path(scratch.name)
+    else:
+        workdir = args.workdir
+        workdir.mkdir(parents=True, exist_ok=True)
+
+    def fail(message: str) -> int:
+        print(f"fault_smoke[{args.fault}]: FAIL: {message}", file=sys.stderr)
+        return 1
+
+    # 1. Baseline, in-process, uninterrupted (checkpointing on: it must not
+    #    perturb the random stream).
+    baseline_dir = workdir / "baseline"
+    baseline_dir.mkdir()
+    os.environ.pop("REPRO_FAULT", None)
+    baseline = _run_ensemble(baseline_dir, resume=False, with_trace=True)
+
+    # 2. Faulted run: the subprocess must die at the crashpoint.
+    faulted_dir = workdir / "faulted"
+    faulted_dir.mkdir()
+    faulted = _spawn_worker(faulted_dir, fault=args.fault)
+    if faulted.returncode != EXIT_FAULT_INJECTED:
+        return fail(
+            f"faulted worker exited {faulted.returncode}, expected "
+            f"{EXIT_FAULT_INJECTED}\n{faulted.stdout}\n{faulted.stderr}"
+        )
+    checkpoint_path = faulted_dir / "ensemble.ckpt"
+    if not checkpoint_path.exists():
+        return fail("no checkpoint survived the injected crash")
+
+    # 3. The torn trace (still at its .tmp name — the rename never ran) must
+    #    salvage to a non-empty valid prefix.
+    torn = faulted_dir / "ensemble.jsonl.tmp"
+    if not torn.exists():
+        return fail("no torn trace left behind by the crash")
+    salvaged = validate_trace(torn, salvage=True)
+    if not salvaged or salvaged[0].get("kind") != "run_start":
+        return fail("torn trace did not salvage to a valid prefix")
+
+    # 4. Resume from the surviving checkpoint; stats must be bit-identical.
+    resumed = _spawn_worker(faulted_dir, resume=True)
+    if resumed.returncode != 0:
+        return fail(
+            f"resume worker exited {resumed.returncode}\n"
+            f"{resumed.stdout}\n{resumed.stderr}"
+        )
+    resumed_stats = json.loads((faulted_dir / "stats.json").read_text())
+    if resumed_stats != baseline:
+        return fail(
+            "resumed stats differ from baseline:\n"
+            f"  baseline: {json.dumps(baseline, sort_keys=True)}\n"
+            f"  resumed:  {json.dumps(resumed_stats, sort_keys=True)}"
+        )
+
+    # 5. The resumed run's timing-free trace must be a byte-identical tail
+    #    of the baseline's: same rounds => same bytes.
+    def round_lines(path: pathlib.Path) -> list:
+        return [
+            line for line in path.read_text().splitlines()
+            if json.loads(line).get("kind") == "round"
+        ]
+
+    baseline_rounds = round_lines(baseline_dir / "ensemble.jsonl")
+    resumed_rounds = round_lines(faulted_dir / "ensemble.jsonl")
+    if not resumed_rounds:
+        return fail("resumed trace recorded no rounds")
+    if resumed_rounds != baseline_rounds[-len(resumed_rounds):]:
+        return fail("resumed trace is not a byte-identical tail of the baseline's")
+
+    print(
+        f"fault_smoke[{args.fault}]: PASS — killed at the crashpoint, "
+        f"salvaged {len(salvaged)} trace records, resumed bit-identical "
+        f"({len(resumed_rounds)}-round byte-identical trace tail, "
+        f"median={baseline['median']}, censored={baseline['censored']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,7 @@ MODULES = [
     "repro.dynamics.adversary", "repro.dynamics.graphs", "repro.dynamics.heterogeneous",
     "repro.dynamics.rng",
     "repro.telemetry.recorder", "repro.telemetry.jsonl",
+    "repro.execution.checkpoint", "repro.execution.faults", "repro.execution.shutdown",
     "repro.markov.chain", "repro.markov.exact", "repro.markov.birth_death",
     "repro.markov.doob", "repro.markov.concentration", "repro.markov.escape",
     "repro.markov.spectral", "repro.markov.quasistationary",

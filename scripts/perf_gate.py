@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Benchmark-regression gate over the ``results/`` ledger.
 
-Compares the current ``results/BENCH_*.json`` wall clocks against the
-committed ``results/BASELINE.json`` snapshot using the noise-aware
-thresholds from :func:`repro.analysis.report.compare_against_baseline`,
-and exits nonzero when any experiment regressed.
+Delegates the verdict to ``python -m repro report --strict`` and keys off
+its exit code — :data:`repro.execution.EXIT_PERF_REGRESSION` (4) means the
+noise-aware gate flagged a regression (or a failed experiment record).
+The report's tables pass through to stderr; no output parsing happens
+here, so the rendering can evolve without breaking CI.
 
 Usage:
     PYTHONPATH=src python scripts/perf_gate.py                # gate (CI)
@@ -21,8 +22,9 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
+import os
 import pathlib
+import subprocess
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -31,11 +33,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.analysis.report import (  # noqa: E402
     DEFAULT_MIN_REL_SLOWDOWN,
     DEFAULT_NOISE_SIGMAS,
-    compare_against_baseline,
     load_baseline,
     load_bench_records,
     update_baseline,
 )
+from repro.execution import EXIT_PERF_REGRESSION  # noqa: E402
 
 RESULTS_DIR = REPO_ROOT / "results"
 
@@ -79,10 +81,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline or args.results_dir / "BASELINE.json"
-    current = load_bench_records(args.results_dir)
-    baseline = load_baseline(baseline_path)
 
     if args.update_baseline:
+        current = load_bench_records(args.results_dir)
+        baseline = load_baseline(baseline_path)
         updated = update_baseline(current, baseline)
         baseline_path.write_text(json.dumps(updated, indent=2, sort_keys=True) + "\n")
         print(
@@ -92,42 +94,38 @@ def main(argv=None) -> int:
         )
         return 0
 
-    rows = compare_against_baseline(
-        current,
-        baseline,
-        min_rel_slowdown=args.min_rel_slowdown,
-        noise_sigmas=args.noise_sigmas,
+    command = [
+        sys.executable, "-m", "repro", "report", str(args.results_dir),
+        "--strict",
+        "--min-rel-slowdown", str(args.min_rel_slowdown),
+        "--noise-sigmas", str(args.noise_sigmas),
+    ]
+    if args.baseline is not None:
+        command += ["--baseline", str(args.baseline)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
     )
-    if not rows:
-        print("perf_gate: nothing to compare (no BENCH_*.json records)", file=sys.stderr)
-        return 0
+    completed = subprocess.run(
+        command, env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    sys.stderr.write(completed.stdout)
 
-    def fmt(value, suffix="s", spec="8.3f"):
-        if value is None or (isinstance(value, float) and math.isnan(value)):
-            return "-"
-        return f"{value:{spec}}{suffix}"
-
-    width = max(len(row.experiment) for row in rows)
-    for row in rows:
-        base = fmt(row.baseline_s)
-        cur = fmt(row.current_s)
-        ratio = fmt(row.ratio, suffix="x", spec="5.2f")
-        gate = fmt(row.threshold, suffix="x", spec="4.2f")
-        if gate != "-":
-            gate = "<= " + gate
+    if completed.returncode == EXIT_PERF_REGRESSION:
         print(
-            f"{row.experiment:<{width}}  base={base:>9}  now={cur:>9}  "
-            f"{ratio:>7} ({gate})  {row.verdict}",
-            file=sys.stderr,
-        )
-
-    regressions = [row.experiment for row in rows if row.verdict == "regression"]
-    if regressions:
-        print(
-            f"perf_gate: REGRESSIONS: {', '.join(sorted(regressions))}",
+            "perf_gate: regression flagged "
+            f"(exit {EXIT_PERF_REGRESSION} from `repro report --strict`)",
             file=sys.stderr,
         )
         return 0 if args.report_only else 1
+    if completed.returncode != 0:
+        print(
+            f"perf_gate: `repro report` failed with exit {completed.returncode}",
+            file=sys.stderr,
+        )
+        return 0 if args.report_only else completed.returncode
     print("perf_gate: no regressions against the baseline", file=sys.stderr)
     return 0
 

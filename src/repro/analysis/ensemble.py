@@ -88,6 +88,7 @@ def convergence_ensemble(
     rng: np.random.Generator,
     replicas: int,
     recorder: Recorder = NULL_RECORDER,
+    checkpoint=None,
 ) -> ConvergenceStats:
     """Run ``replicas`` independent chains and summarize their ``tau``.
 
@@ -95,10 +96,16 @@ def convergence_ensemble(
     (one record per lock-step round; see docs/OBSERVABILITY.md).  The whole
     call is timed as a ``convergence_ensemble`` telemetry span, with the
     runner's own ``ensemble`` span and the summary step nested inside it.
+
+    ``checkpoint`` (a :class:`repro.execution.Checkpointer`) is forwarded
+    too: because the statistics are a pure function of the replica times,
+    an ensemble killed at any point and resumed from its checkpoint yields
+    **bit-identical** ``ConvergenceStats`` to an uninterrupted run.
     """
     with span(recorder, "convergence_ensemble") as timing:
         times = simulate_ensemble(
-            protocol, config, max_rounds, rng, replicas, recorder
+            protocol, config, max_rounds, rng, replicas, recorder,
+            checkpoint=checkpoint,
         )
         with span(recorder, "summarize"):
             stats = summarize_times(times, budget=max_rounds)

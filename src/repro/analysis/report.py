@@ -344,9 +344,10 @@ class ComparisonRow:
         verdict: ``"ok"``, ``"regression"``, ``"improved"``, ``"new"``
             (no baseline entry), ``"missing"`` (baseline entry but no
             current record), ``"untimed"`` (record without a wall clock —
-            ``emit()`` was called outside ``run_once()``), or
+            ``emit()`` was called outside ``run_once()``),
             ``"incomparable"`` (one side was timed in smoke sizing and the
-            other at full sizing).
+            other at full sizing), or ``"failed"`` (the experiment raised
+            or timed out mid-run and the harness archived the failure).
     """
 
     experiment: str
@@ -378,6 +379,19 @@ def compare_against_baseline(
         entry = experiments.get(experiment)
         record = current.get(experiment)
         current_s = record.get("wall_clock_s") if record else None
+        if record is not None and record.get("status") == "failed":
+            baseline_s = (entry or {}).get("wall_clock_s")
+            rows.append(
+                ComparisonRow(
+                    experiment=experiment,
+                    baseline_s=float(baseline_s) if baseline_s else float("nan"),
+                    current_s=float("nan"),
+                    ratio=float("nan"),
+                    threshold=float("nan"),
+                    verdict="failed",
+                )
+            )
+            continue
         if entry is None:
             rows.append(
                 ComparisonRow(
@@ -491,13 +505,17 @@ def update_baseline(
 def build_report(
     results_dir: Union[str, Path],
     baseline_path: Optional[Union[str, Path]] = None,
+    min_rel_slowdown: float = DEFAULT_MIN_REL_SLOWDOWN,
+    noise_sigmas: float = DEFAULT_NOISE_SIGMAS,
 ) -> Dict[str, Any]:
     """Assemble the full analytics report for a results directory.
 
     Returns a JSON-able dict with ``traces`` (per-trace summaries),
     ``protocols`` (per-fingerprint aggregates), ``benchmarks`` (ledger
-    comparison rows), and ``regressions`` (the flagged subset).  The
-    baseline defaults to ``<results_dir>/BASELINE.json``.
+    comparison rows), ``regressions`` (the flagged subset), and ``failed``
+    (experiments whose harness archived a mid-run failure or timeout).
+    The baseline defaults to ``<results_dir>/BASELINE.json``; the gate
+    thresholds are forwarded to :func:`compare_against_baseline`.
     """
     results_dir = Path(results_dir)
     if baseline_path is None:
@@ -506,7 +524,10 @@ def build_report(
     protocols = group_by_protocol(summaries)
     current = load_bench_records(results_dir)
     baseline = load_baseline(baseline_path)
-    comparison = compare_against_baseline(current, baseline)
+    comparison = compare_against_baseline(
+        current, baseline,
+        min_rel_slowdown=min_rel_slowdown, noise_sigmas=noise_sigmas,
+    )
     return {
         "results_dir": str(results_dir),
         "baseline": str(baseline_path),
@@ -516,6 +537,7 @@ def build_report(
         "regressions": [
             asdict(row) for row in comparison if row.verdict == "regression"
         ],
+        "failed": [asdict(row) for row in comparison if row.verdict == "failed"],
     }
 
 
@@ -573,6 +595,10 @@ def render_report(report: Mapping[str, Any]) -> str:
             sections.append(f"REGRESSIONS: {names}")
         else:
             sections.append("no regressions against the baseline")
+        failed = report.get("failed", [])
+        if failed:
+            names = ", ".join(r["experiment"] for r in failed)
+            sections.append(f"FAILED EXPERIMENTS: {names}")
     else:
         sections.append(
             f"no BENCH_*.json records under {report.get('results_dir')} "

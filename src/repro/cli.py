@@ -6,10 +6,13 @@ Usage (installed as ``python -m repro``):
     python -m repro audit minority-3 --n 4096
     python -m repro audit table:0,0.2,0.8,1 --n 1024
     python -m repro run voter --n 1000 --z 1 --x0 1 --rounds 100000
+    python -m repro run voter --n 100000 --checkpoint run.ckpt --checkpoint-every 500
+    python -m repro resume run.ckpt
+    python -m repro trace validate results/run.jsonl --salvage
     python -m repro sweep voter --sizes 128,256,512,1024 --replicas 10
     python -m repro landscape minority-3
-    python -m repro bench --smoke
-    python -m repro report results/
+    python -m repro bench --smoke --timeout 60
+    python -m repro report results/ --strict
 
 Protocols are resolved from the registry (:mod:`repro.protocols.registry`)
 or given inline as ``table:<g0 entries>[;<g1 entries>]`` — comma-separated
@@ -18,13 +21,19 @@ response probabilities, length ``ell + 1``.
 Output hygiene: stdout carries the command's machine-parseable result
 (key=value lines, CSV tables, or ``--json`` documents); progress notes,
 telemetry summaries, and ASCII plots go to stderr.
+
+Exit codes are per failure class (:mod:`repro.execution.shutdown`): 0 ok,
+1 usage/operational error, 2 run did not converge, 3 invalid trace,
+4 benchmark regression (``report --strict``), 5 interrupted with a
+checkpoint saved, 6 benchmark timeout (``bench --timeout``).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -37,6 +46,21 @@ from repro.core.roots import is_zero_bias, sign_profile
 from repro.dynamics.config import Configuration, wrong_consensus_configuration
 from repro.dynamics.rng import make_rng
 from repro.dynamics.run import simulate, simulate_ensemble
+from repro.execution import (
+    DEFAULT_CHECKPOINT_EVERY,
+    EXIT_BENCH_TIMEOUT,
+    EXIT_ERROR,
+    EXIT_INTERRUPTED,
+    EXIT_INVALID_TRACE,
+    EXIT_NOT_CONVERGED,
+    EXIT_OK,
+    EXIT_PERF_REGRESSION,
+    CheckpointError,
+    Checkpointer,
+    GracefulExit,
+    ShutdownGuard,
+    load_checkpoint,
+)
 from repro.protocols import available_protocols, get_family, table_protocol
 from repro.telemetry import JsonlTraceWriter, MetricsRecorder, compose_recorders
 
@@ -100,19 +124,85 @@ def _cmd_run(args: argparse.Namespace) -> int:
     low, high = Configuration.count_bounds(args.n, args.z)
     x0 = args.x0 if args.x0 is not None else wrong_consensus_configuration(args.n, args.z).x0
     config = Configuration(n=args.n, z=args.z, x0=min(max(x0, low), high))
-    metrics = MetricsRecorder() if args.metrics else None
-    trace = JsonlTraceWriter(args.trace) if args.trace else None
+    # The argv-level inputs travel in the checkpoint's meta block so that
+    # `repro resume <path>` can rebuild this exact run with no other flags.
+    meta = {
+        "command": "run",
+        "protocol": args.protocol,
+        "n": args.n,
+        "z": args.z,
+        "x0": config.x0,
+        "rounds": args.rounds,
+        "seed": args.seed,
+        "record": bool(args.record),
+        "checkpoint_every": args.checkpoint_every,
+    }
+    return _run_simulation(
+        protocol, config,
+        rounds=args.rounds, seed=args.seed, record=args.record,
+        want_metrics=args.metrics, trace_path=args.trace,
+        checkpoint_path=args.checkpoint, checkpoint_every=args.checkpoint_every,
+        meta=meta, resume=False, show_plot=args.record,
+    )
+
+
+def _run_simulation(
+    protocol: Protocol,
+    config: Configuration,
+    *,
+    rounds: int,
+    seed: int,
+    record: bool,
+    want_metrics: bool,
+    trace_path: Optional[str],
+    checkpoint_path: Optional[str],
+    checkpoint_every: int,
+    meta: Dict[str, Any],
+    resume: bool,
+    show_plot: bool,
+) -> int:
+    """Shared body of ``repro run`` and ``repro resume``."""
+    metrics = MetricsRecorder() if want_metrics else None
+    trace = JsonlTraceWriter(trace_path) if trace_path else None
     recorder = compose_recorders(metrics, trace)
-    try:
-        result = simulate(
-            protocol, config, args.rounds, make_rng(args.seed),
-            record=args.record, recorder=recorder,
+    interrupted: Optional[GracefulExit] = None
+    checkpoint: Optional[Checkpointer] = None
+    with contextlib.ExitStack() as stack:
+        if checkpoint_path is not None:
+            guard = stack.enter_context(ShutdownGuard())
+            if trace is not None:
+                guard.register(trace)
+            if resume:
+                checkpoint = Checkpointer.resume(
+                    checkpoint_path, every=checkpoint_every, guard=guard
+                )
+            else:
+                checkpoint = Checkpointer(
+                    checkpoint_path, every=checkpoint_every, guard=guard, meta=meta
+                )
+        try:
+            result = simulate(
+                protocol, config, rounds, make_rng(seed),
+                record=record, recorder=recorder, checkpoint=checkpoint,
+            )
+        except GracefulExit as stop:
+            interrupted = stop
+        finally:
+            if trace is not None:
+                trace.close()
+    if interrupted is not None:
+        print(
+            f"interrupted by {interrupted.signal_name}; checkpoint saved to "
+            f"{interrupted.checkpoint_path}",
+            file=sys.stderr,
         )
-    finally:
-        if trace is not None:
-            trace.close()
+        print(
+            f"resume with: python -m repro resume {interrupted.checkpoint_path}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     print(
-        f"{protocol.name} on n={args.n}, z={args.z}, x0={config.x0}: "
+        f"{protocol.name} on n={config.n}, z={config.z}, x0={config.x0}: "
         f"converged={result.converged}, rounds={result.rounds}, "
         f"final count={result.final_count}"
     )
@@ -132,16 +222,82 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
     if trace is not None:
         print(
-            f"trace: wrote {trace.records_written} records to {args.trace}",
+            f"trace: wrote {trace.records_written} records to {trace_path}",
             file=sys.stderr,
         )
-    if args.record and result.trajectory is not None:
+    if checkpoint is not None:
+        print(
+            f"checkpoint: {checkpoint.writes} writes to {checkpoint.path}",
+            file=sys.stderr,
+        )
+    if show_plot and result.trajectory is not None:
         series = Series(
             "count", np.arange(len(result.trajectory), dtype=float),
             result.trajectory.astype(float),
         )
         print(ascii_plot([series], width=64, height=12), file=sys.stderr)
-    return 0 if result.converged else 2
+    return EXIT_OK if result.converged else EXIT_NOT_CONVERGED
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Rebuild and continue a run from its checkpoint's meta block."""
+    try:
+        state = load_checkpoint(args.checkpoint)
+    except CheckpointError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    meta = state.meta
+    if meta.get("command") != "run":
+        print(
+            f"repro: checkpoint {args.checkpoint} carries no CLI metadata "
+            "(written through the library API?); resume it by calling the "
+            "runner with Checkpointer.resume(...) and the original inputs",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    protocol = resolve_protocol(meta["protocol"], int(meta["n"]))
+    config = Configuration(n=int(meta["n"]), z=int(meta["z"]), x0=int(meta["x0"]))
+    if state.complete:
+        print("checkpoint is complete; replaying the stored result", file=sys.stderr)
+    else:
+        print(f"resuming from round {state.round}", file=sys.stderr)
+    return _run_simulation(
+        protocol, config,
+        rounds=int(meta["rounds"]), seed=int(meta["seed"]),
+        record=bool(meta.get("record", False)),
+        want_metrics=args.metrics, trace_path=args.trace,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=int(meta.get("checkpoint_every", DEFAULT_CHECKPOINT_EVERY)),
+        meta=meta, resume=True, show_plot=False,
+    )
+
+
+def _cmd_trace_validate(args: argparse.Namespace) -> int:
+    """Schema-check a trace; with --salvage, recover its valid prefix."""
+    import collections
+    import json
+    import pathlib
+
+    from repro.telemetry.jsonl import validate_trace
+
+    try:
+        records = validate_trace(args.path, salvage=args.salvage)
+    except ValueError as error:
+        print(f"invalid trace: {error}", file=sys.stderr)
+        return EXIT_INVALID_TRACE
+    kinds = collections.Counter(record.get("kind") for record in records)
+    print(f"mode={'salvage' if args.salvage else 'strict'}")
+    print(f"records={len(records)}")
+    for kind in sorted(kinds):
+        print(f"{kind}={kinds[kind]}")
+    print(f"complete={str(kinds.get('run_end', 0) == 1).lower()}")
+    if args.output:
+        output = pathlib.Path(args.output)
+        with output.open("w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"wrote {len(records)} records to {output}", file=sys.stderr)
+    return EXIT_OK
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -190,12 +346,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    report = build_report(results_dir, baseline_path=args.baseline)
+    report = build_report(
+        results_dir,
+        baseline_path=args.baseline,
+        min_rel_slowdown=args.min_rel_slowdown,
+        noise_sigmas=args.noise_sigmas,
+    )
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(render_report(report))
-    return 1 if args.strict and report["regressions"] else 0
+    if args.strict and (report["regressions"] or report.get("failed")):
+        return EXIT_PERF_REGRESSION
+    return EXIT_OK
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -203,14 +366,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import os
     import pathlib
     import subprocess
+    import time
 
     repo_root = pathlib.Path(__file__).resolve().parents[2]
-    bench_dir = repo_root / "benchmarks"
+    bench_dir = (
+        pathlib.Path(args.bench_dir) if args.bench_dir else repo_root / "benchmarks"
+    )
     modules = sorted(path.stem for path in bench_dir.glob("bench_*.py"))
     if args.list:
         for name in modules:
             print(name)
-        return 0
+        return EXIT_OK
     command = [
         sys.executable, "-m", "pytest", str(bench_dir),
         "--benchmark-only", "-q",
@@ -220,25 +386,61 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     env = dict(os.environ)
     if args.smoke:
         env["REPRO_SMOKE"] = "1"
+    if args.timeout is not None:
+        if args.timeout <= 0:
+            print("bench: --timeout must be positive", file=sys.stderr)
+            return EXIT_ERROR
+        env["REPRO_BENCH_TIMEOUT"] = str(args.timeout)
     env["PYTHONPATH"] = os.pathsep.join(
         [str(repo_root / "src")]
         + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
     )
+    results_dir = pathlib.Path(env.get("REPRO_RESULTS_DIR") or repo_root / "results")
     sizing = "smoke" if args.smoke else "full"
     print(f"bench: {sizing} sizing: {' '.join(command)}", file=sys.stderr)
+    started = time.time()
     completed = subprocess.run(
         command, cwd=repo_root, env=env,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
     )
     # pytest chatter is progress, not a result: keep stdout machine-clean.
     sys.stderr.write(completed.stdout)
+    if args.timeout is not None:
+        timed_out = _timed_out_bench_records(results_dir, since=started)
+        if timed_out:
+            for experiment in timed_out:
+                print(
+                    f"bench: {experiment} exceeded the {args.timeout:g}s budget",
+                    file=sys.stderr,
+                )
+            return EXIT_BENCH_TIMEOUT
     if completed.returncode == 0:
         print(
-            f"bench: records archived under {repo_root / 'results'} "
+            f"bench: records archived under {results_dir} "
             "(BENCH_*.json); see `python -m repro report results/`",
             file=sys.stderr,
         )
     return completed.returncode
+
+
+def _timed_out_bench_records(results_dir, since: float) -> List[str]:
+    """Experiments whose ledger record from this run reports a timeout."""
+    import json
+
+    names = []
+    if not results_dir.is_dir():
+        return names
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        if path.stat().st_mtime < since - 1.0:
+            continue  # stale record from an earlier run
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        error = record.get("error") or {}
+        if record.get("status") == "failed" and error.get("kind") == "timeout":
+            names.append(record.get("experiment", path.stem))
+    return names
 
 
 def _cmd_assemble(args: argparse.Namespace) -> int:
@@ -364,7 +566,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print run telemetry (rounds, wall-clock, rounds/sec)",
     )
+    run.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="write atomic checkpoints to PATH; SIGINT/SIGTERM then exit 5 "
+             "with a final checkpoint instead of losing the run",
+    )
+    run.add_argument(
+        "--checkpoint-every", metavar="N", type=int,
+        default=DEFAULT_CHECKPOINT_EVERY,
+        help=f"rounds between checkpoint writes (default {DEFAULT_CHECKPOINT_EVERY})",
+    )
     run.set_defaults(handler=_cmd_run)
+
+    resume = sub.add_parser(
+        "resume", help="continue an interrupted run from its checkpoint"
+    )
+    resume.add_argument(
+        "checkpoint", help="checkpoint written by `repro run --checkpoint`"
+    )
+    resume.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="stream a JSONL telemetry trace of the resumed leg to PATH",
+    )
+    resume.add_argument(
+        "--metrics", action="store_true",
+        help="print run telemetry (rounds, wall-clock, rounds/sec)",
+    )
+    resume.set_defaults(handler=_cmd_resume)
+
+    trace = sub.add_parser(
+        "trace", help="inspect and validate JSONL telemetry traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    validate = trace_sub.add_parser(
+        "validate",
+        help="schema-check a trace (exit 3 when invalid)",
+    )
+    validate.add_argument("path", help="JSONL trace file")
+    validate.add_argument(
+        "--salvage", action="store_true",
+        help="recover the valid prefix of a truncated trace instead of failing",
+    )
+    validate.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the validated (or salvaged) records to PATH as JSONL",
+    )
+    validate.set_defaults(handler=_cmd_trace_validate)
 
     sweep = sub.add_parser("sweep", help="tau vs n with a power-law fit")
     sweep.add_argument("protocol")
@@ -392,7 +639,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--strict", action="store_true",
-        help="exit 1 when the ledger flags a regression",
+        help="exit 4 when the ledger flags a regression or failed experiment",
+    )
+    report.add_argument(
+        "--min-rel-slowdown", type=float, default=0.30,
+        help="relative slowdown below which a timing delta is noise (default 0.30)",
+    )
+    report.add_argument(
+        "--noise-sigmas", type=float, default=3.0,
+        help="standard deviations a delta must clear to flag (default 3.0)",
     )
     report.set_defaults(handler=_cmd_report)
 
@@ -409,6 +664,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--list", action="store_true", help="list benchmark modules and exit"
+    )
+    bench.add_argument(
+        "--timeout", metavar="SECONDS", type=float, default=None,
+        help="per-experiment wall-clock budget; a breach records a failed "
+             "ledger entry and the command exits 6",
+    )
+    bench.add_argument(
+        "--bench-dir", metavar="DIR", default=None,
+        help="benchmark directory to run (default: the repo's benchmarks/)",
     )
     bench.set_defaults(handler=_cmd_bench)
 
@@ -449,7 +713,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except GracefulExit as stop:
+        # Backstop for runners that raise outside _run_simulation's handler.
+        message = f"repro: interrupted by {stop.signal_name}"
+        if stop.checkpoint_path is not None:
+            message += f"; checkpoint saved to {stop.checkpoint_path}"
+        print(message, file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,6 +12,17 @@ Every runner accepts an optional ``recorder=`` (default: the disabled
 :data:`repro.telemetry.NULL_RECORDER`) that observes the run's provenance,
 one record per round, and a closing summary — see docs/OBSERVABILITY.md for
 the schema and the zero-overhead-when-disabled contract.
+
+Durability: :func:`simulate` and :func:`simulate_ensemble` additionally
+accept ``checkpoint=`` (a :class:`repro.execution.Checkpointer`).  At every
+cadence boundary the runner writes an atomic checkpoint (progress + NumPy
+bit-generator state), after SIGINT/SIGTERM it writes a final one and raises
+:class:`~repro.execution.GracefulExit`, and a resumed call replays the
+identical random stream — the resumed result is bit-identical to an
+uninterrupted run.  Round boundaries also carry ``REPRO_FAULT`` crashpoints
+(``run:after_round``, ``ensemble:after_round``, ``ensemble:after_replica``,
+...) so kill-and-resume is exercised by tests; see docs/OBSERVABILITY.md,
+"Durability & fault model".
 """
 
 from __future__ import annotations
@@ -27,6 +38,9 @@ if TYPE_CHECKING:  # avoid a circular import: core.lower_bound needs dynamics.co
     from repro.core.lower_bound import LowerBoundCertificate
 from repro.dynamics.config import Configuration
 from repro.dynamics.engine import step_count, step_counts_batch
+from repro.execution import faults
+from repro.execution.checkpoint import Checkpointer, decode_times, encode_times, run_signature
+from repro.execution.shutdown import GracefulExit
 from repro.telemetry import NULL_RECORDER, Recorder, run_provenance, span
 
 __all__ = [
@@ -67,6 +81,7 @@ def simulate(
     rng: np.random.Generator,
     record: bool = False,
     recorder: Recorder = NULL_RECORDER,
+    checkpoint: Optional[Checkpointer] = None,
 ) -> RunResult:
     """Run the count chain until the correct consensus or the round budget.
 
@@ -77,27 +92,56 @@ def simulate(
     ``recorder`` observes one record per executed round (``t`` starting at
     1, ``count`` the post-round count); ``record=True`` additionally keeps
     the trajectory in memory on the returned :class:`RunResult`.
+
+    ``checkpoint`` enables durable execution: atomic checkpoints at the
+    cadence, a final one (plus :class:`GracefulExit`) after SIGINT/SIGTERM,
+    and bit-identical resume when the checkpointer carries a loaded state.
     """
     if not protocol.satisfies_boundary_conditions(tolerance=1e-12):
         raise ValueError(
             f"protocol {protocol.name!r} violates Proposition 3; its "
             "convergence time is infinite (see time_to_leave_consensus)"
         )
-    recording = recorder.enabled
-    if recording:
-        recorder.run_started(
-            run_provenance(
-                "simulate", protocol, rng,
-                n=config.n, z=config.z, x0=config.x0, max_rounds=max_rounds,
-            )
+    start_round = 0
+    resumed = None
+    if checkpoint is not None:
+        signature = run_signature(
+            "simulate", protocol, rng,
+            n=config.n, z=config.z, x0=config.x0, max_rounds=max_rounds,
+            record=bool(record),
         )
+        resumed = checkpoint.begin("simulate", signature)
     target = config.target_count
     x = config.x0
     trajectory = [x] if record else None
+    if resumed is not None:
+        if resumed.complete:
+            payload = resumed.payload
+            return RunResult(
+                config=config,
+                converged=bool(payload["converged"]),
+                rounds=None if payload["rounds"] is None else int(payload["rounds"]),
+                final_count=int(payload["x"]),
+                trajectory=_as_array(payload.get("trajectory")),
+            )
+        x = int(resumed.payload["x"])
+        start_round = int(resumed.round)
+        if record:
+            trajectory = [int(v) for v in resumed.payload["trajectory"]]
+        # Restore the exact random stream the checkpointed process would
+        # have drawn next: this is what makes resume bit-identical.
+        rng.bit_generator.state = resumed.rng_state
+    recording = recorder.enabled
+    if recording:
+        params = dict(n=config.n, z=config.z, x0=config.x0, max_rounds=max_rounds)
+        if resumed is not None:
+            params["resumed_from"] = start_round
+            params["resumed_count"] = x
+        recorder.run_started(run_provenance("simulate", protocol, rng, **params))
     converged = False
     rounds: Optional[int] = None
     with span(recorder, "simulate") as timing:
-        for t in range(max_rounds + 1):
+        for t in range(start_round, max_rounds + 1):
             if x == target:
                 converged = True
                 rounds = t
@@ -109,8 +153,29 @@ def simulate(
                 trajectory.append(x)
             if recording:
                 recorder.round_recorded(t + 1, x)
+            if checkpoint is not None:
+                stop = checkpoint.should_stop()
+                if stop or checkpoint.due(t + 1):
+                    checkpoint.save(
+                        "simulate", t + 1, rng, _simulate_payload(x, trajectory)
+                    )
+                    faults.crashpoint("run:after_checkpoint")
+                if stop:
+                    _graceful_exit(
+                        checkpoint, recording, recorder,
+                        {"interrupted": True, "rounds": None, "final_count": x,
+                         "resumable_at": t + 1},
+                    )
+            faults.crashpoint("run:after_round")
         if recording:
             timing.incr("rounds", rounds if rounds is not None else max_rounds)
+    if checkpoint is not None:
+        final_payload = _simulate_payload(x, trajectory)
+        final_payload.update({"converged": converged, "rounds": rounds})
+        checkpoint.finish(
+            "simulate", rounds if rounds is not None else max_rounds, rng,
+            final_payload,
+        )
     if recording:
         recorder.run_finished(
             {"converged": converged, "rounds": rounds, "final_count": x}
@@ -124,6 +189,25 @@ def simulate(
     )
 
 
+def _simulate_payload(x: int, trajectory) -> dict:
+    payload = {"x": int(x)}
+    if trajectory is not None:
+        payload["trajectory"] = [int(v) for v in trajectory]
+    return payload
+
+
+def _graceful_exit(checkpoint, recording, recorder, summary) -> None:
+    """Honour a shutdown request at a safe point: flush, close out, raise."""
+    if recording:
+        recorder.run_finished(summary)
+    if checkpoint.guard is not None:
+        checkpoint.guard.flush_registered()
+    raise GracefulExit(
+        checkpoint.guard.signum if checkpoint.guard is not None else 15,
+        checkpoint.path,
+    )
+
+
 def simulate_ensemble(
     protocol: Protocol,
     config: Configuration,
@@ -131,6 +215,7 @@ def simulate_ensemble(
     rng: np.random.Generator,
     replicas: int,
     recorder: Recorder = NULL_RECORDER,
+    checkpoint: Optional[Checkpointer] = None,
 ) -> np.ndarray:
     """Convergence times of ``replicas`` independent runs, advanced in lock-step.
 
@@ -143,6 +228,13 @@ def simulate_ensemble(
     ``recorder`` observes one record per lock-step round: ``count`` is the
     mean count over *all* replicas, with ``active`` (replicas still running
     after the round) and ``newly_converged`` in the extra fields.
+
+    ``checkpoint`` (a :class:`repro.execution.Checkpointer`) captures the
+    lock-step state — completed replica times, per-replica counts, the
+    active mask, and the bit-generator state — at the cadence and on
+    shutdown; a resumed ensemble replays the identical random stream, so
+    its times (and any :func:`~repro.analysis.ensemble.summarize_times`
+    statistics over them) are bit-identical to an uninterrupted run.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be >= 1, got {replicas}")
@@ -151,25 +243,46 @@ def simulate_ensemble(
             f"protocol {protocol.name!r} violates Proposition 3; its "
             "convergence time is infinite (see time_to_leave_consensus)"
         )
+    start_round = 0
+    resumed = None
+    if checkpoint is not None:
+        signature = run_signature(
+            "simulate_ensemble", protocol, rng,
+            n=config.n, z=config.z, x0=config.x0,
+            max_rounds=max_rounds, replicas=replicas,
+        )
+        resumed = checkpoint.begin("simulate_ensemble", signature)
+        if resumed is not None and resumed.complete:
+            return decode_times(resumed.payload["times"])
+    target = config.target_count
+    if resumed is not None:
+        counts = np.asarray(resumed.payload["counts"], dtype=np.int64)
+        times = decode_times(resumed.payload["times"])
+        active = np.asarray(resumed.payload["active"], dtype=bool)
+        start_round = int(resumed.round)
+        rng.bit_generator.state = resumed.rng_state
+    else:
+        counts = np.full(replicas, config.x0, dtype=np.int64)
+        times = np.full(replicas, np.nan)
+        active = np.ones(replicas, dtype=bool)
+        newly_done = counts == target
+        times[newly_done] = 0.0
+        active &= ~newly_done
     recording = recorder.enabled
     if recording:
-        recorder.run_started(
-            run_provenance(
-                "simulate_ensemble", protocol, rng,
-                n=config.n, z=config.z, x0=config.x0,
-                max_rounds=max_rounds, replicas=replicas,
-            )
+        params = dict(
+            n=config.n, z=config.z, x0=config.x0,
+            max_rounds=max_rounds, replicas=replicas,
         )
-    target = config.target_count
-    counts = np.full(replicas, config.x0, dtype=np.int64)
-    times = np.full(replicas, np.nan)
-    active = np.ones(replicas, dtype=bool)
-    newly_done = counts == target
-    times[newly_done] = 0.0
-    active &= ~newly_done
-    final_round = 0
+        if resumed is not None:
+            params["resumed_from"] = start_round
+            params["resumed_count"] = float(counts.mean())
+        recorder.run_started(
+            run_provenance("simulate_ensemble", protocol, rng, **params)
+        )
+    final_round = start_round
     with span(recorder, "ensemble") as timing:
-        for t in range(1, max_rounds + 1):
+        for t in range(start_round + 1, max_rounds + 1):
             if not active.any():
                 break
             counts[active] = step_counts_batch(
@@ -188,8 +301,36 @@ def simulate_ensemble(
                         "newly_converged": int(newly_done.sum()),
                     },
                 )
+            if faults.armed():
+                # One visit per replica that converged this round, so
+                # REPRO_FAULT=ensemble:after_replica:k kills the process
+                # the moment the k-th replica completes.
+                for _ in range(int(newly_done.sum())):
+                    faults.crashpoint("ensemble:after_replica")
+            if checkpoint is not None:
+                stop = checkpoint.should_stop()
+                if stop or checkpoint.due(t):
+                    checkpoint.save(
+                        "simulate_ensemble", t, rng,
+                        _ensemble_payload(counts, times, active),
+                    )
+                    faults.crashpoint("ensemble:after_checkpoint")
+                if stop:
+                    censored = int(np.isnan(times).sum())
+                    _graceful_exit(
+                        checkpoint, recording, recorder,
+                        {"interrupted": True, "converged": replicas - censored,
+                         "censored": censored, "final_round": t,
+                         "resumable_at": t},
+                    )
+            faults.crashpoint("ensemble:after_round")
         if recording:
             timing.incr("rounds", final_round)
+    if checkpoint is not None:
+        checkpoint.finish(
+            "simulate_ensemble", final_round, rng,
+            {"times": encode_times(times)},
+        )
     if recording:
         censored = int(np.isnan(times).sum())
         recorder.run_finished(
@@ -200,6 +341,14 @@ def simulate_ensemble(
             }
         )
     return times
+
+
+def _ensemble_payload(counts, times, active) -> dict:
+    return {
+        "counts": [int(v) for v in counts],
+        "times": encode_times(times),
+        "active": [bool(v) for v in active],
+    }
 
 
 def escape_time(

@@ -1,0 +1,123 @@
+"""Graceful shutdown: signal handling, safe-point exits, and exit codes.
+
+The durability contract (docs/OBSERVABILITY.md, "Durability & fault model"):
+a run that is interrupted by SIGINT/SIGTERM does not die mid-write.  The
+:class:`ShutdownGuard` handler only sets a flag; the runner notices it at
+the next round boundary, writes a final checkpoint, flushes every
+registered trace writer, and raises :class:`GracefulExit`, which the CLI
+turns into :data:`EXIT_INTERRUPTED` — distinct from a crash, from a
+censored run, and from a fault-injected kill, so callers (and CI) can key
+off the exit code alone.
+"""
+
+from __future__ import annotations
+
+import signal
+from types import FrameType
+from typing import List, Optional
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_ERROR",
+    "EXIT_NOT_CONVERGED",
+    "EXIT_INVALID_TRACE",
+    "EXIT_PERF_REGRESSION",
+    "EXIT_INTERRUPTED",
+    "EXIT_BENCH_TIMEOUT",
+    "EXIT_FAULT_INJECTED",
+    "GracefulExit",
+    "ShutdownGuard",
+]
+
+# One exit code per failure class; documented in docs/OBSERVABILITY.md.
+EXIT_OK = 0
+EXIT_ERROR = 1  # generic failure (argparse errors, missing inputs, ...)
+EXIT_NOT_CONVERGED = 2  # `repro run`: the run was censored at its budget
+EXIT_INVALID_TRACE = 3  # `repro trace validate`: schema violation
+EXIT_PERF_REGRESSION = 4  # `repro report --strict`: the ledger flagged a regression
+EXIT_INTERRUPTED = 5  # SIGINT/SIGTERM with a final checkpoint written
+EXIT_BENCH_TIMEOUT = 6  # `repro bench --timeout`: an experiment overran its budget
+EXIT_FAULT_INJECTED = 86  # a REPRO_FAULT crashpoint fired (deliberately loud)
+
+
+class GracefulExit(RuntimeError):
+    """Raised at a safe point after a shutdown signal was observed.
+
+    By the time this propagates, the runner has already written its final
+    checkpoint (when one was configured); ``checkpoint_path`` says where.
+    """
+
+    def __init__(self, signum: int, checkpoint_path=None) -> None:
+        self.signum = int(signum)
+        self.checkpoint_path = checkpoint_path
+        where = f"; checkpoint at {checkpoint_path}" if checkpoint_path else ""
+        super().__init__(f"interrupted by {self.signal_name}{where}")
+
+    @property
+    def signal_name(self) -> str:
+        try:
+            return signal.Signals(self.signum).name
+        except ValueError:
+            return f"signal {self.signum}"
+
+
+class ShutdownGuard:
+    """Context manager turning SIGINT/SIGTERM into a safe-point stop request.
+
+    The handler does the absolute minimum — record which signal arrived —
+    because Python signal handlers may run between any two bytecodes and
+    must not touch half-updated state.  Runners poll :attr:`requested` at
+    round boundaries (via their :class:`~repro.execution.checkpoint.
+    Checkpointer`); anything registered with :meth:`register` (open trace
+    writers, typically) is flushed by :meth:`flush_registered` before the
+    runner raises :class:`GracefulExit`.
+
+    A second signal while the first is being honoured is absorbed by the
+    same handler — the guard stays installed until the ``with`` block
+    exits, so a double Ctrl-C still leaves through the graceful path
+    rather than corrupting the checkpoint mid-write.
+    """
+
+    def __init__(self, signals=(signal.SIGINT, signal.SIGTERM)) -> None:
+        self.signals = tuple(signals)
+        self._signum: Optional[int] = None
+        self._previous: dict = {}
+        self._flushables: List[object] = []
+
+    # -- signal plumbing ------------------------------------------------
+
+    def __enter__(self) -> "ShutdownGuard":
+        for signum in self.signals:
+            self._previous[signum] = signal.signal(signum, self._handle)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()
+
+    def _handle(self, signum: int, frame: Optional[FrameType]) -> None:
+        self._signum = signum
+
+    # -- runner-facing state --------------------------------------------
+
+    @property
+    def requested(self) -> bool:
+        """True once a shutdown signal has been observed."""
+        return self._signum is not None
+
+    @property
+    def signum(self) -> int:
+        """The observed signal number (SIGTERM if somehow unset)."""
+        return self._signum if self._signum is not None else signal.SIGTERM
+
+    def register(self, flushable) -> None:
+        """Register an object with a ``flush()`` method (e.g. a trace writer)."""
+        self._flushables.append(flushable)
+
+    def flush_registered(self) -> None:
+        """Flush (and thereby fsync, for trace writers) everything registered."""
+        for flushable in self._flushables:
+            flush = getattr(flushable, "flush", None)
+            if flush is not None:
+                flush()

@@ -5,15 +5,27 @@ records, and one ``run_end`` record, one JSON object per line.  The exact
 field-by-field schema is documented in ``docs/OBSERVABILITY.md``;
 :func:`validate_trace` is that document's executable counterpart and is
 what ``make trace-smoke`` runs.
+
+Durability: path-targeted traces are streamed line-buffered to
+``<path>.tmp`` and renamed over ``path`` on :meth:`JsonlTraceWriter.close`
+(after a flush + fsync), so a trace observed at its target path is never
+half-written — a hard kill leaves the fsynced prefix in the ``.tmp`` file
+instead.  ``read_trace``/``validate_trace`` accept ``salvage=True`` to
+recover the valid prefix of such a truncated trace; strict rejection stays
+the default.  See docs/OBSERVABILITY.md, "Durability & fault model".
 """
 
 from __future__ import annotations
 
+import io
 import json
 import math
+import os
 import time
 from pathlib import Path
 from typing import Any, Dict, IO, List, Mapping, Optional, Union
+
+from repro.execution import faults
 
 from repro.telemetry.recorder import Recorder, RunProvenance, TRACE_SCHEMA_VERSION
 from repro.telemetry.spans import SpanRecord
@@ -32,13 +44,18 @@ PathOrFile = Union[str, Path, IO[str]]
 class JsonlTraceWriter(Recorder):
     """Stream a run as JSON-lines records to a path or an open text file.
 
-    One ``round`` record is written per observed round, so the trace is
-    usable (modulo the missing ``run_end``) even if the process dies mid-run.
-    Use as a context manager, or call :meth:`close` explicitly; a path given
-    as a string/`Path` is opened lazily on the first record and truncated.
+    One ``round`` record is written per observed round, line-buffered, so
+    every completed record reaches the OS as it happens and a process that
+    dies mid-run leaves a salvageable prefix (see ``salvage=True`` on
+    :func:`read_trace`/:func:`validate_trace`).  A path target is written
+    as ``<path>.tmp`` and atomically renamed into place on :meth:`close`,
+    so the trace at the target path is never observably half-written.
+    Use as a context manager, or call :meth:`close` explicitly; the file is
+    opened lazily on the first record.
 
     Args:
-        target: output path or an already-open text file (not closed by us).
+        target: output path or an already-open text file (not closed by us,
+            and written in place — no tmp-then-rename for caller-owned files).
         include_timings: when ``False``, omit the wall-clock fields
             (``wall_s``, ``wall_clock_s``, ``rounds_per_second``) so that
             traces of seed-identical runs are byte-identical — the mode the
@@ -49,6 +66,7 @@ class JsonlTraceWriter(Recorder):
         self.include_timings = include_timings
         self.records_written = 0
         self._path: Optional[Path] = None
+        self._tmp_path: Optional[Path] = None
         self._file: Optional[IO[str]] = None
         self._owns_file = False
         if isinstance(target, (str, Path)):
@@ -71,8 +89,12 @@ class JsonlTraceWriter(Recorder):
             "schema": TRACE_SCHEMA_VERSION,
         }
         record.update(provenance.to_dict())
-        x0 = provenance.params.get("x0")
-        self._previous_count = float(x0) if x0 is not None else None
+        # Resumed runs anchor the first drift on the restored count, not x0,
+        # so a resumed trace's round records match the uninterrupted run's.
+        anchor = provenance.params.get("resumed_count")
+        if anchor is None:
+            anchor = provenance.params.get("x0")
+        self._previous_count = float(anchor) if anchor is not None else None
         self._started_at = self._last_seen_at = time.perf_counter()
         self._write(record)
 
@@ -119,13 +141,37 @@ class JsonlTraceWriter(Recorder):
     # Lifecycle
     # ------------------------------------------------------------------
 
+    def flush(self) -> None:
+        """Flush Python buffers and fsync, as far as the target supports it.
+
+        :class:`~repro.execution.ShutdownGuard` calls this (via
+        ``register``) before a graceful exit so an interrupted trace is
+        durable on disk, not sitting in user-space buffers.
+        """
+        if self._file is None:
+            return
+        self._file.flush()
+        try:
+            os.fsync(self._file.fileno())
+        except (OSError, ValueError, io.UnsupportedOperation):
+            pass  # not a real file descriptor (StringIO, pipes, ...)
+
     def close(self) -> None:
-        """Flush and close the underlying file (if this writer opened it)."""
-        if self._file is not None:
-            self._file.flush()
-            if self._owns_file:
-                self._file.close()
-                self._file = None
+        """Flush, fsync, close, and publish the trace at its target path.
+
+        For path targets, the tmp file is atomically renamed over the
+        target only here — a completed trace is never observably
+        half-written, and a hard kill leaves ``<path>.tmp`` for salvage.
+        """
+        if self._file is None:
+            return
+        self.flush()
+        if self._owns_file:
+            self._file.close()
+            self._file = None
+            if self._tmp_path is not None:
+                os.replace(self._tmp_path, self._path)
+                self._tmp_path = None
 
     def __enter__(self) -> "JsonlTraceWriter":
         return self
@@ -137,9 +183,23 @@ class JsonlTraceWriter(Recorder):
         if self._file is None:
             if self._path is None:
                 raise ValueError("trace writer already closed")
-            self._file = self._path.open("w")
-        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+            self._tmp_path = self._path.with_name(self._path.name + ".tmp")
+            # Line buffering: every completed record reaches the OS as it
+            # is written, so a killed process leaves a salvageable prefix.
+            self._file = self._tmp_path.open("w", buffering=1)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if faults.should_trip("trace:mid_write"):
+            # Deterministically manufacture a torn write: half the record,
+            # durable on disk, then death — the scenario salvage mode exists
+            # for, produced on demand instead of waited for.
+            self._file.write(line[: max(1, len(line) // 2)])
+            self.flush()
+            faults.trip("trace:mid_write")
+        self._file.write(line)
         self.records_written += 1
+        if faults.should_trip("trace:after_write"):
+            self.flush()
+            faults.trip("trace:after_write")
 
 
 def _number(value):
@@ -149,8 +209,15 @@ def _number(value):
     return value
 
 
-def read_trace(path: PathOrFile) -> List[Dict[str, Any]]:
-    """Parse a JSONL trace back into a list of record dicts (in file order)."""
+def read_trace(path: PathOrFile, salvage: bool = False) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into a list of record dicts (in file order).
+
+    With ``salvage=True``, an undecodable line (the torn final write of a
+    killed process, typically) ends the parse: the valid prefix is returned
+    instead of raising.  Everything *after* the first bad line is dropped
+    too — a trace is an ordered stream, and records beyond a corruption
+    point have lost their provenance.
+    """
     text = Path(path).read_text() if isinstance(path, (str, Path)) else path.read()
     records = []
     for line_number, line in enumerate(text.splitlines(), start=1):
@@ -159,6 +226,8 @@ def read_trace(path: PathOrFile) -> List[Dict[str, Any]]:
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError as error:
+            if salvage:
+                break
             raise ValueError(f"trace line {line_number} is not valid JSON: {error}")
     return records
 
@@ -209,7 +278,7 @@ def trace_to_series(path: PathOrFile, name: Optional[str] = None):
 _REQUIRED_START_KEYS = ("schema", "runner", "protocol", "params", "rng")
 
 
-def validate_trace(path: PathOrFile) -> List[Dict[str, Any]]:
+def validate_trace(path: PathOrFile, salvage: bool = False) -> List[Dict[str, Any]]:
     """Validate a trace against the documented schema; return its records.
 
     Checks: the file is JSONL; the first record is a ``run_start`` with the
@@ -219,10 +288,19 @@ def validate_trace(path: PathOrFile) -> List[Dict[str, Any]]:
     is exactly one ``run_end``, all rounds precede it, and only spans (the
     ones enclosing the whole run) may trail it.  Raises ``ValueError`` on
     the first violation.  This is the check behind ``make trace-smoke``.
+
+    With ``salvage=True`` — the recovery mode for traces truncated by a
+    crash, OOM kill, or fault injection — the *valid prefix* is returned
+    instead: parsing and validation stop at the first bad line or record,
+    and a missing ``run_end`` is tolerated.  The ``run_start`` header must
+    still be fully valid (a trace without its provenance has lost the run
+    it describes, so there is nothing worth salvaging), and a ``run_end``
+    whose ``rounds_recorded`` claim contradicts the salvaged rounds is
+    dropped along with everything after it.
     """
-    records = read_trace(path)
+    records = read_trace(path, salvage=salvage)
     if not records:
-        raise ValueError("trace is empty")
+        raise ValueError("trace is empty" + (": nothing to salvage" if salvage else ""))
     start = records[0]
     if start.get("kind") != "run_start":
         raise ValueError(f"first record must be run_start, got {start.get('kind')!r}")
@@ -240,55 +318,67 @@ def validate_trace(path: PathOrFile) -> List[Dict[str, Any]]:
     for key in ("name", "ell", "fingerprint"):
         if key not in start["protocol"]:
             raise ValueError(f"run_start protocol provenance is missing {key!r}")
+    valid = [start]
     end = None
     previous_t = None
     round_records = 0
     for index, record in enumerate(records[1:], start=2):
-        kind = record.get("kind")
-        if kind == "run_end":
-            if end is not None:
-                raise ValueError(f"record {index} is a second run_end")
-            end = record
-        elif kind == "span":
-            _validate_span_record(record, index)
-        elif kind == "round":
-            if end is not None:
+        try:
+            kind = record.get("kind")
+            if kind == "run_end":
+                if end is not None:
+                    raise ValueError(f"record {index} is a second run_end")
+                end = record
+            elif kind == "span":
+                _validate_span_record(record, index)
+            elif kind == "round":
+                if end is not None:
+                    raise ValueError(
+                        f"round record {index} appears after run_end "
+                        "(truncated or spliced trace?)"
+                    )
+                t = record.get("t")
+                if not isinstance(t, int):
+                    raise ValueError(f"round record {index} has non-integer t: {t!r}")
+                if previous_t is not None and t < previous_t:
+                    raise ValueError(
+                        f"round record {index} goes back in time: "
+                        f"t={t} after t={previous_t}"
+                    )
+                previous_t = t
+                count = record.get("count")
+                if not isinstance(count, (int, float)) or not math.isfinite(count):
+                    raise ValueError(
+                        f"round record {index} has non-finite count: {count!r}"
+                    )
+                drift = record.get("drift")
+                if drift is not None and (
+                    not isinstance(drift, (int, float)) or not math.isfinite(drift)
+                ):
+                    raise ValueError(
+                        f"round record {index} has non-finite drift: {drift!r}"
+                    )
+                round_records += 1
+            else:
                 raise ValueError(
-                    f"round record {index} appears after run_end "
-                    "(truncated or spliced trace?)"
+                    f"record {index} has unknown kind {kind!r} "
+                    "(expected round, span, or run_end)"
                 )
-            t = record.get("t")
-            if not isinstance(t, int):
-                raise ValueError(f"round record {index} has non-integer t: {t!r}")
-            if previous_t is not None and t < previous_t:
-                raise ValueError(
-                    f"round record {index} goes back in time: t={t} after t={previous_t}"
-                )
-            previous_t = t
-            count = record.get("count")
-            if not isinstance(count, (int, float)) or not math.isfinite(count):
-                raise ValueError(
-                    f"round record {index} has non-finite count: {count!r}"
-                )
-            drift = record.get("drift")
-            if drift is not None and (
-                not isinstance(drift, (int, float)) or not math.isfinite(drift)
-            ):
-                raise ValueError(
-                    f"round record {index} has non-finite drift: {drift!r}"
-                )
-            round_records += 1
-        else:
-            raise ValueError(
-                f"record {index} has unknown kind {kind!r} "
-                "(expected round, span, or run_end)"
-            )
+        except ValueError:
+            if salvage:
+                return valid
+            raise
+        valid.append(record)
     if end is None:
+        if salvage:
+            return valid
         raise ValueError(
             f"last record must be run_end, got {records[-1].get('kind')!r} "
             "(truncated trace?)"
         )
     if end.get("rounds_recorded") != round_records:
+        if salvage:
+            return valid[: valid.index(end)]
         raise ValueError(
             f"run_end claims {end.get('rounds_recorded')} rounds but the trace "
             f"holds {round_records}"

@@ -47,6 +47,40 @@ class TestSummaries:
         with pytest.raises(ValueError):
             summarize_times(np.array([]))
 
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            summarize_times([])
+
+    def test_all_censored_quantiles_are_lower_bounds(self):
+        stats = summarize_times(np.array([np.nan] * 4), budget=500)
+        assert math.isinf(stats.median)
+        assert math.isinf(stats.q10)
+        assert math.isinf(stats.q90)
+        # Every quantile of an all-censored ensemble only bounds tau below.
+        for q in (0.1, 0.5, 0.9):
+            assert stats.quantile_is_lower_bound(q)
+        assert math.isnan(stats.mean_converged)
+        assert math.isnan(stats.min)
+        assert math.isnan(stats.max_converged)
+        assert stats.success_rate == 0.0
+        assert stats.budget == 500
+
+    def test_single_trial_converged(self):
+        stats = summarize_times(np.array([42.0]))
+        assert stats.trials == 1
+        assert stats.censored == 0
+        assert stats.median == stats.q10 == stats.q90 == 42.0
+        assert stats.mean_converged == stats.min == stats.max_converged == 42.0
+        assert not stats.quantile_is_lower_bound(0.5)
+
+    def test_single_trial_censored(self):
+        stats = summarize_times(np.array([np.nan]), budget=10)
+        assert stats.trials == 1
+        assert stats.censored == 1
+        assert math.isinf(stats.median)
+        assert stats.quantile_is_lower_bound(0.9)
+        assert stats.success_rate == 0.0
+
     def test_convergence_ensemble_integration(self, rng):
         stats = convergence_ensemble(
             voter(1), Configuration(n=60, z=1, x0=30), 50_000, rng, replicas=20

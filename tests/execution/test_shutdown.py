@@ -1,0 +1,136 @@
+"""Tests for signal handling, graceful exits, and the CLI's exit codes."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.execution import (
+    EXIT_BENCH_TIMEOUT,
+    EXIT_ERROR,
+    EXIT_FAULT_INJECTED,
+    EXIT_INTERRUPTED,
+    EXIT_INVALID_TRACE,
+    EXIT_NOT_CONVERGED,
+    EXIT_OK,
+    EXIT_PERF_REGRESSION,
+    GracefulExit,
+    ShutdownGuard,
+    load_checkpoint,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestExitCodes:
+    def test_one_code_per_failure_class(self):
+        codes = [
+            EXIT_OK, EXIT_ERROR, EXIT_NOT_CONVERGED, EXIT_INVALID_TRACE,
+            EXIT_PERF_REGRESSION, EXIT_INTERRUPTED, EXIT_BENCH_TIMEOUT,
+            EXIT_FAULT_INJECTED,
+        ]
+        assert len(set(codes)) == len(codes)
+        assert all(0 <= code < 256 for code in codes)
+
+
+class TestGracefulExit:
+    def test_carries_signal_and_checkpoint(self):
+        stop = GracefulExit(signal.SIGTERM, "run.ckpt")
+        assert stop.signal_name == "SIGTERM"
+        assert stop.checkpoint_path == "run.ckpt"
+        assert "SIGTERM" in str(stop)
+        assert "run.ckpt" in str(stop)
+
+    def test_unknown_signal_number(self):
+        assert GracefulExit(250).signal_name == "signal 250"
+
+
+class TestShutdownGuard:
+    def test_signal_sets_the_flag_only(self):
+        with ShutdownGuard() as guard:
+            assert not guard.requested
+            os.kill(os.getpid(), signal.SIGTERM)
+            # The handler runs between bytecodes; give it a beat.
+            for _ in range(100):
+                if guard.requested:
+                    break
+                time.sleep(0.01)
+            assert guard.requested
+            assert guard.signum == signal.SIGTERM
+
+    def test_previous_handlers_restored(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with ShutdownGuard():
+            assert signal.getsignal(signal.SIGTERM) != before
+        assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_flush_registered(self):
+        class Flushable:
+            flushed = 0
+
+            def flush(self):
+                self.flushed += 1
+
+        sink = Flushable()
+        guard = ShutdownGuard()
+        guard.register(sink)
+        guard.register(object())  # no flush() — must be tolerated
+        guard.flush_registered()
+        assert sink.flushed == 1
+
+
+class TestCliSigterm:
+    """SIGTERM mid-run: exit 5, final checkpoint, strictly valid trace."""
+
+    def test_sigterm_leaves_resumable_state(self, tmp_path):
+        from repro.telemetry.jsonl import validate_trace
+
+        env = dict(os.environ)
+        env.pop("REPRO_FAULT", None)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        checkpoint = tmp_path / "run.ckpt"
+        trace = tmp_path / "run.jsonl"
+        # A voter run this large takes minutes — plenty of runway to
+        # interrupt it long before it converges.
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "run", "voter",
+                "--n", "10000000", "--rounds", "1000000000", "--seed", "1",
+                "--checkpoint", str(checkpoint), "--checkpoint-every", "1000",
+                "--trace", str(trace),
+            ],
+            cwd=tmp_path, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            deadline = time.time() + 60
+            while time.time() < deadline and not checkpoint.exists():
+                time.sleep(0.1)
+            assert checkpoint.exists(), "no checkpoint appeared within 60s"
+            process.send_signal(signal.SIGTERM)
+            _, stderr = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert process.returncode == EXIT_INTERRUPTED
+        assert "interrupted by SIGTERM" in stderr
+        assert "repro resume" in stderr
+        # The graceful path closed the writer: the trace was renamed into
+        # place and validates *strictly*, with an interrupted run_end.
+        records = validate_trace(trace)
+        run_end = [r for r in records if r["kind"] == "run_end"][0]
+        assert run_end["interrupted"] is True
+        assert run_end["resumable_at"] >= 1
+        state = load_checkpoint(checkpoint)
+        assert not state.complete
+        assert state.round >= 1
+        assert state.meta["command"] == "run"

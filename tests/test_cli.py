@@ -2,9 +2,18 @@
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
 from repro.cli import main, resolve_protocol
+from repro.execution import (
+    EXIT_BENCH_TIMEOUT,
+    EXIT_ERROR,
+    EXIT_INVALID_TRACE,
+    EXIT_PERF_REGRESSION,
+)
 
 
 class TestResolve:
@@ -162,7 +171,7 @@ class TestReportCommand:
             ' {"wall_clock_s": 0.25, "samples": [0.25]}}}\n'
         )
         assert main(["report", str(results)]) == 0  # informational by default
-        assert main(["report", str(results), "--strict"]) == 1
+        assert main(["report", str(results), "--strict"]) == EXIT_PERF_REGRESSION
         assert "REGRESSIONS" in capsys.readouterr().out
 
     def test_report_missing_dir(self, tmp_path, capsys):
@@ -243,3 +252,114 @@ class TestSweepEdgeCases:
             ["sweep", "voter", "--sizes", "64,128", "--replicas", "2", "--z", "0"]
         ) == 0
         assert "median tau" in capsys.readouterr().out
+
+
+class TestDurabilityCommands:
+    """`run --checkpoint`, `resume`, `trace validate`, `bench --timeout`."""
+
+    RUN_ARGS = ["run", "voter", "--n", "200", "--rounds", "100000", "--seed", "3"]
+
+    def test_run_then_resume_replays_identical_result(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "run.ckpt")
+        assert main(self.RUN_ARGS + ["--checkpoint", checkpoint,
+                                     "--checkpoint-every", "25"]) == 0
+        first = capsys.readouterr().out
+        assert main(["resume", checkpoint]) == 0
+        resumed = capsys.readouterr()
+        # A complete checkpoint replays the stored outcome: the result
+        # line on stdout is byte-identical to the original run's.
+        assert resumed.out == first
+        assert "replaying the stored result" in resumed.err
+
+    def test_resume_missing_checkpoint(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "absent.ckpt")]) == EXIT_ERROR
+        assert "no checkpoint" in capsys.readouterr().err
+
+    def test_resume_refuses_library_checkpoints(self, tmp_path, capsys):
+        from repro.dynamics.config import Configuration
+        from repro.dynamics.rng import make_rng
+        from repro.dynamics.run import simulate
+        from repro.execution import Checkpointer
+        from repro.protocols import voter
+
+        path = tmp_path / "lib.ckpt"
+        simulate(
+            voter(1), Configuration(n=60, z=1, x0=30), 50_000, make_rng(1),
+            checkpoint=Checkpointer(path, every=10),
+        )
+        assert main(["resume", str(path)]) == EXIT_ERROR
+        assert "no CLI metadata" in capsys.readouterr().err
+
+    def test_trace_validate_ok(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        main(self.RUN_ARGS + ["--trace", trace])
+        capsys.readouterr()
+        assert main(["trace", "validate", trace]) == 0
+        out = capsys.readouterr().out
+        assert "mode=strict" in out
+        assert "complete=true" in out
+
+    def test_trace_validate_invalid_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "round", "t": 1, "count": 3}\n')
+        assert main(["trace", "validate", str(bad)]) == EXIT_INVALID_TRACE
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_trace_validate_salvage_recovers_prefix(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        main(self.RUN_ARGS + ["--trace", str(trace)])
+        capsys.readouterr()
+        lines = trace.read_text().splitlines()
+        torn = tmp_path / "torn.jsonl"
+        # Drop the run_end and tear the last round record in half.
+        torn.write_text("\n".join(lines[:-2] + [lines[-2][: len(lines[-2]) // 2]]))
+        assert main(["trace", "validate", str(torn)]) == EXIT_INVALID_TRACE
+        capsys.readouterr()
+        salvaged_path = tmp_path / "salvaged.jsonl"
+        assert main(
+            ["trace", "validate", str(torn), "--salvage",
+             "--output", str(salvaged_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mode=salvage" in out
+        assert "complete=false" in out
+        from repro.telemetry.jsonl import read_trace
+
+        salvaged = read_trace(salvaged_path)
+        assert salvaged[0]["kind"] == "run_start"
+        assert len(salvaged) == len(lines) - 2
+
+    def test_bench_timeout_flags_slow_experiment(self, tmp_path, monkeypatch):
+        import time as time_module
+
+        bench_dir = tmp_path / "bench"
+        bench_dir.mkdir()
+        repo_benchmarks = pathlib.Path(__file__).resolve().parents[1] / "benchmarks"
+        (bench_dir / "pytest.ini").write_text(
+            "[pytest]\npython_files = bench_*.py\n"
+        )
+        (bench_dir / "conftest.py").write_text(
+            "import sys\n"
+            f"sys.path.insert(0, {str(repo_benchmarks)!r})\n"
+        )
+        (bench_dir / "bench_slow.py").write_text(
+            "import time\n"
+            "from _harness import emit, run_once\n"
+            "\n"
+            "def test_slow(benchmark):\n"
+            "    run_once(benchmark, time.sleep, 30.0, experiment='E99_slow')\n"
+            "    emit('E99_slow', 'unreachable')\n"
+        )
+        results_dir = tmp_path / "results"
+        results_dir.mkdir()
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(results_dir))
+        started = time_module.time()
+        code = main(["bench", "--timeout", "1", "--bench-dir", str(bench_dir)])
+        elapsed = time_module.time() - started
+        assert code == EXIT_BENCH_TIMEOUT
+        # Budget 1s + pytest startup; nowhere near the 30s sleep.
+        assert elapsed < 20
+        record = json.loads((results_dir / "BENCH_E99_slow.json").read_text())
+        assert record["status"] == "failed"
+        assert record["error"]["kind"] == "timeout"
+        assert record["error"]["elapsed_s"] == pytest.approx(1.0, abs=0.75)
