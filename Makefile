@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples report perf-gate trace-smoke fault-smoke clean
+.PHONY: install test bench bench-smoke examples report perf-gate trace-smoke fault-smoke ensemble-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,6 +32,9 @@ fault-smoke:
 	$(PYTHON) scripts/fault_smoke.py ensemble:after_replica:2
 	$(PYTHON) scripts/fault_smoke.py ensemble:after_round:25
 	$(PYTHON) scripts/fault_smoke.py checkpoint:after_tmp_write:3
+
+ensemble-smoke:
+	$(PYTHON) scripts/fault_smoke.py --parallel ensemble:after_round:25
 
 clean:
 	rm -rf results/*.txt .pytest_cache

@@ -72,6 +72,23 @@ def smoke_mode() -> bool:
     return os.environ.get("REPRO_SMOKE") == "1"
 
 
+def bench_workers(default: int = 1) -> int:
+    """Worker-pool size for ensemble benchmarks.
+
+    ``python -m repro bench --workers N`` exports ``REPRO_BENCH_WORKERS``;
+    this reads it back (clamped to >= 1, ``default`` on absence or parse
+    failure).  Worker count never changes results — only shard count and
+    seed do — so benchmarks are free to vary it for timing comparisons.
+    """
+    raw = os.environ.get("REPRO_BENCH_WORKERS")
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
 def pick(full, smoke):
     """Choose a benchmark constant by sizing mode.
 
@@ -187,6 +204,35 @@ def note_rounds(rounds: Optional[int]) -> None:
         _pending_timing["rounds"] = int(rounds)
 
 
+def note_field(key: str, value) -> None:
+    """Attach an extra JSON-safe field to the pending ``BENCH_*.json``.
+
+    Like :func:`note_rounds`, call between :func:`run_once` and
+    :func:`emit` (``run_once`` clears the pending record).  Used for
+    benchmark-specific context such as worker counts or speedup ratios.
+    """
+    _pending_timing.setdefault("extra", {})[key] = value
+
+
+def note_ensemble(stats) -> None:
+    """Record a supervised ensemble's loss accounting in the ledger entry.
+
+    Takes a :class:`repro.analysis.ensemble.ConvergenceStats`; the record
+    then carries an ``ensemble`` block with ``failed_shards`` /
+    ``attempted_trials``, which the regression gate uses to refuse
+    baselines built from degraded (shards-lost) runs.
+    """
+    note_field(
+        "ensemble",
+        {
+            "trials": int(stats.trials),
+            "censored": int(stats.censored),
+            "failed_shards": int(stats.failed_shards),
+            "attempted_trials": int(stats.attempted_trials),
+        },
+    )
+
+
 def _write_bench_record(experiment_id: str) -> None:
     record = {"experiment": experiment_id, "schema": 1, "status": "ok"}
     wall = _pending_timing.get("wall_clock_s")
@@ -196,6 +242,7 @@ def _write_bench_record(experiment_id: str) -> None:
     record["rounds_per_second"] = (
         rounds / wall if rounds is not None and wall else None
     )
+    record.update(_pending_timing.get("extra", {}))
     if smoke_mode():
         record["smoke"] = True
     (RESULTS_DIR / f"BENCH_{experiment_id}.json").write_text(

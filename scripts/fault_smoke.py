@@ -15,9 +15,19 @@ For a given crashpoint (see :mod:`repro.execution.faults`), this script:
    every round record the resumed run emits matches the uninterrupted
    run's record for the same round, byte for byte.
 
+With ``--parallel`` the scenario instead runs through the supervised
+worker pool (:mod:`repro.execution.supervisor`): the baseline is computed
+in-process at ``workers=1``, then a subprocess runs the same ensemble at
+``workers=2`` with ``REPRO_FAULT`` armed on shard 1 only — the injected
+kill lands inside one worker, the supervisor retries that shard from its
+own checkpoint, and the subprocess exits 0 with statistics that must be
+**bit-identical** to the unfaulted workers=1 baseline (plus at least one
+recorded retry, and a merged trace that validates strictly).
+
 Usage:
     PYTHONPATH=src python scripts/fault_smoke.py ensemble:after_replica:2
     PYTHONPATH=src python scripts/fault_smoke.py checkpoint:after_tmp_write:3
+    PYTHONPATH=src python scripts/fault_smoke.py --parallel ensemble:after_round:25
 
 Exit 0 on pass, 1 on any violated invariant.  The CI fault-injection
 matrix and ``tests/execution/test_faults.py`` both drive this entry point,
@@ -62,6 +72,8 @@ def _stats_dict(stats) -> dict:
         "mean_converged": stats.mean_converged,
         "min": stats.min,
         "max_converged": stats.max_converged,
+        "failed_shards": stats.failed_shards,
+        "attempted_trials": stats.attempted_trials,
     }
 
 
@@ -99,21 +111,71 @@ def _run_ensemble(outdir: pathlib.Path, resume: bool, with_trace: bool) -> dict:
     return _stats_dict(stats)
 
 
+def _run_parallel_ensemble(outdir: pathlib.Path, workers: int) -> dict:
+    """Run the scenario through the supervised pool; return stats + accounting."""
+    from repro.dynamics.config import wrong_consensus_configuration
+    from repro.dynamics.rng import make_rng
+    from repro.execution.supervisor import (
+        SupervisorConfig,
+        run_supervised_ensemble,
+        summarize_supervised,
+    )
+    from repro.protocols import voter
+
+    result = run_supervised_ensemble(
+        voter(1),
+        wrong_consensus_configuration(SCENARIO["n"], SCENARIO["z"]),
+        SCENARIO["max_rounds"],
+        make_rng(SCENARIO["seed"]),
+        SCENARIO["replicas"],
+        supervisor=SupervisorConfig(
+            workers=workers, shards=4, backoff_base_s=0.05
+        ),
+        checkpoint_base=outdir / "ensemble.ckpt",
+        checkpoint_every=SCENARIO["every"],
+        trace_path=outdir / "ensemble.jsonl",
+    )
+    stats = summarize_supervised(result, budget=SCENARIO["max_rounds"])
+    return {
+        "stats": _stats_dict(stats),
+        "supervision": {
+            "retries": result.retries,
+            "timeouts": result.timeouts,
+            "failed_shards": result.failed_shards,
+        },
+    }
+
+
 def _worker(argv) -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("outdir", type=pathlib.Path)
     parser.add_argument("--resume", action="store_true")
+    parser.add_argument("--parallel", action="store_true")
     args = parser.parse_args(argv)
+    if args.parallel:
+        document = _run_parallel_ensemble(args.outdir, workers=2)
+        (args.outdir / "stats.json").write_text(
+            json.dumps(document, sort_keys=True) + "\n"
+        )
+        return 0
     stats = _run_ensemble(args.outdir, resume=args.resume, with_trace=True)
     (args.outdir / "stats.json").write_text(json.dumps(stats, sort_keys=True) + "\n")
     return 0
 
 
-def _spawn_worker(outdir: pathlib.Path, fault: str = "", resume: bool = False):
+def _spawn_worker(
+    outdir: pathlib.Path,
+    fault: str = "",
+    resume: bool = False,
+    parallel: bool = False,
+    fault_shard: str = "",
+):
     command = [sys.executable, str(pathlib.Path(__file__).resolve()), "--worker",
                str(outdir)]
     if resume:
         command.append("--resume")
+    if parallel:
+        command.append("--parallel")
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         [str(REPO_ROOT / "src")]
@@ -123,7 +185,86 @@ def _spawn_worker(outdir: pathlib.Path, fault: str = "", resume: bool = False):
         env["REPRO_FAULT"] = fault
     else:
         env.pop("REPRO_FAULT", None)
+    if fault_shard:
+        env["REPRO_FAULT_SHARD"] = fault_shard
+    else:
+        env.pop("REPRO_FAULT_SHARD", None)
+    env.pop("REPRO_FAULT_STICKY", None)
     return subprocess.run(command, env=env, capture_output=True, text=True)
+
+
+def _main_parallel(args, workdir: pathlib.Path) -> int:
+    """The --parallel flow: kill one worker's shard, supervisor retries."""
+
+    def fail(message: str) -> int:
+        print(
+            f"fault_smoke[--parallel {args.fault}]: FAIL: {message}",
+            file=sys.stderr,
+        )
+        return 1
+
+    # 1. Baseline: in-process, workers=1, unfaulted.  The faulted run below
+    #    uses workers=2, so a matching result also witnesses worker-count
+    #    invariance.
+    baseline_dir = workdir / "baseline"
+    baseline_dir.mkdir()
+    for var in ("REPRO_FAULT", "REPRO_FAULT_SHARD", "REPRO_FAULT_STICKY"):
+        os.environ.pop(var, None)
+    baseline = _run_parallel_ensemble(baseline_dir, workers=1)
+    if baseline["supervision"] != {"retries": 0, "timeouts": 0, "failed_shards": 0}:
+        return fail(f"baseline run was not clean: {baseline['supervision']}")
+
+    # 2. Faulted: a subprocess runs the pool at workers=2 with the fault
+    #    armed on shard 1 only.  The kill lands inside one worker; the
+    #    supervisor retries that shard from its own checkpoint, so the
+    #    subprocess itself exits 0.
+    faulted_dir = workdir / "faulted"
+    faulted_dir.mkdir()
+    completed = _spawn_worker(
+        faulted_dir, fault=args.fault, parallel=True, fault_shard="1"
+    )
+    if completed.returncode != 0:
+        return fail(
+            f"supervised worker exited {completed.returncode}; the pool "
+            f"should have absorbed the fault\n{completed.stdout}\n"
+            f"{completed.stderr}"
+        )
+    document = json.loads((faulted_dir / "stats.json").read_text())
+    supervision = document["supervision"]
+    if supervision["retries"] < 1:
+        return fail(
+            "supervisor recorded no retry — the fault never fired in a worker"
+        )
+    if supervision["failed_shards"] != 0:
+        return fail(
+            f"{supervision['failed_shards']} shard(s) quarantined; a "
+            "transient fault must recover by retry"
+        )
+
+    # 3. The recovered statistics must be bit-identical to the unfaulted
+    #    workers=1 baseline.
+    if document["stats"] != baseline["stats"]:
+        return fail(
+            "recovered stats differ from the unfaulted baseline:\n"
+            f"  baseline: {json.dumps(baseline['stats'], sort_keys=True)}\n"
+            f"  faulted:  {json.dumps(document['stats'], sort_keys=True)}"
+        )
+
+    # 4. The merged trace (shard 1's part being the resumed tail) must
+    #    still validate strictly.
+    records = validate_trace(faulted_dir / "ensemble.jsonl")
+    shard_rounds = sum(
+        1 for r in records if r.get("kind") == "round" and r.get("shard") == 1
+    )
+
+    print(
+        f"fault_smoke[--parallel {args.fault}]: PASS — worker killed at the "
+        f"crashpoint, shard retried ({supervision['retries']} retries), "
+        f"stats bit-identical to the workers=1 baseline, merged trace "
+        f"valid ({len(records)} records, {shard_rounds} resumed-shard "
+        f"rounds, median={baseline['stats']['median']})"
+    )
+    return 0
 
 
 def main(argv=None) -> int:
@@ -139,6 +280,11 @@ def main(argv=None) -> int:
         "--workdir", type=pathlib.Path, default=None,
         help="scratch directory (default: a fresh tempdir)",
     )
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="run the scenario through the supervised worker pool: kill one "
+             "worker's shard, assert the retry recovers bit-identically",
+    )
     args = parser.parse_args(argv)
 
     if args.workdir is None:
@@ -149,6 +295,9 @@ def main(argv=None) -> int:
     else:
         workdir = args.workdir
         workdir.mkdir(parents=True, exist_ok=True)
+
+    if args.parallel:
+        return _main_parallel(args, workdir)
 
     def fail(message: str) -> int:
         print(f"fault_smoke[{args.fault}]: FAIL: {message}", file=sys.stderr)

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.protocol import Protocol
 from repro.dynamics.config import Configuration
 from repro.dynamics.run import simulate_ensemble
+from repro.execution.checkpoint import DEFAULT_CHECKPOINT_EVERY
 from repro.telemetry import NULL_RECORDER, Recorder, span
 
 __all__ = ["ConvergenceStats", "summarize_times", "convergence_ensemble"]
@@ -28,7 +29,7 @@ class ConvergenceStats:
     """Summary of an ensemble of convergence times.
 
     Attributes:
-        trials: ensemble size.
+        trials: ensemble size (trials actually summarized).
         censored: runs that did not converge within the budget.
         budget: the round budget (``None`` if not applicable).
         median: median time; ``inf`` when over half the runs were censored
@@ -36,6 +37,13 @@ class ConvergenceStats:
         q10, q90: decile and 90th percentile with the same convention.
         mean_converged: mean over the *converged* runs only (``nan`` if none).
         min, max_converged: extremes over converged runs (``nan`` if none).
+        failed_shards: shards a supervised ensemble lost past its retry
+            budget (0 for serial ensembles).  Mirrors the censoring
+            philosophy: a lost shard is reported, never silently dropped.
+        attempted_trials: replicas the caller asked for, including those
+            on lost shards (``== trials`` when nothing was lost).  The
+            dataclass repr surfaces both fields, so degraded statistics
+            are visible anywhere the stats are printed or logged.
     """
 
     trials: int
@@ -47,18 +55,51 @@ class ConvergenceStats:
     mean_converged: float
     min: float
     max_converged: float
+    failed_shards: int = 0
+    attempted_trials: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.attempted_trials is None:
+            object.__setattr__(self, "attempted_trials", self.trials)
 
     @property
     def success_rate(self) -> float:
         return 1.0 - self.censored / self.trials
+
+    @property
+    def degraded(self) -> bool:
+        """True when the underlying ensemble lost shards (partial results)."""
+        return self.failed_shards > 0
+
+    @property
+    def lost_trials(self) -> int:
+        """Replicas that were attempted but lost with their shard."""
+        return int(self.attempted_trials) - self.trials
 
     def quantile_is_lower_bound(self, q: float) -> bool:
         """True when the ``q``-quantile is censored (only a lower bound)."""
         return self.censored > (1.0 - q) * self.trials
 
 
-def summarize_times(times: np.ndarray, budget: Optional[int] = None) -> ConvergenceStats:
-    """Summarize an array of times with ``nan`` marking censored runs."""
+def summarize_times(
+    times: np.ndarray,
+    budget: Optional[int] = None,
+    *,
+    failed_shards: int = 0,
+    attempted_trials: Optional[int] = None,
+) -> ConvergenceStats:
+    """Summarize an array of times with ``nan`` marking censored runs.
+
+    ``times`` holds only trials that actually ran to a verdict: a ``nan``
+    entry is a *censored* trial (it ran out of budget — evidence), which is
+    different from a *lost* trial (its shard died past the supervisor's
+    retry budget — absence of evidence).  Lost trials therefore never
+    appear in ``times``; supervised callers report them via the
+    ``failed_shards`` / ``attempted_trials`` keywords, which are carried
+    through to the :class:`ConvergenceStats` (and from there into
+    ``repro report --json``, where the perf gate refuses baselines built
+    from degraded ensembles).
+    """
     times = np.asarray(times, dtype=float)
     if times.size == 0:
         raise ValueError("times must be non-empty")
@@ -78,6 +119,8 @@ def summarize_times(times: np.ndarray, budget: Optional[int] = None) -> Converge
         mean_converged=float(converged.mean()) if len(converged) else float("nan"),
         min=float(converged.min()) if len(converged) else float("nan"),
         max_converged=float(converged.max()) if len(converged) else float("nan"),
+        failed_shards=int(failed_shards),
+        attempted_trials=attempted_trials,
     )
 
 
@@ -89,6 +132,9 @@ def convergence_ensemble(
     replicas: int,
     recorder: Recorder = NULL_RECORDER,
     checkpoint=None,
+    workers=None,
+    shards=None,
+    supervisor=None,
 ) -> ConvergenceStats:
     """Run ``replicas`` independent chains and summarize their ``tau``.
 
@@ -101,14 +147,47 @@ def convergence_ensemble(
     too: because the statistics are a pure function of the replica times,
     an ensemble killed at any point and resumed from its checkpoint yields
     **bit-identical** ``ConvergenceStats`` to an uninterrupted run.
+
+    Passing any of ``workers`` / ``shards`` / ``supervisor`` routes the
+    ensemble through :func:`repro.execution.supervisor.
+    run_supervised_ensemble` instead of the serial lock-step runner.  The
+    returned statistics then carry ``failed_shards`` / ``attempted_trials``
+    so shard loss degrades the report rather than silently shrinking the
+    sample (see the module docstring of the supervisor for the fault
+    model).  The supervised stream differs from the serial one — compare
+    supervised runs only against supervised runs with the same ``shards``.
     """
     with span(recorder, "convergence_ensemble") as timing:
-        times = simulate_ensemble(
-            protocol, config, max_rounds, rng, replicas, recorder,
-            checkpoint=checkpoint,
-        )
-        with span(recorder, "summarize"):
-            stats = summarize_times(times, budget=max_rounds)
+        if workers is not None or shards is not None or supervisor is not None:
+            from repro.execution.supervisor import (
+                run_supervised_ensemble,
+                summarize_supervised,
+                supervisor_from,
+            )
+
+            result = run_supervised_ensemble(
+                protocol,
+                config,
+                max_rounds,
+                rng,
+                replicas,
+                supervisor=supervisor_from(supervisor, workers, shards),
+                recorder=recorder,
+                checkpoint_base=checkpoint.path if checkpoint is not None else None,
+                checkpoint_every=(
+                    checkpoint.every if checkpoint is not None else DEFAULT_CHECKPOINT_EVERY
+                ),
+                guard=checkpoint.guard if checkpoint is not None else None,
+            )
+            with span(recorder, "summarize"):
+                stats = summarize_supervised(result, budget=max_rounds)
+        else:
+            times = simulate_ensemble(
+                protocol, config, max_rounds, rng, replicas, recorder,
+                checkpoint=checkpoint,
+            )
+            with span(recorder, "summarize"):
+                stats = summarize_times(times, budget=max_rounds)
         if recorder.enabled:
             timing.incr("replicas", replicas)
     return stats

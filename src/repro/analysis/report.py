@@ -14,7 +14,10 @@ artifacts and turns them into
 * the regression ledger — current ``BENCH_*.json`` wall clocks compared
   against the committed ``results/BASELINE.json`` snapshot with noise-aware
   thresholds (the relative slowdown gate widens with the baseline's
-  recorded run-to-run variance).
+  recorded run-to-run variance).  Records carrying an ``ensemble`` block
+  with ``failed_shards > 0`` — a supervised ensemble that lost shards —
+  are verdicted ``"degraded"`` and refused by :func:`update_baseline`, so
+  partial results can neither pass the gate nor poison the baseline.
 
 ``repro report`` renders all three; ``scripts/perf_gate.py`` turns the
 ledger verdicts into an exit code.
@@ -346,8 +349,11 @@ class ComparisonRow:
             current record), ``"untimed"`` (record without a wall clock —
             ``emit()`` was called outside ``run_once()``),
             ``"incomparable"`` (one side was timed in smoke sizing and the
-            other at full sizing), or ``"failed"`` (the experiment raised
-            or timed out mid-run and the harness archived the failure).
+            other at full sizing), ``"failed"`` (the experiment raised
+            or timed out mid-run and the harness archived the failure), or
+            ``"degraded"`` (the record's supervised ensemble lost shards —
+            its timing covers less work than the baseline's, so the ratio
+            is meaningless and the record must not enter the baseline).
     """
 
     experiment: str
@@ -389,6 +395,21 @@ def compare_against_baseline(
                     ratio=float("nan"),
                     threshold=float("nan"),
                     verdict="failed",
+                )
+            )
+            continue
+        if record is not None and (record.get("ensemble") or {}).get("failed_shards"):
+            # Partial results time less work than the baseline did; the
+            # ratio is meaningless and must not look like an improvement.
+            baseline_s = (entry or {}).get("wall_clock_s")
+            rows.append(
+                ComparisonRow(
+                    experiment=experiment,
+                    baseline_s=float(baseline_s) if baseline_s else float("nan"),
+                    current_s=float(current_s) if current_s else float("nan"),
+                    ratio=float("nan"),
+                    threshold=float("nan"),
+                    verdict="degraded",
                 )
             )
             continue
@@ -476,6 +497,11 @@ def update_baseline(
     becomes the sample mean — repeated `perf_gate.py --update-baseline`
     runs therefore accumulate exactly the run-to-run variance that
     :func:`compare_against_baseline` gates on.
+
+    Records from degraded supervised ensembles (``ensemble.failed_shards
+    > 0``) are skipped: their wall clock timed only the surviving shards,
+    and folding it in would teach the gate a reference that honest full
+    runs can never beat.
     """
     experiments: Dict[str, Any] = {
         k: dict(v) for k, v in baseline.get("experiments", {}).items()
@@ -483,6 +509,8 @@ def update_baseline(
     for experiment, record in current.items():
         wall = record.get("wall_clock_s")
         if wall is None:
+            continue
+        if (record.get("ensemble") or {}).get("failed_shards"):
             continue
         entry = experiments.setdefault(experiment, {})
         samples = [s for s in entry.get("samples", []) if s]
@@ -512,8 +540,9 @@ def build_report(
 
     Returns a JSON-able dict with ``traces`` (per-trace summaries),
     ``protocols`` (per-fingerprint aggregates), ``benchmarks`` (ledger
-    comparison rows), ``regressions`` (the flagged subset), and ``failed``
-    (experiments whose harness archived a mid-run failure or timeout).
+    comparison rows), ``regressions`` (the flagged subset), ``failed``
+    (experiments whose harness archived a mid-run failure or timeout), and
+    ``degraded`` (records from supervised ensembles that lost shards).
     The baseline defaults to ``<results_dir>/BASELINE.json``; the gate
     thresholds are forwarded to :func:`compare_against_baseline`.
     """
@@ -538,6 +567,9 @@ def build_report(
             asdict(row) for row in comparison if row.verdict == "regression"
         ],
         "failed": [asdict(row) for row in comparison if row.verdict == "failed"],
+        "degraded": [
+            asdict(row) for row in comparison if row.verdict == "degraded"
+        ],
     }
 
 
@@ -599,6 +631,10 @@ def render_report(report: Mapping[str, Any]) -> str:
         if failed:
             names = ", ".join(r["experiment"] for r in failed)
             sections.append(f"FAILED EXPERIMENTS: {names}")
+        degraded = report.get("degraded", [])
+        if degraded:
+            names = ", ".join(r["experiment"] for r in degraded)
+            sections.append(f"DEGRADED (shards lost, partial timings): {names}")
     else:
         sections.append(
             f"no BENCH_*.json records under {report.get('results_dir')} "

@@ -25,7 +25,8 @@ telemetry summaries, and ASCII plots go to stderr.
 Exit codes are per failure class (:mod:`repro.execution.shutdown`): 0 ok,
 1 usage/operational error, 2 run did not converge, 3 invalid trace,
 4 benchmark regression (``report --strict``), 5 interrupted with a
-checkpoint saved, 6 benchmark timeout (``bench --timeout``).
+checkpoint saved, 6 benchmark timeout (``bench --timeout``), 7 partial
+ensemble results (``run --workers``: shards lost past their retry budget).
 """
 
 from __future__ import annotations
@@ -55,6 +56,7 @@ from repro.execution import (
     EXIT_NOT_CONVERGED,
     EXIT_OK,
     EXIT_PERF_REGRESSION,
+    EXIT_SHARDS_LOST,
     CheckpointError,
     Checkpointer,
     GracefulExit,
@@ -124,6 +126,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     low, high = Configuration.count_bounds(args.n, args.z)
     x0 = args.x0 if args.x0 is not None else wrong_consensus_configuration(args.n, args.z).x0
     config = Configuration(n=args.n, z=args.z, x0=min(max(x0, low), high))
+    if args.replicas > 1 or args.workers is not None or args.shards is not None:
+        return _run_ensemble(args, protocol, config)
     # The argv-level inputs travel in the checkpoint's meta block so that
     # `repro resume <path>` can rebuild this exact run with no other flags.
     meta = {
@@ -237,6 +241,105 @@ def _run_simulation(
         )
         print(ascii_plot([series], width=64, height=12), file=sys.stderr)
     return EXIT_OK if result.converged else EXIT_NOT_CONVERGED
+
+
+def _run_ensemble(
+    args: argparse.Namespace, protocol: Protocol, config: Configuration
+) -> int:
+    """Body of ``repro run`` for ensembles (``--replicas``/``--workers``).
+
+    Runs the supervised executor (even at ``--workers 1``, so the stream —
+    a function of seed and shard count only — is identical whatever worker
+    count a later rerun picks).  With ``--checkpoint`` each shard
+    checkpoints to ``PATH.shard<k>``; re-invoking the *same* command after
+    a crash or Ctrl-C resumes every shard from its own file (``repro
+    resume`` stays single-run-only).  Exit codes: 0 all shards survived
+    and every trial converged, 2 some trials were censored, 7 shards were
+    lost past their retry budget (partial results), 5 interrupted.
+    """
+    from repro.execution.supervisor import (
+        SupervisorConfig,
+        run_supervised_ensemble,
+        summarize_supervised,
+    )
+
+    metrics = MetricsRecorder() if args.metrics else None
+    recorder = compose_recorders(metrics)
+    supervisor = SupervisorConfig(
+        workers=args.workers if args.workers is not None else 1,
+        shards=args.shards,
+        timeout_s=args.shard_timeout,
+        max_retries=args.max_retries,
+    )
+    with contextlib.ExitStack() as stack:
+        guard = None
+        if args.checkpoint is not None:
+            guard = stack.enter_context(ShutdownGuard())
+        try:
+            result = run_supervised_ensemble(
+                protocol, config, args.rounds, make_rng(args.seed),
+                args.replicas,
+                supervisor=supervisor,
+                recorder=recorder,
+                checkpoint_base=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                trace_path=args.trace,
+                guard=guard,
+            )
+        except GracefulExit as stop:
+            print(
+                f"interrupted by {stop.signal_name}; shard checkpoints at "
+                f"{args.checkpoint}.shard<k> — re-run the same command to "
+                "resume them",
+                file=sys.stderr,
+            )
+            return EXIT_INTERRUPTED
+    if result.times.size == 0:
+        print(
+            f"repro: all {len(result.shard_sizes)} shards failed "
+            f"({result.retries} retries, {result.timeouts} timeouts); "
+            "no surviving trials",
+            file=sys.stderr,
+        )
+        return EXIT_SHARDS_LOST
+    stats = summarize_supervised(result, budget=args.rounds)
+    print(
+        f"{protocol.name} on n={config.n}, z={config.z}, x0={config.x0}: "
+        f"ensemble of {stats.attempted_trials} "
+        f"(shards={len(result.shard_sizes)}, workers={supervisor.workers})"
+    )
+    print(f"trials={stats.trials}")
+    print(f"censored={stats.censored}")
+    print(f"failed_shards={stats.failed_shards}")
+    print(f"attempted_trials={stats.attempted_trials}")
+    print(f"median={stats.median}")
+    print(f"q10={stats.q10}")
+    print(f"q90={stats.q90}")
+    print(f"mean_converged={stats.mean_converged}")
+    if result.retries or result.timeouts:
+        print(
+            f"supervision: retries={result.retries} timeouts={result.timeouts}",
+            file=sys.stderr,
+        )
+    if metrics is not None:
+        m = metrics.metrics()
+        for path, agg in sorted(m.spans.items()):
+            print(
+                f"telemetry: span {path}: calls={agg.calls} "
+                f"wall={agg.wall_s:.4f}s",
+                file=sys.stderr,
+            )
+    if args.trace:
+        print(f"trace: merged shard traces into {args.trace}", file=sys.stderr)
+    if stats.failed_shards:
+        print(
+            f"repro: {stats.failed_shards} shard(s) lost past the retry "
+            f"budget; statistics cover {stats.trials} of "
+            f"{stats.attempted_trials} trials",
+            file=sys.stderr,
+        )
+        return EXIT_SHARDS_LOST
+    return EXIT_OK if stats.censored == 0 else EXIT_NOT_CONVERGED
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
@@ -356,7 +459,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(render_report(report))
-    if args.strict and (report["regressions"] or report.get("failed")):
+    if args.strict and (
+        report["regressions"] or report.get("failed") or report.get("degraded")
+    ):
         return EXIT_PERF_REGRESSION
     return EXIT_OK
 
@@ -368,6 +473,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import subprocess
     import time
 
+    if args.workers is not None and args.workers < 1:
+        print("bench: --workers must be >= 1", file=sys.stderr)
+        return EXIT_ERROR
     repo_root = pathlib.Path(__file__).resolve().parents[2]
     bench_dir = (
         pathlib.Path(args.bench_dir) if args.bench_dir else repo_root / "benchmarks"
@@ -390,7 +498,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.timeout <= 0:
             print("bench: --timeout must be positive", file=sys.stderr)
             return EXIT_ERROR
+        # The SIGALRM this arms only fires in the benchmark's main process;
+        # the ensemble supervisor folds the same budget into its per-shard
+        # timeout (the tighter of the two wins), so hung workers cannot
+        # outlive it.  See docs/OBSERVABILITY.md.
         env["REPRO_BENCH_TIMEOUT"] = str(args.timeout)
+    if args.workers is not None:
+        env["REPRO_BENCH_WORKERS"] = str(args.workers)
     env["PYTHONPATH"] = os.pathsep.join(
         [str(repo_root / "src")]
         + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
@@ -576,6 +690,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CHECKPOINT_EVERY,
         help=f"rounds between checkpoint writes (default {DEFAULT_CHECKPOINT_EVERY})",
     )
+    run.add_argument(
+        "--replicas", type=int, default=1,
+        help="independent chains; >1 runs a supervised ensemble and prints "
+             "convergence statistics instead of one trajectory",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the ensemble (results depend only on "
+             "seed and --shards, never on N)",
+    )
+    run.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="fixed shard count (part of the random-stream identity; "
+             "default min(replicas, 8))",
+    )
+    run.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard-attempt wall-clock budget; overrunning workers are "
+             "killed and retried",
+    )
+    run.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per shard before it is quarantined (exit 7 reports "
+             "the partial results)",
+    )
     run.set_defaults(handler=_cmd_run)
 
     resume = sub.add_parser(
@@ -639,7 +778,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--strict", action="store_true",
-        help="exit 4 when the ledger flags a regression or failed experiment",
+        help="exit 4 when the ledger flags a regression, failed experiment, "
+             "or a record built from a degraded (shards-lost) ensemble",
     )
     report.add_argument(
         "--min-rel-slowdown", type=float, default=0.30,
@@ -673,6 +813,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--bench-dir", metavar="DIR", default=None,
         help="benchmark directory to run (default: the repo's benchmarks/)",
+    )
+    bench.add_argument(
+        "--workers", metavar="N", type=int, default=None,
+        help="worker processes for ensemble benchmarks (REPRO_BENCH_WORKERS)",
     )
     bench.set_defaults(handler=_cmd_bench)
 

@@ -16,6 +16,22 @@ import numpy as np
 SeedLike = Union[None, int, Sequence[int], np.random.SeedSequence, np.random.Generator]
 
 
+def _as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Normalize any ``SeedLike`` into the ``SeedSequence`` root to spawn from.
+
+    A generator contributes fresh entropy drawn from its own stream (so the
+    derived root — and everything spawned from it — is a deterministic
+    function of the generator's state, yet independent of its future
+    output); a ``SeedSequence`` is the root already; anything else is
+    handed to the ``SeedSequence`` constructor unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(seed.integers(0, 2**63, size=4).tolist())
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
 def make_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
@@ -25,8 +41,9 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     """
     if isinstance(seed, np.random.Generator):
         return seed
-    if isinstance(seed, np.random.SeedSequence):
-        return np.random.default_rng(seed)
+    # default_rng normalizes every remaining SeedLike itself (a
+    # SeedSequence passes through; ints/sequences/None become one), so a
+    # separate SeedSequence branch would be dead weight.
     return np.random.default_rng(seed)
 
 
@@ -38,24 +55,13 @@ def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    if isinstance(seed, np.random.Generator):
-        # Derive a fresh entropy root from the generator itself.
-        root = np.random.SeedSequence(seed.integers(0, 2**63, size=4).tolist())
-    elif isinstance(seed, np.random.SeedSequence):
-        root = seed
-    else:
-        root = np.random.SeedSequence(seed)
+    root = _as_seed_sequence(seed)
     return [np.random.default_rng(child) for child in root.spawn(count)]
 
 
 def rng_stream(seed: SeedLike) -> Iterator[np.random.Generator]:
     """Yield an endless stream of independent generators derived from ``seed``."""
-    if isinstance(seed, np.random.Generator):
-        root = np.random.SeedSequence(seed.integers(0, 2**63, size=4).tolist())
-    elif isinstance(seed, np.random.SeedSequence):
-        root = seed
-    else:
-        root = np.random.SeedSequence(seed)
+    root = _as_seed_sequence(seed)
     while True:
         (child,) = root.spawn(1)
         yield np.random.default_rng(child)

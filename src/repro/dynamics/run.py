@@ -39,7 +39,13 @@ if TYPE_CHECKING:  # avoid a circular import: core.lower_bound needs dynamics.co
 from repro.dynamics.config import Configuration
 from repro.dynamics.engine import step_count, step_counts_batch
 from repro.execution import faults
-from repro.execution.checkpoint import Checkpointer, decode_times, encode_times, run_signature
+from repro.execution.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    Checkpointer,
+    decode_times,
+    encode_times,
+    run_signature,
+)
 from repro.execution.shutdown import GracefulExit
 from repro.telemetry import NULL_RECORDER, Recorder, run_provenance, span
 
@@ -216,6 +222,9 @@ def simulate_ensemble(
     replicas: int,
     recorder: Recorder = NULL_RECORDER,
     checkpoint: Optional[Checkpointer] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    supervisor=None,
 ) -> np.ndarray:
     """Convergence times of ``replicas`` independent runs, advanced in lock-step.
 
@@ -235,7 +244,49 @@ def simulate_ensemble(
     shutdown; a resumed ensemble replays the identical random stream, so
     its times (and any :func:`~repro.analysis.ensemble.summarize_times`
     statistics over them) are bit-identical to an uninterrupted run.
+
+    Any of ``workers=`` / ``shards=`` / ``supervisor=`` switches to the
+    sharded worker-pool executor (:func:`repro.execution.supervisor.
+    run_supervised_ensemble`): the ensemble splits into a fixed shard
+    count seeded via ``spawn_rngs``, so the times for a given ``(rng,
+    shards)`` pair are bit-identical at any worker count — but follow a
+    *different* (equally valid) stream than this function's serial
+    lock-step path.  ``checkpoint`` then contributes its path, cadence,
+    and guard to per-shard checkpoint files (``<path>.shard<k>``), and
+    ``recorder`` observes the supervisor's provenance, ``supervise`` span,
+    and summary rather than per-round records.  Shards that fail past
+    their retry budget are *dropped* from the returned array (with a
+    ``RuntimeWarning``) — use ``run_supervised_ensemble`` directly when
+    the loss accounting matters.
     """
+    if workers is not None or shards is not None or supervisor is not None:
+        import warnings
+
+        from repro.execution.supervisor import (
+            run_supervised_ensemble,
+            supervisor_from,
+        )
+
+        result = run_supervised_ensemble(
+            protocol, config, max_rounds, rng, replicas,
+            supervisor=supervisor_from(supervisor, workers, shards),
+            recorder=recorder,
+            checkpoint_base=checkpoint.path if checkpoint is not None else None,
+            checkpoint_every=(
+                checkpoint.every if checkpoint is not None
+                else DEFAULT_CHECKPOINT_EVERY
+            ),
+            guard=checkpoint.guard if checkpoint is not None else None,
+        )
+        if result.failed_shards:
+            warnings.warn(
+                f"supervised ensemble lost {result.failed_shards} shard(s): "
+                f"returning {result.times.size} of {result.attempted_trials} "
+                "trials",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return result.times
     if replicas < 1:
         raise ValueError(f"replicas must be >= 1, got {replicas}")
     if not protocol.satisfies_boundary_conditions(tolerance=1e-12):

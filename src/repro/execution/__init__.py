@@ -14,6 +14,13 @@ The three legs of the durability story (docs/OBSERVABILITY.md, "Durability
 * :mod:`repro.execution.faults` — the ``REPRO_FAULT`` crashpoint registry
   that kills the process at seeded points so the two invariants above are
   proven by tests (``scripts/fault_smoke.py``) rather than asserted.
+
+A fourth leg, :mod:`repro.execution.supervisor`, runs ensembles sharded
+over a supervised worker pool (per-shard timeouts, capped-backoff retries,
+quarantine, degraded-mode statistics).  It is imported on demand — via
+``import repro.execution.supervisor`` or the ``workers=`` argument of the
+runners — rather than re-exported here, because it sits *above* the
+dynamics runners in the import graph.
 """
 
 from repro.execution.checkpoint import (
@@ -44,6 +51,7 @@ from repro.execution.shutdown import (
     EXIT_NOT_CONVERGED,
     EXIT_OK,
     EXIT_PERF_REGRESSION,
+    EXIT_SHARDS_LOST,
     GracefulExit,
     ShutdownGuard,
 )
@@ -73,5 +81,6 @@ __all__ = [
     "EXIT_PERF_REGRESSION",
     "EXIT_INTERRUPTED",
     "EXIT_BENCH_TIMEOUT",
+    "EXIT_SHARDS_LOST",
     "EXIT_FAULT_INJECTED",
 ]

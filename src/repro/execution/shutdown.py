@@ -24,6 +24,7 @@ __all__ = [
     "EXIT_PERF_REGRESSION",
     "EXIT_INTERRUPTED",
     "EXIT_BENCH_TIMEOUT",
+    "EXIT_SHARDS_LOST",
     "EXIT_FAULT_INJECTED",
     "GracefulExit",
     "ShutdownGuard",
@@ -37,6 +38,7 @@ EXIT_INVALID_TRACE = 3  # `repro trace validate`: schema violation
 EXIT_PERF_REGRESSION = 4  # `repro report --strict`: the ledger flagged a regression
 EXIT_INTERRUPTED = 5  # SIGINT/SIGTERM with a final checkpoint written
 EXIT_BENCH_TIMEOUT = 6  # `repro bench --timeout`: an experiment overran its budget
+EXIT_SHARDS_LOST = 7  # supervised ensemble: partial results (shards quarantined)
 EXIT_FAULT_INJECTED = 86  # a REPRO_FAULT crashpoint fired (deliberately loud)
 
 

@@ -237,3 +237,55 @@ class TestBuildReport:
         )
         records = load_bench_records(tmp_path)
         assert set(records) == {"ok"}
+
+
+class TestDegradedEnsembles:
+    BASELINE = {
+        "schema": 1,
+        "experiments": {"E_ens": {"wall_clock_s": 1.0, "samples": [1.0]}},
+    }
+
+    @staticmethod
+    def _record(failed_shards, wall=0.6):
+        return {
+            "E_ens": {
+                "experiment": "E_ens",
+                "schema": 1,
+                "wall_clock_s": wall,
+                "ensemble": {
+                    "trials": 6,
+                    "censored": 0,
+                    "failed_shards": failed_shards,
+                    "attempted_trials": 8,
+                },
+            }
+        }
+
+    def test_shards_lost_is_degraded_not_improved(self):
+        # The partial run is *faster* than baseline — without the degraded
+        # verdict it would read as an improvement.
+        (row,) = compare_against_baseline(self._record(2), self.BASELINE)
+        assert row.verdict == "degraded"
+        assert row.ratio != row.ratio  # nan: the timing is incomparable
+
+    def test_intact_ensemble_compares_normally(self):
+        (row,) = compare_against_baseline(
+            self._record(0, wall=1.1), self.BASELINE
+        )
+        assert row.verdict == "ok"
+
+    def test_update_baseline_refuses_degraded_records(self):
+        updated = update_baseline(self._record(2), self.BASELINE)
+        assert updated["experiments"]["E_ens"]["samples"] == [1.0]
+
+    def test_update_baseline_accepts_intact_ensembles(self):
+        updated = update_baseline(self._record(0, wall=1.2), self.BASELINE)
+        assert updated["experiments"]["E_ens"]["samples"] == [1.0, 1.2]
+
+    def test_build_report_surfaces_degraded(self, tmp_path):
+        (tmp_path / "BENCH_E_ens.json").write_text(
+            json.dumps(self._record(1)["E_ens"])
+        )
+        report = build_report(tmp_path)
+        assert [row["experiment"] for row in report["degraded"]] == ["E_ens"]
+        assert "DEGRADED" in render_report(report)

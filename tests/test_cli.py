@@ -363,3 +363,90 @@ class TestDurabilityCommands:
         assert record["status"] == "failed"
         assert record["error"]["kind"] == "timeout"
         assert record["error"]["elapsed_s"] == pytest.approx(1.0, abs=0.75)
+
+
+class TestEnsembleRuns:
+    ARGS = [
+        "run", "voter", "--n", "64", "--x0", "32", "--rounds", "3000",
+        "--seed", "7",
+    ]
+
+    def test_run_replicas_prints_stats(self, capsys):
+        code = main(
+            self.ARGS + ["--replicas", "8", "--workers", "2", "--shards", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trials=8" in out
+        assert "failed_shards=0" in out
+        assert "attempted_trials=8" in out
+        assert "median=" in out
+
+    def test_run_workers_is_result_invariant(self, capsys):
+        main(self.ARGS + ["--replicas", "8", "--workers", "1", "--shards", "4"])
+        one = capsys.readouterr().out
+        main(self.ARGS + ["--replicas", "8", "--workers", "4", "--shards", "4"])
+        four = capsys.readouterr().out
+        # The header names the worker count; the statistics must not.
+        strip = lambda text: [
+            line for line in text.splitlines() if "workers=" not in line
+        ]
+        assert strip(one) == strip(four)
+
+    def test_run_workers_without_replicas_uses_the_supervisor(self, capsys):
+        code = main(self.ARGS + ["--workers", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trials=1" in out
+
+    def test_run_lost_shards_exit_code(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "ensemble:after_round:10")
+        monkeypatch.setenv("REPRO_FAULT_SHARD", "1")
+        monkeypatch.setenv("REPRO_FAULT_STICKY", "1")
+        code = main(
+            self.ARGS
+            + ["--replicas", "8", "--workers", "2", "--shards", "4",
+               "--max-retries", "0"]
+        )
+        captured = capsys.readouterr()
+        assert code == 7
+        assert "failed_shards=1" in captured.out
+        assert "lost past the retry budget" in captured.err
+
+    def test_run_ensemble_writes_valid_merged_trace(self, tmp_path, capsys):
+        trace = tmp_path / "ensemble.jsonl"
+        code = main(
+            self.ARGS
+            + ["--replicas", "6", "--workers", "2", "--shards", "3",
+               "--trace", str(trace)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert main(["trace", "validate", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "complete=true" in out
+
+    def test_report_strict_flags_degraded_records(self, tmp_path, capsys):
+        (tmp_path / "BENCH_E_ens.json").write_text(
+            json.dumps(
+                {
+                    "experiment": "E_ens",
+                    "schema": 1,
+                    "wall_clock_s": 0.5,
+                    "ensemble": {
+                        "trials": 4,
+                        "censored": 0,
+                        "failed_shards": 1,
+                        "attempted_trials": 8,
+                    },
+                }
+            )
+        )
+        assert main(["report", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(tmp_path), "--strict"]) == EXIT_PERF_REGRESSION
+        assert "degraded" in capsys.readouterr().out
+
+    def test_bench_workers_rejects_nonpositive(self, capsys):
+        assert main(["bench", "--workers", "0", "--list"]) == EXIT_ERROR
+        assert "--workers" in capsys.readouterr().err
