@@ -2,13 +2,22 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples report perf-gate trace-smoke fault-smoke ensemble-smoke clean
+.PHONY: install test doctest docs-check bench bench-smoke examples report perf-gate trace-smoke fault-smoke ensemble-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+doctest:
+	$(PYTHON) -m pytest --doctest-modules \
+	    src/repro/dynamics/rng.py \
+	    src/repro/dynamics/batched.py \
+	    src/repro/execution/supervisor.py
+
+docs-check:
+	$(PYTHON) scripts/check_docs.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -9,6 +9,8 @@ import importlib
 import inspect
 import io
 import pathlib
+import re
+import typing
 
 MODULES = [
     "repro.core.protocol", "repro.core.bias", "repro.core.roots",
@@ -17,13 +19,15 @@ MODULES = [
     "repro.protocols.voter", "repro.protocols.minority", "repro.protocols.majority",
     "repro.protocols.two_choices", "repro.protocols.blends",
     "repro.protocols.parametric", "repro.protocols.table", "repro.protocols.registry",
-    "repro.dynamics.config", "repro.dynamics.engine", "repro.dynamics.agentwise",
+    "repro.dynamics.config", "repro.dynamics.engine", "repro.dynamics.batched",
+    "repro.dynamics.agentwise",
     "repro.dynamics.run", "repro.dynamics.sequential", "repro.dynamics.kactivation",
     "repro.dynamics.multiopinion", "repro.dynamics.noise", "repro.dynamics.zealots",
     "repro.dynamics.adversary", "repro.dynamics.graphs", "repro.dynamics.heterogeneous",
     "repro.dynamics.rng",
     "repro.telemetry.recorder", "repro.telemetry.jsonl",
     "repro.execution.checkpoint", "repro.execution.faults", "repro.execution.shutdown",
+    "repro.execution.supervisor",
     "repro.markov.chain", "repro.markov.exact", "repro.markov.birth_death",
     "repro.markov.doob", "repro.markov.concentration", "repro.markov.escape",
     "repro.markov.spectral", "repro.markov.quasistationary",
@@ -45,9 +49,12 @@ def _signature(item) -> str:
     affected entry.
     """
     try:
-        return str(inspect.signature(item))
+        text = str(inspect.signature(item))
     except (TypeError, ValueError):
         return ""
+    # Function-object defaults repr with a memory address, which would make
+    # the generated file differ on every run; keep just the function name.
+    return re.sub(r"<function (\w+) at 0x[0-9a-f]+>", r"<function \1>", text)
 
 
 def main() -> None:
@@ -64,7 +71,11 @@ def main() -> None:
             item = getattr(module, item_name)
             doc = (inspect.getdoc(item) or "").strip().splitlines()
             summary = doc[0] if doc else ""
-            if inspect.isclass(item):
+            if typing.get_origin(item) is not None:
+                kind = "type"
+                label = item_name
+                summary = str(item).replace("typing.", "")
+            elif inspect.isclass(item):
                 kind = "class"
                 label = item_name
             elif callable(item):
@@ -73,6 +84,11 @@ def main() -> None:
             else:
                 kind = "const"
                 label = item_name
+                # A constant's own value is its documentation; the docstring
+                # inspect finds is just the one for its type (useless noise
+                # like "int([x]) -> integer").
+                value = repr(item)
+                summary = value if len(value) <= 72 else value[:69] + "..."
             out.write(f"- **`{label}`** ({kind}) — {summary}\n")
     target = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
     target.write_text(out.getvalue())

@@ -135,8 +135,18 @@ def convergence_ensemble(
     workers=None,
     shards=None,
     supervisor=None,
+    engine=None,
 ) -> ConvergenceStats:
     """Run ``replicas`` independent chains and summarize their ``tau``.
+
+    ``engine`` selects the stepping backend and is forwarded verbatim
+    (``"loop"`` | ``"batched"`` | ``"batched+numba"`` | ``"lockstep"``;
+    ``None`` means the default ``"batched"`` — see docs/ENGINES.md).
+    Because the statistics are a pure function of the replica times, the
+    loop-vs-batched bit-identity of :func:`~repro.dynamics.run.
+    simulate_ensemble` lifts to the returned :class:`ConvergenceStats`:
+    ``engine="loop"`` and ``engine="batched"`` yield field-wise identical
+    dataclasses for the same seed.
 
     ``recorder`` is forwarded to :func:`repro.dynamics.run.simulate_ensemble`
     (one record per lock-step round; see docs/OBSERVABILITY.md).  The whole
@@ -178,13 +188,14 @@ def convergence_ensemble(
                     checkpoint.every if checkpoint is not None else DEFAULT_CHECKPOINT_EVERY
                 ),
                 guard=checkpoint.guard if checkpoint is not None else None,
+                engine=engine,
             )
             with span(recorder, "summarize"):
                 stats = summarize_supervised(result, budget=max_rounds)
         else:
             times = simulate_ensemble(
                 protocol, config, max_rounds, rng, replicas, recorder,
-                checkpoint=checkpoint,
+                checkpoint=checkpoint, engine=engine,
             )
             with span(recorder, "summarize"):
                 stats = summarize_times(times, budget=max_rounds)

@@ -26,7 +26,10 @@ Exit codes are per failure class (:mod:`repro.execution.shutdown`): 0 ok,
 1 usage/operational error, 2 run did not converge, 3 invalid trace,
 4 benchmark regression (``report --strict``), 5 interrupted with a
 checkpoint saved, 6 benchmark timeout (``bench --timeout``), 7 partial
-ensemble results (``run --workers``: shards lost past their retry budget).
+ensemble results (``run --workers``: shards lost past their retry budget),
+86 fault injected (``REPRO_FAULT`` crashpoint reached — the fault-smoke
+harness's deterministic kill).  The authoritative table lives in
+docs/OBSERVABILITY.md, "Exit codes".
 """
 
 from __future__ import annotations
@@ -285,6 +288,7 @@ def _run_ensemble(
                 checkpoint_every=args.checkpoint_every,
                 trace_path=args.trace,
                 guard=guard,
+                engine=args.engine,
             )
         except GracefulExit as stop:
             print(
@@ -714,6 +718,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=2, metavar="N",
         help="retries per shard before it is quarantined (exit 7 reports "
              "the partial results)",
+    )
+    run.add_argument(
+        "--engine", default=None, metavar="NAME",
+        choices=("loop", "batched", "batched+numba", "lockstep"),
+        help="ensemble stepping backend (default: batched; see "
+             "docs/ENGINES.md for the backend contract)",
     )
     run.set_defaults(handler=_cmd_run)
 

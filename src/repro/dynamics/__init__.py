@@ -8,6 +8,17 @@ from repro.dynamics.config import (
     consensus_configuration,
     wrong_consensus_configuration,
 )
+from repro.dynamics.batched import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    binomial_icdf,
+    counter_uniforms,
+    engine_family,
+    replica_keys,
+    resolve_engine,
+    step_count_keyed,
+    step_counts_keyed,
+)
 from repro.dynamics.engine import step_count, step_counts_batch
 from repro.dynamics.multiopinion import (
     initial_multiopinion,
@@ -49,7 +60,7 @@ from repro.dynamics.zealots import (
     stationary_profile,
     step_count_zealots,
 )
-from repro.dynamics.rng import make_rng, rng_stream, spawn_rngs
+from repro.dynamics.rng import make_rng, rng_stream, spawn_rngs, spawn_seed_sequences
 from repro.dynamics.run import (
     RunResult,
     escape_time,
@@ -72,11 +83,21 @@ __all__ = [
     "adversarial_configurations",
     "step_count",
     "step_counts_batch",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "resolve_engine",
+    "engine_family",
+    "replica_keys",
+    "counter_uniforms",
+    "binomial_icdf",
+    "step_count_keyed",
+    "step_counts_keyed",
     "initial_opinions",
     "step_opinions",
     "simulate_opinions",
     "make_rng",
     "spawn_rngs",
+    "spawn_seed_sequences",
     "rng_stream",
     "RunResult",
     "simulate",

@@ -5,6 +5,18 @@ All stochastic code in this library takes an explicit
 created so that every experiment is reproducible from a single integer seed,
 and so that ensembles of independent runs use provably independent streams
 (via :class:`numpy.random.SeedSequence` spawning).
+
+Two stream shapes come out of the same ``SeedSequence`` tree:
+
+* :func:`spawn_rngs` — one full ``Generator`` per consumer (shards, worker
+  processes, anything that draws an open-ended amount of randomness);
+* :func:`spawn_seed_sequences` — the raw spawned children, which the
+  batched engine (:mod:`repro.dynamics.batched`) hashes down to one 64-bit
+  *key* per replica for its counter-based streams.
+
+Both walk the tree identically, so child ``j`` is a pure function of the
+root and ``j`` — never of how many siblings were requested.  That is the
+batch-membership-independence guarantee documented in docs/ENGINES.md.
 """
 
 from __future__ import annotations
@@ -12,6 +24,14 @@ from __future__ import annotations
 from typing import Iterator, Sequence, Union
 
 import numpy as np
+
+__all__ = [
+    "SeedLike",
+    "make_rng",
+    "spawn_seed_sequences",
+    "spawn_rngs",
+    "rng_stream",
+]
 
 SeedLike = Union[None, int, Sequence[int], np.random.SeedSequence, np.random.Generator]
 
@@ -38,6 +58,13 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     Accepts ``None`` (fresh OS entropy), an integer, a sequence of integers,
     a :class:`~numpy.random.SeedSequence`, or an existing generator (returned
     unchanged so call sites can be agnostic about what they were given).
+
+    The same seed always yields the same stream:
+
+    >>> make_rng(7).integers(0, 100, size=3).tolist()
+    [94, 62, 68]
+    >>> make_rng(7).integers(0, 100, size=3).tolist()
+    [94, 62, 68]
     """
     if isinstance(seed, np.random.Generator):
         return seed
@@ -47,20 +74,48 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def spawn_seed_sequences(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
+    """Return ``count`` child ``SeedSequence`` objects spawned from ``seed``.
+
+    The children are the first ``count`` nodes of the root's spawn tree, so
+    child ``j`` depends only on the root and on ``j`` — requesting more (or
+    fewer) siblings later never changes an earlier child:
+
+    >>> a = spawn_seed_sequences(42, 5)
+    >>> b = spawn_seed_sequences(42, 3)
+    >>> [c.spawn_key for c in b] == [c.spawn_key for c in a[:3]]
+    True
+
+    This is the substrate both :func:`spawn_rngs` (full generators) and
+    :func:`repro.dynamics.batched.replica_keys` (64-bit counter-stream
+    keys) are built on.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return _as_seed_sequence(seed).spawn(count)
+
+
 def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """Return ``count`` independent generators derived from ``seed``.
 
     Independence is guaranteed by ``SeedSequence.spawn`` rather than by
     arithmetic on seeds, which can create correlated streams.
+
+    >>> streams = spawn_rngs(20240707, 2)
+    >>> len(streams)
+    2
+    >>> streams[0].integers(0, 1000) != streams[1].integers(0, 1000)
+    np.True_
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    root = _as_seed_sequence(seed)
-    return [np.random.default_rng(child) for child in root.spawn(count)]
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, count)]
 
 
 def rng_stream(seed: SeedLike) -> Iterator[np.random.Generator]:
-    """Yield an endless stream of independent generators derived from ``seed``."""
+    """Yield an endless stream of independent generators derived from ``seed``.
+
+    Useful when the number of consumers is not known up front; the ``k``-th
+    generator yielded equals ``spawn_rngs(seed, k + 1)[k]`` for any ``k``.
+    """
     root = _as_seed_sequence(seed)
     while True:
         (child,) = root.spawn(1)

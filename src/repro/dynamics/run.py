@@ -36,6 +36,13 @@ from repro.core.protocol import Protocol
 
 if TYPE_CHECKING:  # avoid a circular import: core.lower_bound needs dynamics.config
     from repro.core.lower_bound import LowerBoundCertificate
+from repro.dynamics.batched import (
+    engine_family,
+    replica_keys,
+    resolve_engine,
+    step_count_keyed,
+    step_counts_keyed,
+)
 from repro.dynamics.config import Configuration
 from repro.dynamics.engine import step_count, step_counts_batch
 from repro.execution import faults
@@ -225,14 +232,27 @@ def simulate_ensemble(
     workers: Optional[int] = None,
     shards: Optional[int] = None,
     supervisor=None,
+    engine: Optional[str] = None,
 ) -> np.ndarray:
     """Convergence times of ``replicas`` independent runs, advanced in lock-step.
 
     Returns a float array of length ``replicas``: the convergence time of
     each replica, or ``nan`` where the run was censored at ``max_rounds``.
-    Vectorized across replicas via :func:`step_counts_batch`, so the cost is
-    ``O(max_rounds)`` batched binomial draws rather than ``replicas`` full
-    runs.
+    Vectorized across replicas, so the cost is ``O(max_rounds)`` batched
+    binomial draws rather than ``replicas`` full runs.
+
+    ``engine`` selects the stepping backend (contract in docs/ENGINES.md):
+    ``"batched"`` (the default) advances every replica on its own
+    counter-based stream via :func:`~repro.dynamics.batched.
+    step_counts_keyed`, so replica ``j``'s statistics depend only on the
+    seed and ``j`` — never on the batch size; ``"loop"`` is its
+    bit-identical scalar reference (one Python-level
+    :func:`~repro.dynamics.batched.step_count_keyed` call per active
+    replica per round); ``"batched+numba"`` jits the counter hash when
+    numba is importable and falls back to ``"batched"`` otherwise (same
+    bits either way); ``"lockstep"`` is the legacy shared-``Generator``
+    path via :func:`step_counts_batch`, whose stream differs from the
+    keyed engines' (statistical equivalence only).
 
     ``recorder`` observes one record per lock-step round: ``count`` is the
     mean count over *all* replicas, with ``active`` (replicas still running
@@ -277,6 +297,7 @@ def simulate_ensemble(
                 else DEFAULT_CHECKPOINT_EVERY
             ),
             guard=checkpoint.guard if checkpoint is not None else None,
+            engine=engine,
         )
         if result.failed_shards:
             warnings.warn(
@@ -294,17 +315,31 @@ def simulate_ensemble(
             f"protocol {protocol.name!r} violates Proposition 3; its "
             "convergence time is infinite (see time_to_leave_consensus)"
         )
+    resolved_engine = resolve_engine(engine)
+    family = engine_family(resolved_engine)
+    use_numba = resolved_engine == "batched+numba"
     start_round = 0
     resumed = None
     if checkpoint is not None:
+        # The signature keys on the engine *family*: the random stream (and
+        # with it the result) is a function of the family, so a run
+        # checkpointed under ``batched+numba`` resumes under ``batched``.
         signature = run_signature(
             "simulate_ensemble", protocol, rng,
             n=config.n, z=config.z, x0=config.x0,
-            max_rounds=max_rounds, replicas=replicas,
+            max_rounds=max_rounds, replicas=replicas, engine=family,
         )
         resumed = checkpoint.begin("simulate_ensemble", signature)
         if resumed is not None and resumed.complete:
             return decode_times(resumed.payload["times"])
+    # Per-replica keys are derived from the generator's *entry* state —
+    # before any resumed-state restore — so a resumed run re-derives the
+    # identical keys from the same seed.  The keyed engines never touch the
+    # generator afterwards; the stored bit-generator state is then simply
+    # the post-derivation state, constant across the whole run.
+    keys = None
+    if family in ("batched", "loop"):
+        keys = replica_keys(rng, replicas)
     target = config.target_count
     if resumed is not None:
         counts = np.asarray(resumed.payload["counts"], dtype=np.int64)
@@ -323,7 +358,7 @@ def simulate_ensemble(
     if recording:
         params = dict(
             n=config.n, z=config.z, x0=config.x0,
-            max_rounds=max_rounds, replicas=replicas,
+            max_rounds=max_rounds, replicas=replicas, engine=family,
         )
         if resumed is not None:
             params["resumed_from"] = start_round
@@ -336,9 +371,21 @@ def simulate_ensemble(
         for t in range(start_round + 1, max_rounds + 1):
             if not active.any():
                 break
-            counts[active] = step_counts_batch(
-                protocol, config.n, config.z, counts[active], rng, recorder
-            )
+            if family == "batched":
+                counts[active] = step_counts_keyed(
+                    protocol, config.n, config.z, counts[active],
+                    keys[active], t, recorder, use_numba=use_numba,
+                )
+            elif family == "loop":
+                for j in np.nonzero(active)[0]:
+                    counts[j] = step_count_keyed(
+                        protocol, config.n, config.z, int(counts[j]),
+                        keys[j], t, recorder,
+                    )
+            else:  # lockstep: the legacy shared-Generator stream
+                counts[active] = step_counts_batch(
+                    protocol, config.n, config.z, counts[active], rng, recorder
+                )
             newly_done = active & (counts == target)
             times[newly_done] = float(t)
             active &= ~newly_done

@@ -218,6 +218,11 @@ def shard_sizes(replicas: int, shards: int) -> List[int]:
     The first ``replicas % shards`` shards get the extra replica, so the
     partition (and with it every shard's random stream) is a pure function
     of the two counts.
+
+    >>> shard_sizes(10, 4)
+    [3, 3, 2, 2]
+    >>> shard_sizes(8, 8)
+    [1, 1, 1, 1, 1, 1, 1, 1]
     """
     if replicas < 1:
         raise ValueError(f"replicas must be >= 1, got {replicas}")
@@ -274,6 +279,7 @@ class _ShardTask:
     trace_timings: bool
     times_path: str
     env: Dict[str, Optional[str]]
+    engine: Optional[str] = None
 
 
 def _shard_worker(task: _ShardTask) -> None:
@@ -322,6 +328,7 @@ def _shard_worker(task: _ShardTask) -> None:
             task.replicas,
             recorder=trace if trace is not None else NULL_RECORDER,
             checkpoint=checkpoint,
+            engine=task.engine,
         )
     finally:
         if trace is not None:
@@ -421,20 +428,28 @@ def run_supervised_ensemble(
     trace_path: Optional[Union[str, Path]] = None,
     guard=None,
     workdir: Optional[Union[str, Path]] = None,
+    engine: Optional[str] = None,
     _worker=_shard_worker,
 ) -> SupervisedTimes:
     """Run ``replicas`` independent chains sharded over a worker pool.
 
     The ensemble is split by :func:`shard_sizes` into ``supervisor.shards``
     shards whose generators come from one ``spawn_rngs(rng, shards)`` call,
-    so the result is a function of ``(seed, shards)`` alone — the worker
-    count only changes wall-clock.  Each shard runs the stock serial
-    :func:`~repro.dynamics.run.simulate_ensemble` in a child process; see
-    the module docstring for the supervision, degradation, and telemetry
-    contracts.
+    so the result is a function of ``(seed, shards, engine)`` alone — the
+    worker count only changes wall-clock.  Each shard runs the stock serial
+    :func:`~repro.dynamics.run.simulate_ensemble` in a child process, so
+    each shard steps its replicas as one array under the selected engine;
+    see the module docstring for the supervision, degradation, and
+    telemetry contracts.
 
     Args:
         supervisor: pool configuration (default :class:`SupervisorConfig`).
+        engine: stepping backend forwarded to every shard's
+            :func:`~repro.dynamics.run.simulate_ensemble` (``None`` means
+            the default ``"batched"``; see docs/ENGINES.md).  Part of the
+            result identity only through its engine *family* — the
+            ``batched``/``loop`` families are bit-identical to each other,
+            ``lockstep`` is a different (equally valid) stream.
         recorder: parent-side recorder; observes the run's provenance, a
             ``supervise`` span with shard/retry/timeout counters, and the
             closing summary (per-round records live in the merged trace).
@@ -464,6 +479,12 @@ def run_supervised_ensemble(
             f"protocol {protocol.name!r} violates Proposition 3; its "
             "convergence time is infinite (see time_to_leave_consensus)"
         )
+    from repro.dynamics.batched import engine_family, resolve_engine
+
+    # Resolved in the parent so an invalid name fails fast (not as N worker
+    # crash-retry cycles), and normalized to the stream-identity family so
+    # provenance matches what the shards actually run.
+    family = engine_family(resolve_engine(engine))
     shards = cfg.shards if cfg.shards is not None else min(replicas, DEFAULT_SHARD_COUNT)
     sizes = shard_sizes(replicas, shards)
 
@@ -478,7 +499,7 @@ def run_supervised_ensemble(
         provenance = run_provenance(
             "supervised_ensemble", protocol, rng,
             n=config.n, z=config.z, x0=config.x0, max_rounds=max_rounds,
-            replicas=replicas, shards=shards,
+            replicas=replicas, shards=shards, engine=family,
         )
     shard_rngs = spawn_rngs(rng, shards)
     timeout = _effective_timeout(cfg.timeout_s)
@@ -538,6 +559,7 @@ def run_supervised_ensemble(
             trace_timings=cfg.trace_timings,
             times_path=str(scratch / f"shard{index}.times.json"),
             env=_fault_env(index, attempt),
+            engine=family,
         )
         process = context.Process(target=_worker, args=(task,), daemon=True)
         process.start()
@@ -765,7 +787,14 @@ def supervisor_from(
     workers: Optional[int],
     shards: Optional[int],
 ) -> SupervisorConfig:
-    """Overlay explicit ``workers=`` / ``shards=`` arguments on a config."""
+    """Overlay explicit ``workers=`` / ``shards=`` arguments on a config.
+
+    >>> supervisor_from(None, workers=4, shards=2)
+    SupervisorConfig(workers=4, shards=2, timeout_s=None, max_retries=2, \
+backoff_base_s=0.1, backoff_cap_s=5.0, poll_s=0.05, trace_timings=False)
+    >>> supervisor_from(SupervisorConfig(workers=8), None, None).workers
+    8
+    """
     cfg = base or SupervisorConfig()
     if workers is not None:
         cfg = replace(cfg, workers=workers)

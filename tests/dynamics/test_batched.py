@@ -1,0 +1,354 @@
+"""Tests for the batched engine: the docs/ENGINES.md contract, enforced.
+
+Three tiers, mirroring the backend contract:
+
+* **bit-identity** where it is promised — ``loop`` vs ``batched`` (and the
+  supervised composition of either) must agree to the bit;
+* **statistical equivalence** where only that is promised — ``batched`` vs
+  ``lockstep`` share a distribution, not a stream, so a KS test is the
+  right comparison;
+* **batch-membership independence** — replica ``j``'s trajectory is a
+  function of the seed and ``j``, never of how many replicas ride along.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import binom, ks_2samp
+
+from repro.analysis.ensemble import convergence_ensemble
+from repro.dynamics.batched import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    HAVE_NUMBA,
+    binomial_icdf,
+    counter_uniforms,
+    engine_family,
+    replica_keys,
+    resolve_engine,
+    step_count_keyed,
+    step_counts_keyed,
+)
+from repro.dynamics.config import Configuration, wrong_consensus_configuration
+from repro.dynamics.rng import make_rng, spawn_seed_sequences
+from repro.dynamics.run import simulate_ensemble
+from repro.protocols import minority, voter
+
+
+class TestEngineRegistry:
+    def test_default_is_batched(self):
+        assert DEFAULT_ENGINE == "batched"
+        assert resolve_engine(None) == "batched"
+
+    def test_every_listed_engine_resolves(self):
+        for name in ENGINES:
+            assert resolve_engine(name) in ENGINES
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate_ensemble(
+                voter(1), Configuration(n=20, z=1, x0=10), 5, make_rng(0), 3,
+                engine="warp",
+            )
+
+    def test_numba_falls_back_to_batched_when_absent(self):
+        resolved = resolve_engine("batched+numba")
+        if HAVE_NUMBA:
+            assert resolved == "batched+numba"
+        else:
+            assert resolved == "batched"
+        # Either way the stream identity is the batched family.
+        assert engine_family(resolved) == "batched"
+
+    def test_numba_request_runs_and_matches_batched(self):
+        config = wrong_consensus_configuration(64, 1)
+        a = simulate_ensemble(
+            voter(1), config, 2000, make_rng(5), 6, engine="batched+numba"
+        )
+        b = simulate_ensemble(voter(1), config, 2000, make_rng(5), 6, engine="batched")
+        np.testing.assert_array_equal(a, b)
+
+
+class TestReplicaKeys:
+    def test_batch_size_independent(self):
+        assert np.array_equal(replica_keys(123, 4), replica_keys(123, 16)[:4])
+
+    def test_matches_spawn_tree(self):
+        children = spawn_seed_sequences(123, 3)
+        expected = [child.generate_state(1, np.uint64)[0] for child in children]
+        assert replica_keys(123, 3).tolist() == expected
+
+    def test_generator_seed_is_deterministic(self):
+        assert np.array_equal(
+            replica_keys(make_rng(9), 5), replica_keys(make_rng(9), 5)
+        )
+
+    def test_distinct_keys(self):
+        keys = replica_keys(0, 1000)
+        assert len(np.unique(keys)) == 1000
+
+
+class TestCounterUniforms:
+    def test_range_and_determinism(self):
+        keys = replica_keys(1, 256)
+        u = counter_uniforms(keys, 7, 0)
+        assert ((0.0 <= u) & (u < 1.0)).all()
+        assert np.array_equal(u, counter_uniforms(keys, 7, 0))
+
+    def test_rounds_and_draws_decorrelated(self):
+        keys = replica_keys(1, 256)
+        assert not np.array_equal(counter_uniforms(keys, 7, 0), counter_uniforms(keys, 8, 0))
+        assert not np.array_equal(counter_uniforms(keys, 7, 0), counter_uniforms(keys, 7, 1))
+
+    def test_elementwise(self):
+        keys = replica_keys(2, 64)
+        full = counter_uniforms(keys, 3, 1)
+        assert np.array_equal(counter_uniforms(keys[10:20], 3, 1), full[10:20])
+
+    def test_marginally_uniform(self):
+        # One value per key: across many keys the marginal must be U[0,1).
+        keys = replica_keys(3, 20_000)
+        u = counter_uniforms(keys, 1, 0)
+        from scipy.stats import kstest
+
+        assert kstest(u, "uniform").pvalue > 1e-4
+
+
+class TestBinomialICDF:
+    def test_matches_scipy_on_interior_u(self):
+        rng = np.random.default_rng(42)
+        for _ in range(4):
+            m = rng.integers(0, 10**6, 2000)
+            p = rng.random(2000)
+            u = rng.uniform(1e-12, 1.0 - 1e-12, 2000)
+            k = binomial_icdf(u, m, p)
+            np.testing.assert_array_equal(k, binom.ppf(u, m, p).astype(np.int64))
+
+    def test_is_minimal_inverse(self):
+        # Directly assert min {k : CDF(k) >= u}, including extreme u where
+        # scipy's own search loosens: CDF(k) >= u and CDF(k-1) < u.
+        from scipy import special
+
+        rng = np.random.default_rng(7)
+        m = rng.integers(1, 10**5, 500)
+        p = rng.uniform(1e-6, 1 - 1e-6, 500)
+        u = np.concatenate([rng.random(496), [1e-300, 2**-53, 1 - 2**-53, 0.5]])
+        k = binomial_icdf(u, m, p)
+        assert (special.bdtr(k, m, p) >= u).all()
+        positive = k > 0
+        assert (special.bdtr(k[positive] - 1, m[positive], p[positive]) < u[positive]).all()
+
+    def test_degenerate_corners(self):
+        u = np.array([0.0, 0.5, 0.5, 0.5, 0.9])
+        m = np.array([10, 0, 10, 10, 10])
+        p = np.array([0.5, 0.5, 0.0, 1.0, 1.0])
+        assert binomial_icdf(u, m, p).tolist() == [0, 0, 0, 10, 10]
+
+    def test_elementwise(self):
+        rng = np.random.default_rng(11)
+        m = rng.integers(1, 10**4, 300)
+        p = rng.random(300)
+        u = rng.random(300)
+        full = binomial_icdf(u, m, p)
+        scalars = [int(binomial_icdf(u[j : j + 1], m[j : j + 1], p[j : j + 1])[0])
+                   for j in range(0, 300, 17)]
+        assert full[::17].tolist() == scalars
+
+
+class TestBitIdentity:
+    """The contract's strong tier: loop and batched share every bit."""
+
+    def test_step_kernels_agree(self):
+        protocol = minority(3)
+        keys = replica_keys(4, 200)
+        counts = np.arange(100, 300, dtype=np.int64)
+        batch = step_counts_keyed(protocol, 1000, 1, counts, keys, 9)
+        solo = [
+            step_count_keyed(protocol, 1000, 1, int(counts[j]), keys[j], 9)
+            for j in range(200)
+        ]
+        assert batch.tolist() == solo
+
+    def test_loop_vs_batched_times(self):
+        config = wrong_consensus_configuration(64, 1)
+        batched = simulate_ensemble(
+            voter(1), config, 3000, make_rng(21), 12, engine="batched"
+        )
+        loop = simulate_ensemble(voter(1), config, 3000, make_rng(21), 12, engine="loop")
+        np.testing.assert_array_equal(batched, loop)
+
+    def test_loop_vs_batched_convergence_stats(self):
+        config = wrong_consensus_configuration(64, 1)
+        a = convergence_ensemble(voter(1), config, 3000, make_rng(22), 10, engine="batched")
+        b = convergence_ensemble(voter(1), config, 3000, make_rng(22), 10, engine="loop")
+        assert a == b  # frozen dataclass: field-wise exact
+
+    def test_supervised_shards_bit_identical_across_engines(self):
+        from repro.execution.supervisor import SupervisorConfig, run_supervised_ensemble
+
+        config = wrong_consensus_configuration(48, 1)
+        results = [
+            run_supervised_ensemble(
+                voter(1), config, 2000, make_rng(31), 6,
+                supervisor=SupervisorConfig(workers=2, shards=3),
+                engine=engine,
+            )
+            for engine in ("batched", "loop")
+        ]
+        np.testing.assert_array_equal(results[0].times, results[1].times)
+        assert all(r.failed_shards == 0 for r in results)
+
+
+class TestBatchMembershipIndependence:
+    def test_prefix_of_larger_ensemble_is_unchanged(self):
+        # Same seed, different batch sizes: the shared replicas' times are
+        # identical because each replica steps on its own keyed stream.
+        config = wrong_consensus_configuration(64, 1)
+        small = simulate_ensemble(voter(1), config, 3000, make_rng(77), 5)
+        large = simulate_ensemble(voter(1), config, 3000, make_rng(77), 20)
+        np.testing.assert_array_equal(small, large[:5])
+
+    def test_lockstep_does_not_have_this_property(self):
+        # Contrast: the legacy shared-Generator engine couples replicas, so
+        # the same prefix changes with batch size — why batched is default.
+        config = wrong_consensus_configuration(64, 1)
+        small = simulate_ensemble(
+            voter(1), config, 3000, make_rng(77), 5, engine="lockstep"
+        )
+        large = simulate_ensemble(
+            voter(1), config, 3000, make_rng(77), 20, engine="lockstep"
+        )
+        assert not np.array_equal(small, large[:5], equal_nan=True)
+
+
+class TestStatisticalEquivalence:
+    """The contract's weak tier: keyed engines vs the legacy shared stream."""
+
+    def test_batched_vs_lockstep_distributions_match(self):
+        config = wrong_consensus_configuration(48, 1)
+        budget = 4000
+        batched = simulate_ensemble(
+            voter(1), config, budget, make_rng(101), 300, engine="batched"
+        )
+        lockstep = simulate_ensemble(
+            voter(1), config, budget, make_rng(202), 300, engine="lockstep"
+        )
+        assert np.isnan(batched).sum() < 15
+        assert np.isnan(lockstep).sum() < 15
+        result = ks_2samp(
+            batched[~np.isnan(batched)], lockstep[~np.isnan(lockstep)]
+        )
+        assert result.pvalue > 1e-4
+
+    def test_single_round_marginal_matches_exact_binomial(self):
+        # One keyed round from a fixed count is exactly Binomial-distributed:
+        # chi-square the empirical counts against the exact transition law.
+        from scipy.stats import chisquare
+
+        n, z, x = 30, 1, 15
+        protocol = voter(1)
+        keys = replica_keys(5, 20_000)
+        counts = np.full(20_000, x, dtype=np.int64)
+        out = step_counts_keyed(protocol, n, z, counts, keys, 1)
+        from repro.markov.exact import transition_row
+
+        law = transition_row(protocol, n, z, x)
+        support = np.arange(law.size)
+        observed = np.bincount(out, minlength=law.size).astype(float)
+        keep = law * out.size >= 5  # chi-square validity
+        stat = chisquare(
+            np.append(observed[keep], observed[~keep].sum()),
+            np.append(law[keep] * out.size, law[~keep].sum() * out.size),
+        )
+        assert stat.pvalue > 1e-4, (stat, support[keep])
+
+
+class TestDurability:
+    REPLICAS = 8
+    BUDGET = 5000
+    SEED = 7
+
+    def _config(self):
+        return wrong_consensus_configuration(96, 1)
+
+    def test_checkpoint_resume_bit_identical_under_batched(self, tmp_path):
+        from repro.execution import Checkpointer, GracefulExit, load_checkpoint
+
+        class _StopAfterPolls:
+            def __init__(self, polls):
+                self.remaining = polls
+                self.signum = 15
+                self.flushed = False
+
+            @property
+            def requested(self):
+                self.remaining -= 1
+                return self.remaining <= 0
+
+            def flush_registered(self):
+                self.flushed = True
+
+        baseline = simulate_ensemble(
+            voter(1), self._config(), self.BUDGET, make_rng(self.SEED),
+            self.REPLICAS, engine="batched",
+        )
+        path = tmp_path / "e.ckpt"
+        with pytest.raises(GracefulExit):
+            simulate_ensemble(
+                voter(1), self._config(), self.BUDGET, make_rng(self.SEED),
+                self.REPLICAS, engine="batched",
+                checkpoint=Checkpointer(path, every=5, guard=_StopAfterPolls(23)),
+            )
+        assert 0 < load_checkpoint(path).round < self.BUDGET
+        resumed = simulate_ensemble(
+            voter(1), self._config(), self.BUDGET, make_rng(self.SEED),
+            self.REPLICAS, engine="batched",
+            checkpoint=Checkpointer.resume(path, every=5),
+        )
+        np.testing.assert_array_equal(resumed, baseline)
+
+    def test_engine_mismatch_refuses_resume(self, tmp_path):
+        from repro.execution import CheckpointError, Checkpointer
+
+        path = tmp_path / "e.ckpt"
+        simulate_ensemble(
+            voter(1), self._config(), self.BUDGET, make_rng(self.SEED),
+            self.REPLICAS, engine="batched",
+            checkpoint=Checkpointer(path, every=5),
+        )
+        with pytest.raises(CheckpointError, match="different run"):
+            simulate_ensemble(
+                voter(1), self._config(), self.BUDGET, make_rng(self.SEED),
+                self.REPLICAS, engine="lockstep",
+                checkpoint=Checkpointer.resume(path, every=5),
+            )
+
+
+class TestTelemetryContract:
+    def test_batched_engine_ticks_batch_and_replica_steps(self):
+        from repro.telemetry import MetricsRecorder
+
+        recorder = MetricsRecorder()
+        simulate_ensemble(
+            voter(1), wrong_consensus_configuration(48, 1), 500, make_rng(3), 6,
+            recorder=recorder,
+        )
+        spans = recorder.metrics().spans
+        assert "ensemble" in spans
+        assert spans["ensemble"].counters["batch_steps"] >= 1
+        assert spans["ensemble"].counters["replica_steps"] >= 6
+
+    def test_provenance_records_engine(self, tmp_path):
+        from repro.telemetry import JsonlTraceWriter, read_trace
+
+        path = tmp_path / "t.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            simulate_ensemble(
+                voter(1), wrong_consensus_configuration(48, 1), 500,
+                make_rng(3), 4, recorder=writer,
+            )
+        start = next(r for r in read_trace(path) if r.get("kind") == "run_start")
+        assert start["params"]["engine"] == "batched"
