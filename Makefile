@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test doctest docs-check bench bench-smoke examples report perf-gate trace-smoke fault-smoke ensemble-smoke clean
+.PHONY: install test doctest docs-check bench bench-smoke examples report perf-gate trace-smoke fault-smoke ensemble-smoke metrics-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -41,9 +41,13 @@ fault-smoke:
 	$(PYTHON) scripts/fault_smoke.py ensemble:after_replica:2
 	$(PYTHON) scripts/fault_smoke.py ensemble:after_round:25
 	$(PYTHON) scripts/fault_smoke.py checkpoint:after_tmp_write:3
+	$(PYTHON) scripts/fault_smoke.py heartbeat:mid_write:30
 
 ensemble-smoke:
 	$(PYTHON) scripts/fault_smoke.py --parallel ensemble:after_round:25
+
+metrics-smoke:
+	$(PYTHON) scripts/metrics_smoke.py
 
 clean:
 	rm -rf results/*.txt .pytest_cache

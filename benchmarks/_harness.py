@@ -53,6 +53,7 @@ from repro.analysis.report import (
     load_bench_records,
 )
 from repro.analysis.series import Series, Table, ascii_plot
+from repro.telemetry.resources import cpu_seconds, peak_rss_bytes
 
 # REPRO_RESULTS_DIR redirects the whole ledger (records, baseline, text
 # artifacts) — how tests and the CI fault matrix keep scratch runs out of
@@ -174,6 +175,7 @@ def run_once(benchmark, fn, *args, experiment: Optional[str] = None, **kwargs):
     _pending_timing.clear()
     budget = bench_timeout()
     start = time.perf_counter()
+    cpu_start = cpu_seconds(include_children=True)
     try:
         if budget is not None:
             with _alarm(budget):
@@ -189,6 +191,10 @@ def run_once(benchmark, fn, *args, experiment: Optional[str] = None, **kwargs):
             _write_failed_record(experiment, error, time.perf_counter() - start)
         raise
     _pending_timing["wall_clock_s"] = time.perf_counter() - start
+    # Children folded in: ensemble benchmarks burn their CPU (and hit their
+    # memory peak) inside supervised worker processes.
+    _pending_timing["cpu_s"] = cpu_seconds(include_children=True) - cpu_start
+    _pending_timing["max_rss_bytes"] = peak_rss_bytes(include_children=True)
     return result
 
 
@@ -242,6 +248,8 @@ def _write_bench_record(experiment_id: str) -> None:
     record["rounds_per_second"] = (
         rounds / wall if rounds is not None and wall else None
     )
+    record["cpu_s"] = _pending_timing.get("cpu_s")
+    record["max_rss_bytes"] = _pending_timing.get("max_rss_bytes")
     record.update(_pending_timing.get("extra", {}))
     if smoke_mode():
         record["smoke"] = True
@@ -261,6 +269,8 @@ def _write_failed_record(experiment_id: str, error: Exception, wall: float) -> N
         "wall_clock_s": None,
         "rounds": None,
         "rounds_per_second": None,
+        "cpu_s": None,
+        "max_rss_bytes": peak_rss_bytes(include_children=True),
         "error": {
             "kind": "timeout" if isinstance(error, BenchTimeout) else "exception",
             "type": type(error).__name__,

@@ -15,6 +15,14 @@ For a given crashpoint (see :mod:`repro.execution.faults`), this script:
    every round record the resumed run emits matches the uninterrupted
    run's record for the same round, byte for byte.
 
+Every serial leg also composes a :class:`HeartbeatRecorder` with the
+trace (interval 0.0 — one write per round, so crashpoint visit counts
+stay deterministic).  For ``heartbeat:*`` fault sites the protocol
+additionally proves torn-heartbeat salvage: the killed run must leave a
+heartbeat file that :func:`read_heartbeat` refuses (returns ``None``
+instead of raising), and the resumed run must overwrite it with a valid
+``status="done"`` document.
+
 With ``--parallel`` the scenario instead runs through the supervised
 worker pool (:mod:`repro.execution.supervisor`): the baseline is computed
 in-process at ``workers=1``, then a subprocess runs the same ensemble at
@@ -47,6 +55,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.execution import EXIT_FAULT_INJECTED, Checkpointer  # noqa: E402
+from repro.telemetry.heartbeat import read_heartbeat  # noqa: E402
 from repro.telemetry.jsonl import validate_trace  # noqa: E402
 
 # Fixed scenario: small enough to finish in seconds, long enough that every
@@ -83,7 +92,11 @@ def _run_ensemble(outdir: pathlib.Path, resume: bool, with_trace: bool) -> dict:
     from repro.dynamics.config import wrong_consensus_configuration
     from repro.dynamics.rng import make_rng
     from repro.protocols import voter
-    from repro.telemetry import NULL_RECORDER, JsonlTraceWriter
+    from repro.telemetry import (
+        HeartbeatRecorder,
+        JsonlTraceWriter,
+        compose_recorders,
+    )
 
     checkpoint_path = outdir / "ensemble.ckpt"
     if resume:
@@ -95,6 +108,11 @@ def _run_ensemble(outdir: pathlib.Path, resume: bool, with_trace: bool) -> dict:
         if with_trace
         else None
     )
+    # interval_s=0.0: one heartbeat write per round, so the heartbeat:*
+    # crashpoint visit counts are deterministic across runs.
+    beat = HeartbeatRecorder(
+        outdir / "ensemble.heartbeat.json", role="run", interval_s=0.0
+    )
     try:
         stats = convergence_ensemble(
             voter(1),
@@ -102,7 +120,7 @@ def _run_ensemble(outdir: pathlib.Path, resume: bool, with_trace: bool) -> dict:
             SCENARIO["max_rounds"],
             make_rng(SCENARIO["seed"]),
             SCENARIO["replicas"],
-            recorder=trace if trace is not None else NULL_RECORDER,
+            recorder=compose_recorders(trace, beat),
             checkpoint=checkpoint,
         )
     finally:
@@ -323,6 +341,20 @@ def main(argv=None) -> int:
     if not checkpoint_path.exists():
         return fail("no checkpoint survived the injected crash")
 
+    # 2b. heartbeat:* crashpoints publish half a heartbeat *through the
+    #     rename* before dying — the one way a reader can meet a torn
+    #     heartbeat.  Prove the reader's salvage tolerance: the file must
+    #     exist, and read_heartbeat must refuse it (None, not a raise).
+    heartbeat_file = faulted_dir / "ensemble.heartbeat.json"
+    if args.fault.startswith("heartbeat:"):
+        if not heartbeat_file.exists():
+            return fail("heartbeat crashpoint fired but left no heartbeat file")
+        if read_heartbeat(heartbeat_file) is not None:
+            return fail(
+                "heartbeat crashpoint should have left a torn heartbeat "
+                "that read_heartbeat refuses"
+            )
+
     # 3. The torn trace (still at its .tmp name — the rename never ran) must
     #    salvage to a non-empty valid prefix.
     torn = faulted_dir / "ensemble.jsonl.tmp"
@@ -347,6 +379,17 @@ def main(argv=None) -> int:
             f"  resumed:  {json.dumps(resumed_stats, sort_keys=True)}"
         )
 
+    # 4b. The resumed run must have replaced whatever the crash left (a
+    #     stale "running" heartbeat, or the torn file from 2b) with a
+    #     parsable terminal one.
+    final_beat = read_heartbeat(heartbeat_file)
+    if final_beat is None or final_beat.status != "done":
+        status = None if final_beat is None else final_beat.status
+        return fail(
+            "resumed run did not publish a terminal heartbeat "
+            f"(read back: {status!r}, expected 'done')"
+        )
+
     # 5. The resumed run's timing-free trace must be a byte-identical tail
     #    of the baseline's: same rounds => same bytes.
     def round_lines(path: pathlib.Path) -> list:
@@ -366,6 +409,7 @@ def main(argv=None) -> int:
         f"fault_smoke[{args.fault}]: PASS — killed at the crashpoint, "
         f"salvaged {len(salvaged)} trace records, resumed bit-identical "
         f"({len(resumed_rounds)}-round byte-identical trace tail, "
+        f"terminal heartbeat {final_beat.status!r}, "
         f"median={baseline['median']}, censored={baseline['censored']})"
     )
     return 0

@@ -26,6 +26,8 @@ MODULES = [
     "repro.dynamics.adversary", "repro.dynamics.graphs", "repro.dynamics.heterogeneous",
     "repro.dynamics.rng",
     "repro.telemetry.recorder", "repro.telemetry.jsonl",
+    "repro.telemetry.resources", "repro.telemetry.heartbeat",
+    "repro.telemetry.prometheus", "repro.telemetry.profiling",
     "repro.execution.checkpoint", "repro.execution.faults", "repro.execution.shutdown",
     "repro.execution.supervisor",
     "repro.markov.chain", "repro.markov.exact", "repro.markov.birth_death",
@@ -36,9 +38,31 @@ MODULES = [
     "repro.dual.coalescing",
     "repro.extensions.memory", "repro.extensions.population", "repro.extensions.undecided",
     "repro.analysis.ensemble", "repro.analysis.scaling", "repro.analysis.series",
-    "repro.analysis.traces",
+    "repro.analysis.traces", "repro.analysis.watch",
     "repro.cli",
 ]
+
+
+def _exit_code_table() -> str:
+    """The exit-code taxonomy as a markdown table.
+
+    Generated from :data:`repro.execution.shutdown.EXIT_CODES` — the single
+    source of truth — so the docs can never drift from the constants.
+    """
+    from repro.execution.shutdown import EXIT_CODES
+
+    lines = [
+        "## Exit codes",
+        "",
+        "Per-failure-class exit codes of the `repro` CLI, generated from",
+        "`repro.execution.shutdown.EXIT_CODES`.",
+        "",
+        "| code | name | meaning |",
+        "|------|------|---------|",
+    ]
+    for name, value, description in EXIT_CODES:
+        lines.append(f"| {value} | `{name}` | {description} |")
+    return "\n".join(lines) + "\n"
 
 
 def _signature(item) -> str:
@@ -63,6 +87,8 @@ def main() -> None:
     out.write("One-line index of every public item, with call signatures,\n")
     out.write("generated from the code\n")
     out.write("(`python scripts/generate_api_docs.py` regenerates this file).\n")
+    out.write("\n")
+    out.write(_exit_code_table())
     for name in MODULES:
         module = importlib.import_module(name)
         first_line = (module.__doc__ or "").strip().splitlines()[0]

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Live-scrape smoke test for the ``/metrics`` observability plane.
+
+Launches ``repro run`` as a subprocess with ``--metrics-port 0`` (ephemeral
+port, announced on stderr), a sticky fault armed on shard 1
+(``REPRO_FAULT_STICKY=1`` keeps the kill armed across retries), and
+``--max-retries 1`` — so shard 1 dies, retries, dies again, and is
+quarantined while the surviving shards keep running.  Meanwhile this
+harness scrapes the endpoint continuously and asserts:
+
+1. every scraped payload passes the strict exposition-format validator
+   (:func:`repro.telemetry.prometheus.validate_exposition`) — the grammar
+   holds *mid-run*, not just for a final snapshot;
+2. the ``repro_shards_quarantined`` gauge ticks to >= 1 while the run is
+   still alive — the quarantine transition forces an immediate supervisor
+   heartbeat write precisely so it is scrapeable before the run ends;
+3. the subprocess exits with ``EXIT_SHARDS_LOST`` (degraded statistics,
+   not a crash).
+
+Usage:
+    PYTHONPATH=src python scripts/metrics_smoke.py
+
+Exit 0 on pass, 1 on any violated invariant.  CI's parallel fault-smoke
+job runs this via ``make metrics-smoke``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.execution import EXIT_SHARDS_LOST  # noqa: E402
+from repro.telemetry.prometheus import validate_exposition  # noqa: E402
+
+# Keep in sync with the stderr announcement in repro.cli._start_metrics_server.
+SERVING_PREFIX = "metrics: serving "
+
+# Sized so the surviving shards run for a few seconds — long enough for many
+# scrapes to land after the quarantine transition on any CI box.  workers ==
+# shards so the faulted shard's retry never queues behind a healthy shard:
+# it dies, retries in the freed slot, and is quarantined while the others
+# are still mid-run (the scrape window this test exists to exercise).
+SCENARIO = {
+    "n": 2000,
+    "rounds": 20000,
+    "replicas": 8,
+    "shards": 4,
+    "workers": 4,
+    "seed": 7,
+}
+
+SERVING_TIMEOUT_S = 30.0
+SCRAPE_INTERVAL_S = 0.1
+
+_QUARANTINED_RE = re.compile(
+    r"^repro_shards_quarantined(?:\{[^}]*\})? (\S+)", re.MULTILINE
+)
+
+
+def _fail(message: str) -> int:
+    print(f"metrics_smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _spawn(outdir: pathlib.Path) -> subprocess.Popen:
+    command = [
+        sys.executable, "-m", "repro", "run", "voter",
+        "--n", str(SCENARIO["n"]),
+        "--rounds", str(SCENARIO["rounds"]),
+        "--replicas", str(SCENARIO["replicas"]),
+        "--shards", str(SCENARIO["shards"]),
+        "--workers", str(SCENARIO["workers"]),
+        "--seed", str(SCENARIO["seed"]),
+        "--max-retries", "1",
+        "--checkpoint", str(outdir / "run.ckpt"),
+        "--metrics-port", "0",
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    # Sticky kill on shard 1 only: first attempt dies at round 10, the retry
+    # dies again, and --max-retries 1 quarantines the shard.
+    env["REPRO_FAULT"] = "ensemble:after_round:10"
+    env["REPRO_FAULT_SHARD"] = "1"
+    env["REPRO_FAULT_STICKY"] = "1"
+    return subprocess.Popen(
+        command, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+
+
+def _scrape(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.read().decode("utf-8")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="metrics_smoke_") as scratch:
+        outdir = pathlib.Path(scratch)
+        process = _spawn(outdir)
+
+        # Drain stderr on a thread (the run writes progress there; a full
+        # pipe would deadlock the child) while watching for the serving line.
+        stderr_lines: list = []
+        url_box: list = []
+
+        def drain() -> None:
+            for line in process.stderr:
+                stderr_lines.append(line)
+                if line.startswith(SERVING_PREFIX):
+                    url_box.append(line[len(SERVING_PREFIX):].strip())
+
+        reader = threading.Thread(target=drain, daemon=True)
+        reader.start()
+
+        deadline = time.monotonic() + SERVING_TIMEOUT_S
+        while not url_box and process.poll() is None:
+            if time.monotonic() > deadline:
+                process.kill()
+                return _fail("no 'metrics: serving' announcement on stderr")
+            time.sleep(0.05)
+        if not url_box:
+            process.wait()
+            return _fail(
+                "run exited before announcing the metrics endpoint\n"
+                + "".join(stderr_lines)
+            )
+        url = url_box[0]
+
+        scrapes = 0
+        max_quarantined = 0.0
+        scrapes_after_quarantine = 0
+        while process.poll() is None:
+            try:
+                payload = _scrape(url)
+            except (urllib.error.URLError, OSError):
+                # The run may be tearing down between poll() and the GET.
+                time.sleep(SCRAPE_INTERVAL_S)
+                continue
+            try:
+                validate_exposition(payload)
+            except ValueError as error:
+                process.kill()
+                return _fail(f"mid-run scrape failed validation: {error}")
+            scrapes += 1
+            match = _QUARANTINED_RE.search(payload)
+            if match:
+                value = float(match.group(1))
+                max_quarantined = max(max_quarantined, value)
+                if value >= 1:
+                    scrapes_after_quarantine += 1
+            time.sleep(SCRAPE_INTERVAL_S)
+
+        process.wait()
+        reader.join(timeout=5)
+
+        if process.returncode != EXIT_SHARDS_LOST:
+            return _fail(
+                f"run exited {process.returncode}, expected "
+                f"{EXIT_SHARDS_LOST} (quarantined shard => degraded stats)\n"
+                + "".join(stderr_lines)
+            )
+        if scrapes == 0:
+            return _fail("run finished before a single scrape landed")
+        if max_quarantined < 1:
+            return _fail(
+                f"repro_shards_quarantined never ticked past 0 in {scrapes} "
+                "scrapes — the quarantine transition was not observable"
+            )
+
+    print(
+        f"metrics_smoke: PASS — {scrapes} mid-run scrapes all validated, "
+        f"quarantined gauge peaked at {max_quarantined:g} "
+        f"({scrapes_after_quarantine} scrapes saw it), run exited "
+        f"{EXIT_SHARDS_LOST} as expected"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -542,9 +542,11 @@ def build_report(
     ``protocols`` (per-fingerprint aggregates), ``benchmarks`` (ledger
     comparison rows), ``regressions`` (the flagged subset), ``failed``
     (experiments whose harness archived a mid-run failure or timeout), and
-    ``degraded`` (records from supervised ensembles that lost shards).
-    The baseline defaults to ``<results_dir>/BASELINE.json``; the gate
-    thresholds are forwarded to :func:`compare_against_baseline`.
+    ``degraded`` (records from supervised ensembles that lost shards), and
+    ``resources`` (per-experiment peak RSS / CPU time, for the records new
+    enough to carry them).  The baseline defaults to
+    ``<results_dir>/BASELINE.json``; the gate thresholds are forwarded to
+    :func:`compare_against_baseline`.
     """
     results_dir = Path(results_dir)
     if baseline_path is None:
@@ -557,12 +559,24 @@ def build_report(
         current, baseline,
         min_rel_slowdown=min_rel_slowdown, noise_sigmas=noise_sigmas,
     )
+    resources = [
+        {
+            "experiment": experiment,
+            "cpu_s": record.get("cpu_s"),
+            "max_rss_bytes": record.get("max_rss_bytes"),
+            "wall_clock_s": record.get("wall_clock_s"),
+        }
+        for experiment, record in sorted(current.items())
+        if record.get("cpu_s") is not None
+        or record.get("max_rss_bytes") is not None
+    ]
     return {
         "results_dir": str(results_dir),
         "baseline": str(baseline_path),
         "traces": [asdict(s) for s in summaries],
         "protocols": [asdict(p) for p in protocols],
         "benchmarks": [asdict(row) for row in comparison],
+        "resources": resources,
         "regressions": [
             asdict(row) for row in comparison if row.verdict == "regression"
         ],
@@ -635,6 +649,20 @@ def render_report(report: Mapping[str, Any]) -> str:
         if degraded:
             names = ", ".join(r["experiment"] for r in degraded)
             sections.append(f"DEGRADED (shards lost, partial timings): {names}")
+        resources = report.get("resources", [])
+        if resources:
+            table = Table(
+                "Resource usage (per BENCH record; children included)",
+                ["experiment", "wall s", "cpu s", "peak rss"],
+            )
+            for row in resources:
+                table.add_row(
+                    row["experiment"],
+                    _fmt(row.get("wall_clock_s")),
+                    _fmt(row.get("cpu_s")),
+                    _fmt_bytes(row.get("max_rss_bytes")),
+                )
+            sections.append(table.render())
     else:
         sections.append(
             f"no BENCH_*.json records under {report.get('results_dir')} "
@@ -656,6 +684,17 @@ def _render_span_breakdown(protocols: Sequence[Mapping[str, Any]]) -> str:
     for path in sorted(totals, key=totals.get, reverse=True):
         table.add_row(path, _fmt(totals[path], digits=4))
     return table.render()
+
+
+def _fmt_bytes(count: Any) -> str:
+    if count is None:
+        return "-"
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024 or unit == "TB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}TB"  # pragma: no cover - loop always returns
 
 
 def _fmt(value: Any, digits: int = 2) -> str:

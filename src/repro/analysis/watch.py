@@ -1,0 +1,258 @@
+"""`repro watch`: a live terminal dashboard over heartbeat + trace files.
+
+The watcher is a pure *reader*: it tails the atomic heartbeat files a run
+(serial or supervised) publishes next to its checkpoints, plus the last
+round record of any JSONL traces beside them, and renders per-shard
+progress bars, throughput, ETA, attempt counts, memory, and quarantine
+state.  No IPC with the run means the same command is a post-mortem
+viewer: pointed at a dead run's directory it renders the final (or torn)
+heartbeats exactly as the crash left them — "is it stuck or just slow?"
+answered from the filesystem alone.
+
+Staleness is the liveness signal: a non-terminal heartbeat older than
+``stale_after`` seconds is flagged ``stale?``, because a healthy writer
+rewrites its file at least once per interval.  Torn heartbeats (the
+``heartbeat:mid_write`` fault, or a crash mid-rename on a non-atomic
+filesystem) render as ``UNREADABLE`` rather than being hidden.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.telemetry.heartbeat import (
+    HEARTBEAT_SUFFIX,
+    Heartbeat,
+    discover_heartbeats,
+)
+
+__all__ = [
+    "discover_traces",
+    "render_frame",
+    "tail_trace_round",
+    "watch",
+]
+
+_BAR_WIDTH = 20
+_TAIL_BYTES = 65536
+
+
+def _format_bytes(count: Optional[int]) -> str:
+    if count is None:
+        return "-"
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024 or unit == "TB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}TB"  # pragma: no cover - loop always returns
+
+
+def _format_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def _bar(fraction: Optional[float]) -> str:
+    if fraction is None:
+        return "[" + "?" * _BAR_WIDTH + "]"
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * _BAR_WIDTH))
+    return "[" + "#" * filled + "-" * (_BAR_WIDTH - filled) + "]"
+
+
+def _progress_fraction(beat: Heartbeat) -> Optional[float]:
+    """Replica completion when known, else round progress, else unknown."""
+    if beat.replicas and beat.replicas_done is not None:
+        return beat.replicas_done / beat.replicas
+    if beat.max_rounds:
+        return beat.round / beat.max_rounds
+    return None
+
+
+def _eta_s(beat: Heartbeat) -> Optional[float]:
+    if beat.terminal or not beat.max_rounds or not beat.rounds_per_second:
+        return None
+    remaining = max(0, beat.max_rounds - beat.round)
+    return remaining / beat.rounds_per_second
+
+
+def _writer_label(path: Path, beat: Optional[Heartbeat]) -> str:
+    if beat is None:
+        return path.name[: -len(HEARTBEAT_SUFFIX)] or path.name
+    if beat.role == "shard" and beat.shard is not None:
+        return f"shard {beat.shard}"
+    return beat.role
+
+
+def _beat_line(
+    path: Path, beat: Optional[Heartbeat], now: float, stale_after: float
+) -> str:
+    label = _writer_label(path, beat)
+    if beat is None:
+        return f"{label:<12} UNREADABLE (torn heartbeat?)"
+    parts = [f"{label:<12}"]
+    if beat.status == "failed":
+        parts.append("QUARANTINED")
+    else:
+        parts.append(_bar(_progress_fraction(beat)))
+    if beat.replicas is not None:
+        done = beat.replicas_done if beat.replicas_done is not None else "?"
+        parts.append(f"{done}/{beat.replicas} replicas")
+    if beat.max_rounds:
+        parts.append(f"round {beat.round}/{beat.max_rounds}")
+    elif beat.round:
+        parts.append(f"round {beat.round}")
+    if beat.rounds_per_second:
+        parts.append(f"{beat.rounds_per_second:.0f} r/s")
+    eta = _eta_s(beat)
+    if eta is not None:
+        parts.append(f"eta {_format_duration(eta)}")
+    if beat.attempt is not None and beat.attempt > 1:
+        parts.append(f"attempt {beat.attempt}")
+    if beat.rss_bytes is not None:
+        parts.append(f"rss {_format_bytes(beat.rss_bytes)}")
+    if beat.terminal:
+        parts.append(beat.status if beat.status != "failed" else "")
+    else:
+        age = beat.age_s(now)
+        parts.append(f"age {_format_duration(age)}")
+        if age > stale_after:
+            parts.append("stale?")
+    return "  ".join(part for part in parts if part)
+
+
+def _supervisor_line(beat: Heartbeat) -> str:
+    parts = [f"{'supervisor':<12}", beat.status]
+    if beat.replicas is not None:
+        done = beat.replicas_done if beat.replicas_done is not None else "?"
+        parts.append(f"{done}/{beat.replicas} replicas")
+    if beat.shards is not None:
+        parts.append(f"shards {beat.shards}")
+    parts.append(f"retries {beat.retries}")
+    parts.append(f"timeouts {beat.timeouts}")
+    parts.append(f"quarantined {beat.failed_shards}")
+    if beat.peak_rss_bytes is not None:
+        parts.append(f"peak rss {_format_bytes(beat.peak_rss_bytes)}")
+    if beat.cpu_s is not None:
+        parts.append(f"cpu {_format_duration(beat.cpu_s)}")
+    return "  ".join(parts)
+
+
+def discover_traces(path: Union[str, Path]) -> List[Path]:
+    """JSONL trace files belonging to a run base or directory (sorted)."""
+    path = Path(path)
+    if path.is_dir():
+        candidates = path.glob("*.jsonl*")
+    else:
+        candidates = path.parent.glob(f"{path.name}*.jsonl*")
+    return sorted(
+        candidate
+        for candidate in candidates
+        if not candidate.name.endswith(".tmp")
+    )
+
+
+def tail_trace_round(path: Union[str, Path]) -> Optional[dict]:
+    """The last ``round`` record of a JSONL trace, reading only the tail.
+
+    Seeks to the final :data:`_TAIL_BYTES` of the file, so tailing a
+    multi-gigabyte trace of a live run stays O(1).  Returns ``None`` when
+    the tail holds no parsable round record (empty or torn file included).
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            handle.seek(0, 2)
+            size = handle.tell()
+            handle.seek(max(0, size - _TAIL_BYTES))
+            tail = handle.read().decode("utf-8", errors="replace")
+    except OSError:
+        return None
+    for line in reversed(tail.splitlines()):
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and record.get("kind") == "round":
+            return record
+    return None
+
+
+def render_frame(
+    entries: List[Tuple[Path, Optional[Heartbeat]]],
+    *,
+    traces: List[Path] = (),
+    now: Optional[float] = None,
+    stale_after: float = 5.0,
+) -> str:
+    """Render one dashboard frame (plain text, one writer per line)."""
+    now = time.time() if now is None else now
+    supervisors = [b for _, b in entries if b is not None and b.role == "supervisor"]
+    lines: List[str] = []
+    for beat in supervisors:
+        lines.append(_supervisor_line(beat))
+    for path, beat in entries:
+        if beat is not None and beat.role == "supervisor":
+            continue
+        lines.append(_beat_line(path, beat, now, stale_after))
+    for trace in traces:
+        record = tail_trace_round(trace)
+        if record is not None:
+            lines.append(
+                f"{'trace':<12} {trace.name}: last round t={record.get('t')} "
+                f"count={record.get('count')}"
+            )
+    return "\n".join(lines)
+
+
+def _all_terminal(entries: List[Tuple[Path, Optional[Heartbeat]]]) -> bool:
+    beats = [beat for _, beat in entries if beat is not None]
+    return bool(beats) and all(beat.terminal for beat in beats)
+
+
+def watch(
+    path: Union[str, Path],
+    *,
+    interval: float = 1.0,
+    once: bool = False,
+    stale_after: float = 5.0,
+    stream=None,
+) -> int:
+    """Tail the heartbeats (and traces) under ``path`` until they finish.
+
+    ``path`` is a run/checkpoint base or a directory.  Redraws every
+    ``interval`` seconds (ANSI clear on a TTY, plain frames otherwise);
+    exits 0 once every readable heartbeat is terminal (or immediately with
+    ``once=True``), and 1 when no heartbeat files exist at all.
+    """
+    stream = sys.stdout if stream is None else stream
+    clear = "\x1b[2J\x1b[H" if getattr(stream, "isatty", lambda: False)() else ""
+    while True:
+        entries = discover_heartbeats(path)
+        if not entries:
+            print(f"repro watch: no heartbeat files under {path}", file=stream)
+            return 1
+        frame = render_frame(
+            entries, traces=discover_traces(path), stale_after=stale_after
+        )
+        print(f"{clear}{frame}", file=stream, flush=True)
+        if once:
+            return 0
+        if _all_terminal(entries):
+            return 0
+        time.sleep(interval)
+        if not clear:
+            print("", file=stream)

@@ -13,6 +13,9 @@ Usage (installed as ``python -m repro``):
     python -m repro landscape minority-3
     python -m repro bench --smoke --timeout 60
     python -m repro report results/ --strict
+    python -m repro run voter --replicas 64 --workers 4 --checkpoint run.ckpt \\
+        --metrics-port 0
+    python -m repro watch run.ckpt
 
 Protocols are resolved from the registry (:mod:`repro.protocols.registry`)
 or given inline as ``table:<g0 entries>[;<g1 entries>]`` — comma-separated
@@ -28,15 +31,24 @@ Exit codes are per failure class (:mod:`repro.execution.shutdown`): 0 ok,
 checkpoint saved, 6 benchmark timeout (``bench --timeout``), 7 partial
 ensemble results (``run --workers``: shards lost past their retry budget),
 86 fault injected (``REPRO_FAULT`` crashpoint reached — the fault-smoke
-harness's deterministic kill).  The authoritative table lives in
-docs/OBSERVABILITY.md, "Exit codes".
+harness's deterministic kill).  The authoritative table is generated into
+docs/API.md ("Exit codes") from :data:`repro.execution.shutdown.EXIT_CODES`.
+
+Live observability (``--metrics-port`` / ``--metrics-textfile`` /
+``--profile`` and the ``watch`` subcommand) is wired here and only here:
+the runners stay observability-free, the supervisor takes opt-in
+heartbeat/profile paths, and :mod:`repro.telemetry.prometheus` /
+:mod:`repro.telemetry.profiling` are demand-imported so plain runs never
+pay for them.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import pathlib
 import sys
+import tempfile
 from typing import Any, Dict, List, Optional
 
 import numpy as np
@@ -124,6 +136,51 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_collector(metrics, heartbeat_base):
+    """Build the ``/metrics`` payload closure for a (possibly live) run.
+
+    Re-reads heartbeat files on every call, so a scrape mid-run reflects
+    the workers' latest atomic writes; the recorder snapshot is whatever
+    aggregates the parent process holds at that instant.
+    """
+    from repro.telemetry.heartbeat import discover_heartbeats
+    from repro.telemetry.prometheus import render_metrics
+
+    def collect() -> str:
+        beats = []
+        if heartbeat_base is not None:
+            beats = [
+                beat
+                for _, beat in discover_heartbeats(heartbeat_base)
+                if beat is not None
+            ]
+        return render_metrics(
+            metrics.metrics() if metrics is not None else None, beats
+        )
+
+    return collect
+
+
+def _start_metrics_server(port: int, collect):
+    """Start the exporter thread and announce its URL on stderr."""
+    from repro.telemetry.prometheus import MetricsServer
+
+    server = MetricsServer(collect, port=port).start()
+    # Parsed by scripts/metrics_smoke.py — keep the "metrics: serving "
+    # prefix stable, and flush so a mid-run scraper sees it immediately.
+    print(f"metrics: serving {server.url}", file=sys.stderr, flush=True)
+    return server
+
+
+def _export_span_profile(metrics, profile_dir, name: str) -> None:
+    """Write the run's span aggregates as a speedscope flamegraph."""
+    from repro.telemetry.profiling import spans_to_speedscope, write_speedscope
+
+    target = pathlib.Path(profile_dir) / "spans.speedscope.json"
+    write_speedscope(target, spans_to_speedscope(metrics.metrics().spans, name))
+    print(f"profile: wrote {target}", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     protocol = resolve_protocol(args.protocol, args.n)
     low, high = Configuration.count_bounds(args.n, args.z)
@@ -150,6 +207,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         want_metrics=args.metrics, trace_path=args.trace,
         checkpoint_path=args.checkpoint, checkpoint_every=args.checkpoint_every,
         meta=meta, resume=False, show_plot=args.record,
+        metrics_port=args.metrics_port,
+        metrics_textfile=args.metrics_textfile,
+        profile_dir=args.profile,
     )
 
 
@@ -167,14 +227,40 @@ def _run_simulation(
     meta: Dict[str, Any],
     resume: bool,
     show_plot: bool,
+    metrics_port: Optional[int] = None,
+    metrics_textfile: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> int:
     """Shared body of ``repro run`` and ``repro resume``."""
-    metrics = MetricsRecorder() if want_metrics else None
+    observing = (
+        metrics_port is not None
+        or metrics_textfile is not None
+        or profile_dir is not None
+    )
+    # Observability rides on MetricsRecorder aggregates, so any of the
+    # flags forces it on (telemetry *printing* still follows --metrics).
+    metrics = MetricsRecorder() if (want_metrics or observing) else None
     trace = JsonlTraceWriter(trace_path) if trace_path else None
-    recorder = compose_recorders(metrics, trace)
     interrupted: Optional[GracefulExit] = None
     checkpoint: Optional[Checkpointer] = None
     with contextlib.ExitStack() as stack:
+        beat = None
+        if observing:
+            from repro.telemetry.heartbeat import HeartbeatRecorder, heartbeat_path
+
+            hb_base = checkpoint_path
+            if hb_base is None:
+                scratch = stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="repro_observe_")
+                )
+                hb_base = str(pathlib.Path(scratch) / "run")
+            beat = HeartbeatRecorder(heartbeat_path(hb_base))
+            if metrics_port is not None:
+                server = _start_metrics_server(
+                    metrics_port, _metrics_collector(metrics, hb_base)
+                )
+                stack.callback(server.stop)
+        recorder = compose_recorders(metrics, trace, beat)
         if checkpoint_path is not None:
             guard = stack.enter_context(ShutdownGuard())
             if trace is not None:
@@ -187,16 +273,34 @@ def _run_simulation(
                 checkpoint = Checkpointer(
                     checkpoint_path, every=checkpoint_every, guard=guard, meta=meta
                 )
+        if profile_dir is not None:
+            from repro.telemetry.profiling import maybe_cprofile
+
+            profiled = maybe_cprofile(pathlib.Path(profile_dir) / "run.prof")
+        else:
+            profiled = contextlib.nullcontext()
         try:
-            result = simulate(
-                protocol, config, rounds, make_rng(seed),
-                record=record, recorder=recorder, checkpoint=checkpoint,
-            )
+            with profiled:
+                result = simulate(
+                    protocol, config, rounds, make_rng(seed),
+                    record=record, recorder=recorder, checkpoint=checkpoint,
+                )
         except GracefulExit as stop:
             interrupted = stop
         finally:
             if trace is not None:
                 trace.close()
+        # Published inside the stack: the final payload must still see the
+        # heartbeat files when they live in the scratch directory.
+        if metrics_textfile is not None and interrupted is None:
+            from repro.telemetry.prometheus import write_textfile
+
+            write_textfile(
+                metrics_textfile, _metrics_collector(metrics, hb_base)()
+            )
+            print(f"metrics: wrote {metrics_textfile}", file=sys.stderr)
+    if profile_dir is not None and interrupted is None:
+        _export_span_profile(metrics, profile_dir, f"repro run {protocol.name}")
     if interrupted is not None:
         print(
             f"interrupted by {interrupted.signal_name}; checkpoint saved to "
@@ -213,7 +317,7 @@ def _run_simulation(
         f"converged={result.converged}, rounds={result.rounds}, "
         f"final count={result.final_count}"
     )
-    if metrics is not None:
+    if metrics is not None and want_metrics:
         m = metrics.metrics()
         print(
             f"telemetry: rounds={m.rounds} wall={m.wall_clock_s:.4f}s "
@@ -266,7 +370,12 @@ def _run_ensemble(
         summarize_supervised,
     )
 
-    metrics = MetricsRecorder() if args.metrics else None
+    observing = (
+        args.metrics_port is not None
+        or args.metrics_textfile is not None
+        or args.profile is not None
+    )
+    metrics = MetricsRecorder() if (args.metrics or observing) else None
     recorder = compose_recorders(metrics)
     supervisor = SupervisorConfig(
         workers=args.workers if args.workers is not None else 1,
@@ -278,6 +387,17 @@ def _run_ensemble(
         guard = None
         if args.checkpoint is not None:
             guard = stack.enter_context(ShutdownGuard())
+        hb_base = args.checkpoint
+        if hb_base is None and observing:
+            scratch = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro_observe_")
+            )
+            hb_base = str(pathlib.Path(scratch) / "run")
+        if args.metrics_port is not None:
+            server = _start_metrics_server(
+                args.metrics_port, _metrics_collector(metrics, hb_base)
+            )
+            stack.callback(server.stop)
         try:
             result = run_supervised_ensemble(
                 protocol, config, args.rounds, make_rng(args.seed),
@@ -289,6 +409,9 @@ def _run_ensemble(
                 trace_path=args.trace,
                 guard=guard,
                 engine=args.engine,
+                heartbeat_base=hb_base,
+                heartbeat_every_s=0.5 if observing else 1.0,
+                profile_dir=args.profile,
             )
         except GracefulExit as stop:
             print(
@@ -298,6 +421,17 @@ def _run_ensemble(
                 file=sys.stderr,
             )
             return EXIT_INTERRUPTED
+        if args.metrics_textfile is not None:
+            from repro.telemetry.prometheus import write_textfile
+
+            write_textfile(
+                args.metrics_textfile, _metrics_collector(metrics, hb_base)()
+            )
+            print(f"metrics: wrote {args.metrics_textfile}", file=sys.stderr)
+    if args.profile is not None:
+        _export_span_profile(
+            metrics, args.profile, f"repro run {protocol.name} (supervised)"
+        )
     if result.times.size == 0:
         print(
             f"repro: all {len(result.shard_sizes)} shards failed "
@@ -325,7 +459,7 @@ def _run_ensemble(
             f"supervision: retries={result.retries} timeouts={result.timeouts}",
             file=sys.stderr,
         )
-    if metrics is not None:
+    if metrics is not None and args.metrics:
         m = metrics.metrics()
         for path, agg in sorted(m.spans.items()):
             print(
@@ -344,6 +478,18 @@ def _run_ensemble(
         )
         return EXIT_SHARDS_LOST
     return EXIT_OK if stats.censored == 0 else EXIT_NOT_CONVERGED
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Live (or post-mortem) dashboard over a run's heartbeat files."""
+    from repro.analysis.watch import watch
+
+    return watch(
+        args.path,
+        interval=args.interval,
+        once=args.once,
+        stale_after=args.stale_after,
+    )
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
@@ -725,7 +871,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="ensemble stepping backend (default: batched; see "
              "docs/ENGINES.md for the backend contract)",
     )
+    run.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve GET /metrics (Prometheus text exposition) from a "
+             "background thread; 0 binds an ephemeral port, announced on "
+             "stderr as 'metrics: serving <url>'",
+    )
+    run.add_argument(
+        "--metrics-textfile", metavar="PATH", default=None,
+        help="atomically write the final exposition payload to PATH "
+             "(node-exporter textfile collector convention)",
+    )
+    run.add_argument(
+        "--profile", metavar="DIR", default=None,
+        help="cProfile the run into DIR (per shard for ensembles: "
+             "shard<k>.prof) and export span aggregates as "
+             "DIR/spans.speedscope.json",
+    )
     run.set_defaults(handler=_cmd_run)
+
+    watch = sub.add_parser(
+        "watch",
+        help="live dashboard over a run's heartbeat files (works post-mortem)",
+    )
+    watch.add_argument(
+        "path",
+        help="run/checkpoint base path (as given to --checkpoint) or a "
+             "directory of heartbeat files",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="redraw interval (default 1.0)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (post-mortem inspection)",
+    )
+    watch.add_argument(
+        "--stale-after", type=float, default=5.0, metavar="SECONDS",
+        help="flag a non-terminal heartbeat older than this as stale "
+             "(default 5.0)",
+    )
+    watch.set_defaults(handler=_cmd_watch)
 
     resume = sub.add_parser(
         "resume", help="continue an interrupted run from its checkpoint"

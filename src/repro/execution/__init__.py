@@ -44,6 +44,7 @@ from repro.execution.faults import (
 )
 from repro.execution.shutdown import (
     EXIT_BENCH_TIMEOUT,
+    EXIT_CODES,
     EXIT_ERROR,
     EXIT_FAULT_INJECTED,
     EXIT_INTERRUPTED,
@@ -83,4 +84,5 @@ __all__ = [
     "EXIT_BENCH_TIMEOUT",
     "EXIT_SHARDS_LOST",
     "EXIT_FAULT_INJECTED",
+    "EXIT_CODES",
 ]

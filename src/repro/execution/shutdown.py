@@ -17,6 +17,7 @@ from types import FrameType
 from typing import List, Optional
 
 __all__ = [
+    "EXIT_CODES",
     "EXIT_OK",
     "EXIT_ERROR",
     "EXIT_NOT_CONVERGED",
@@ -30,7 +31,9 @@ __all__ = [
     "ShutdownGuard",
 ]
 
-# One exit code per failure class; documented in docs/OBSERVABILITY.md.
+# One exit code per failure class.  EXIT_CODES below is the single source
+# of truth; the table in docs/API.md is generated from it by
+# scripts/generate_api_docs.py — edit here, then regenerate.
 EXIT_OK = 0
 EXIT_ERROR = 1  # generic failure (argparse errors, missing inputs, ...)
 EXIT_NOT_CONVERGED = 2  # `repro run`: the run was censored at its budget
@@ -40,6 +43,30 @@ EXIT_INTERRUPTED = 5  # SIGINT/SIGTERM with a final checkpoint written
 EXIT_BENCH_TIMEOUT = 6  # `repro bench --timeout`: an experiment overran its budget
 EXIT_SHARDS_LOST = 7  # supervised ensemble: partial results (shards quarantined)
 EXIT_FAULT_INJECTED = 86  # a REPRO_FAULT crashpoint fired (deliberately loud)
+
+EXIT_CODES = (
+    ("EXIT_OK", EXIT_OK, "Success."),
+    ("EXIT_ERROR", EXIT_ERROR,
+     "Generic failure: argparse errors, missing inputs, unexpected exceptions."),
+    ("EXIT_NOT_CONVERGED", EXIT_NOT_CONVERGED,
+     "`repro run`: the run was censored at its round budget without converging."),
+    ("EXIT_INVALID_TRACE", EXIT_INVALID_TRACE,
+     "`repro trace validate`: the trace file violates the record schema."),
+    ("EXIT_PERF_REGRESSION", EXIT_PERF_REGRESSION,
+     "`repro report --strict`: the benchmark ledger flagged a regression."),
+    ("EXIT_INTERRUPTED", EXIT_INTERRUPTED,
+     "SIGINT/SIGTERM honoured at a safe point, with a final checkpoint written."),
+    ("EXIT_BENCH_TIMEOUT", EXIT_BENCH_TIMEOUT,
+     "`repro bench --timeout`: an experiment overran its wall-clock budget."),
+    ("EXIT_SHARDS_LOST", EXIT_SHARDS_LOST,
+     "Supervised ensemble: results are partial because shards were quarantined."),
+    ("EXIT_FAULT_INJECTED", EXIT_FAULT_INJECTED,
+     "A `REPRO_FAULT` crashpoint fired (deliberately loud, test-only)."),
+)
+"""The full exit-code taxonomy as ``(name, value, description)`` triples.
+
+Machine-readable so docs generation, tests, and future tooling consume one
+list instead of re-stating the constants."""
 
 
 class GracefulExit(RuntimeError):

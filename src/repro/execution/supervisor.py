@@ -56,6 +56,7 @@ import sys
 import tempfile
 import time
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -72,9 +73,23 @@ from repro.execution.checkpoint import (
     encode_times,
 )
 from repro.execution.shutdown import GracefulExit
-from repro.telemetry import NULL_RECORDER, Recorder, run_provenance, span
+from repro.telemetry import (
+    NULL_RECORDER,
+    Recorder,
+    compose_recorders,
+    run_provenance,
+    span,
+)
+from repro.telemetry.heartbeat import (
+    Heartbeat,
+    HeartbeatRecorder,
+    heartbeat_path,
+    read_heartbeat,
+    write_heartbeat,
+)
 from repro.telemetry.jsonl import JsonlTraceWriter, read_trace
 from repro.telemetry.recorder import TRACE_SCHEMA_VERSION
+from repro.telemetry.resources import sample_resources
 
 __all__ = [
     "DEFAULT_SHARD_COUNT",
@@ -280,6 +295,10 @@ class _ShardTask:
     times_path: str
     env: Dict[str, Optional[str]]
     engine: Optional[str] = None
+    heartbeat_path: Optional[str] = None
+    heartbeat_every_s: float = 1.0
+    attempt: int = 1
+    profile_path: Optional[str] = None
 
 
 def _shard_worker(task: _ShardTask) -> None:
@@ -322,14 +341,32 @@ def _shard_worker(task: _ShardTask) -> None:
         if task.trace_path is not None
         else None
     )
-    try:
-        times = simulate_ensemble(
-            task.protocol, task.config, task.max_rounds, task.rng,
-            task.replicas,
-            recorder=trace if trace is not None else NULL_RECORDER,
-            checkpoint=checkpoint,
-            engine=task.engine,
+    beat = (
+        HeartbeatRecorder(
+            task.heartbeat_path,
+            role="shard",
+            shard=task.index,
+            attempt=task.attempt,
+            interval_s=task.heartbeat_every_s,
         )
+        if task.heartbeat_path is not None
+        else None
+    )
+    if task.profile_path is not None:
+        from repro.telemetry.profiling import maybe_cprofile
+
+        profiled = maybe_cprofile(task.profile_path)
+    else:
+        profiled = nullcontext()
+    try:
+        with profiled:
+            times = simulate_ensemble(
+                task.protocol, task.config, task.max_rounds, task.rng,
+                task.replicas,
+                recorder=compose_recorders(trace, beat),
+                checkpoint=checkpoint,
+                engine=task.engine,
+            )
     finally:
         if trace is not None:
             trace.close()
@@ -429,6 +466,9 @@ def run_supervised_ensemble(
     guard=None,
     workdir: Optional[Union[str, Path]] = None,
     engine: Optional[str] = None,
+    heartbeat_base: Optional[Union[str, Path]] = None,
+    heartbeat_every_s: float = 1.0,
+    profile_dir: Optional[Union[str, Path]] = None,
     _worker=_shard_worker,
 ) -> SupervisedTimes:
     """Run ``replicas`` independent chains sharded over a worker pool.
@@ -466,6 +506,19 @@ def run_supervised_ensemble(
             stay resumable).
         workdir: scratch directory for shard result files (default: a
             private temporary directory).
+        heartbeat_base: base path for heartbeat files (default: the
+            checkpoint base, when one is set).  The supervisor writes
+            ``<base>.heartbeat.json`` and each worker writes
+            ``<base>.shard<k>.heartbeat.json``, so ``repro watch <base>``
+            and the ``/metrics`` exporter see live per-shard progress;
+            ``None`` with no checkpoint base disables heartbeats entirely.
+        heartbeat_every_s: minimum seconds between heartbeat rewrites
+            (``0.0`` = every round/wakeup; quarantine transitions always
+            force an immediate supervisor write so the degraded state is
+            promptly scrapeable).
+        profile_dir: when set, each shard attempt runs under cProfile and
+            dumps ``<profile_dir>/shard<k>.prof`` (pstats format; the last
+            attempt wins).
     """
     cfg = supervisor or SupervisorConfig()
     if cfg.workers < 1:
@@ -524,6 +577,20 @@ def run_supervised_ensemble(
         base = Path(checkpoint_base)
         return str(base.with_name(base.name + f".shard{index}"))
 
+    hb_base: Optional[Path] = None
+    if heartbeat_base is not None:
+        hb_base = Path(heartbeat_base)
+    elif checkpoint_base is not None:
+        hb_base = Path(checkpoint_base)
+    if profile_dir is not None:
+        Path(profile_dir).mkdir(parents=True, exist_ok=True)
+
+    def shard_heartbeat_path(index: int) -> Optional[str]:
+        if hb_base is None:
+            return None
+        shard_base = hb_base.with_name(hb_base.name + f".shard{index}")
+        return str(heartbeat_path(shard_base))
+
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -538,6 +605,67 @@ def run_supervised_ensemble(
     running: Dict[int, _Running] = {}
     retries = 0
     timeouts = 0
+
+    sup_beat: Optional[Heartbeat] = None
+    sup_beat_path: Optional[Path] = None
+    last_beat_at: Optional[float] = None
+    if hb_base is not None:
+        sup_beat_path = heartbeat_path(hb_base)
+        sup_beat = Heartbeat(
+            role="supervisor",
+            pid=os.getpid(),
+            shards=shards,
+            replicas=replicas,
+            replicas_done=0,
+            max_rounds=max_rounds,
+        )
+
+    def flush_supervisor_heartbeat(
+        force: bool = False, status: Optional[str] = None
+    ) -> None:
+        """Rewrite the supervisor heartbeat, throttled unless forced."""
+        nonlocal last_beat_at
+        if sup_beat is None:
+            return
+        now = time.monotonic()
+        if (
+            not force
+            and status is None
+            and last_beat_at is not None
+            and now - last_beat_at < heartbeat_every_s
+        ):
+            return
+        if status is not None:
+            sup_beat.status = status
+        sup_beat.replicas_done = sum(sizes[k] for k in shard_times)
+        sup_beat.retries = retries
+        sup_beat.timeouts = timeouts
+        sup_beat.failed_shards = len(quarantined)
+        sup_beat.updated_at = time.time()
+        sample = sample_resources(include_children=True)
+        sup_beat.rss_bytes = sample.rss_bytes
+        sup_beat.peak_rss_bytes = sample.peak_rss_bytes
+        sup_beat.cpu_s = sample.cpu_s
+        write_heartbeat(sup_beat_path, sup_beat)
+        last_beat_at = now
+
+    def mark_shard_failed(index: int) -> None:
+        """Overwrite a quarantined shard's heartbeat with status=failed.
+
+        The worker died mid-write or mid-run, so its own heartbeat still
+        says "running"; without this, watchers would render a dead shard
+        as merely stale forever.
+        """
+        path = shard_heartbeat_path(index)
+        if path is None:
+            return
+        beat = read_heartbeat(path) or Heartbeat(
+            role="shard", shard=index, replicas=sizes[index]
+        )
+        beat.status = "failed"
+        beat.attempt = attempts[index]
+        beat.updated_at = time.time()
+        write_heartbeat(path, beat)
 
     def launch(index: int) -> None:
         attempts[index] += 1
@@ -560,6 +688,14 @@ def run_supervised_ensemble(
             times_path=str(scratch / f"shard{index}.times.json"),
             env=_fault_env(index, attempt),
             engine=family,
+            heartbeat_path=shard_heartbeat_path(index),
+            heartbeat_every_s=heartbeat_every_s,
+            attempt=attempt,
+            profile_path=(
+                str(Path(profile_dir) / f"shard{index}.prof")
+                if profile_dir is not None
+                else None
+            ),
         )
         process = context.Process(target=_worker, args=(task,), daemon=True)
         process.start()
@@ -587,6 +723,10 @@ def run_supervised_ensemble(
             timeouts += 1
         if attempts[index] > cfg.max_retries:
             quarantined.add(index)
+            mark_shard_failed(index)
+            # Forced write: the quarantine tick must be scrapeable now,
+            # not one throttle interval from now.
+            flush_supervisor_heartbeat(force=True)
             return
         retries += 1
         backoff = min(
@@ -614,7 +754,9 @@ def run_supervised_ensemble(
             while pending or running:
                 if guard is not None and guard.requested:
                     teardown()
+                    flush_supervisor_heartbeat(force=True, status="interrupted")
                     raise GracefulExit(guard.signum, checkpoint_base)
+                flush_supervisor_heartbeat()
                 now = time.monotonic()
                 while pending and len(running) < cfg.workers:
                     index = next(
@@ -689,6 +831,7 @@ def run_supervised_ensemble(
             timeouts=timeouts,
             outcomes=outcomes,
         )
+        flush_supervisor_heartbeat(force=True, status="done")
         if recording:
             timing.incr("shards", shards)
             timing.incr("workers", cfg.workers)

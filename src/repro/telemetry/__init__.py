@@ -15,10 +15,31 @@ Stage-level timing uses :func:`span` — named, nestable wall-clock spans
 with counters that runners open around their hot loops; spans land in
 :class:`MetricsRecorder` aggregates and in traces as ``span`` records.
 
+The *live* observability plane builds on the same hooks:
+
+* :class:`HeartbeatRecorder` (:mod:`repro.telemetry.heartbeat`) — rewrites
+  an atomic heartbeat file with progress, throughput, and a
+  :mod:`~repro.telemetry.resources` sample; ``repro watch`` and the
+  Prometheus exporter read those files with no IPC to the run.
+* :mod:`repro.telemetry.prometheus` and :mod:`repro.telemetry.profiling`
+  are deliberately **not** re-exported here — they are demand-imported by
+  the CLI so that importing a runner never pays for the HTTP server or
+  cProfile machinery.
+
 See docs/OBSERVABILITY.md for the record schema, overhead measurements and
 a worked trace-reading example.
 """
 
+from repro.telemetry.heartbeat import (
+    HEARTBEAT_SCHEMA_VERSION,
+    HEARTBEAT_SUFFIX,
+    Heartbeat,
+    HeartbeatRecorder,
+    discover_heartbeats,
+    heartbeat_path,
+    read_heartbeat,
+    write_heartbeat,
+)
 from repro.telemetry.jsonl import (
     JsonlTraceWriter,
     read_trace,
@@ -38,6 +59,13 @@ from repro.telemetry.recorder import (
     protocol_fingerprint,
     rng_provenance,
     run_provenance,
+)
+from repro.telemetry.resources import (
+    ResourceSample,
+    cpu_seconds,
+    peak_rss_bytes,
+    rss_bytes,
+    sample_resources,
 )
 from repro.telemetry.spans import (
     NULL_SPAN,
@@ -73,4 +101,17 @@ __all__ = [
     "trace_counts",
     "trace_to_series",
     "validate_trace",
+    "HEARTBEAT_SCHEMA_VERSION",
+    "HEARTBEAT_SUFFIX",
+    "Heartbeat",
+    "HeartbeatRecorder",
+    "discover_heartbeats",
+    "heartbeat_path",
+    "read_heartbeat",
+    "write_heartbeat",
+    "ResourceSample",
+    "cpu_seconds",
+    "peak_rss_bytes",
+    "rss_bytes",
+    "sample_resources",
 ]

@@ -1,0 +1,104 @@
+"""Process resource sampling through the stdlib: RSS, peak RSS, CPU time.
+
+Observability needs memory and CPU numbers, but the container images this
+repo targets carry no ``psutil``; everything here reads what POSIX already
+provides.  Current RSS comes from ``/proc/self/status`` (Linux — ``None``
+elsewhere), peak RSS and CPU time from :func:`resource.getrusage`.  All
+three are cheap enough to call once per heartbeat or benchmark, not once
+per simulated round.
+
+Unit normalization: Linux reports ``ru_maxrss`` in KiB while macOS reports
+bytes; both are converted to **bytes** here so downstream consumers
+(heartbeats, ``BENCH_*.json`` records, the Prometheus exporter) never see
+a platform-dependent unit.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Optional
+
+try:  # POSIX only; Windows runs with peak-RSS/CPU reported as None/0.0.
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _resource = None
+
+__all__ = [
+    "ResourceSample",
+    "cpu_seconds",
+    "peak_rss_bytes",
+    "rss_bytes",
+    "sample_resources",
+]
+
+# ru_maxrss unit: bytes on macOS, KiB everywhere else that has getrusage.
+_RU_MAXRSS_UNIT = 1 if sys.platform == "darwin" else 1024
+
+
+def rss_bytes() -> Optional[int]:
+    """Current resident set size in bytes, or ``None`` off-Linux.
+
+    Reads ``VmRSS`` from ``/proc/self/status``; the value moves with
+    allocation and reclaim, unlike the monotone high-water mark of
+    :func:`peak_rss_bytes`.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def peak_rss_bytes(include_children: bool = False) -> Optional[int]:
+    """Lifetime peak resident set size in bytes (``None`` without getrusage).
+
+    With ``include_children=True`` the maximum over waited-for child
+    processes is folded in — what a supervisor wants, since the heavy
+    allocation happens inside its shard workers.
+    """
+    if _resource is None:  # pragma: no cover - non-POSIX fallback
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if include_children:
+        peak = max(peak, _resource.getrusage(_resource.RUSAGE_CHILDREN).ru_maxrss)
+    return int(peak) * _RU_MAXRSS_UNIT
+
+
+def cpu_seconds(include_children: bool = False) -> float:
+    """User + system CPU seconds consumed so far (0.0 without getrusage)."""
+    if _resource is None:  # pragma: no cover - non-POSIX fallback
+        return 0.0
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    total = usage.ru_utime + usage.ru_stime
+    if include_children:
+        children = _resource.getrusage(_resource.RUSAGE_CHILDREN)
+        total += children.ru_utime + children.ru_stime
+    return float(total)
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One point-in-time resource reading (all byte/second units).
+
+    Attributes:
+        rss_bytes: current resident set size (``None`` off-Linux).
+        peak_rss_bytes: lifetime high-water RSS (``None`` without getrusage).
+        cpu_s: user + system CPU seconds consumed so far.
+    """
+
+    rss_bytes: Optional[int]
+    peak_rss_bytes: Optional[int]
+    cpu_s: float
+
+
+def sample_resources(include_children: bool = False) -> ResourceSample:
+    """Take one :class:`ResourceSample` (children folded in on request)."""
+    return ResourceSample(
+        rss_bytes=rss_bytes(),
+        peak_rss_bytes=peak_rss_bytes(include_children),
+        cpu_s=cpu_seconds(include_children),
+    )

@@ -289,3 +289,55 @@ class TestDegradedEnsembles:
         report = build_report(tmp_path)
         assert [row["experiment"] for row in report["degraded"]] == ["E_ens"]
         assert "DEGRADED" in render_report(report)
+
+
+class TestResourceUsage:
+    def test_resource_rows_surface_in_report(self, tmp_path):
+        (tmp_path / "BENCH_E1_demo.json").write_text(
+            json.dumps(
+                {
+                    "experiment": "E1_demo", "schema": 1, "wall_clock_s": 2.5,
+                    "cpu_s": 9.75, "max_rss_bytes": 104857600,
+                }
+            )
+        )
+        report = build_report(tmp_path)
+        (row,) = report["resources"]
+        assert row == {
+            "experiment": "E1_demo",
+            "cpu_s": 9.75,
+            "max_rss_bytes": 104857600,
+            "wall_clock_s": 2.5,
+        }
+        text = render_report(report)
+        assert "Resource usage" in text
+        assert "100.0MB" in text
+        assert "9.75" in text
+
+    def test_records_without_resource_fields_are_skipped(self, tmp_path):
+        # Pre-observability BENCH records carry neither field; the section
+        # must vanish rather than render a table of dashes.
+        (tmp_path / "BENCH_old.json").write_text(
+            json.dumps({"experiment": "old", "schema": 1, "wall_clock_s": 1.0})
+        )
+        report = build_report(tmp_path)
+        assert report["resources"] == []
+        assert "Resource usage" not in render_report(report)
+
+    def test_failed_record_still_reports_peak_rss(self, tmp_path):
+        # A crashed harness archives max_rss_bytes with cpu_s null: the
+        # peak is often the clue (OOM), so the row must survive.
+        (tmp_path / "BENCH_E_boom.json").write_text(
+            json.dumps(
+                {
+                    "experiment": "E_boom", "schema": 1,
+                    "wall_clock_s": None, "failed": True,
+                    "cpu_s": None, "max_rss_bytes": 2147483648,
+                }
+            )
+        )
+        report = build_report(tmp_path)
+        (row,) = report["resources"]
+        assert row["max_rss_bytes"] == 2147483648
+        assert row["cpu_s"] is None
+        assert "2.0GB" in render_report(report)

@@ -13,6 +13,7 @@ import pytest
 
 from repro.execution import (
     EXIT_BENCH_TIMEOUT,
+    EXIT_CODES,
     EXIT_ERROR,
     EXIT_FAULT_INJECTED,
     EXIT_INTERRUPTED,
@@ -24,6 +25,7 @@ from repro.execution import (
     ShutdownGuard,
     load_checkpoint,
 )
+from repro.execution import shutdown as shutdown_module
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 
@@ -37,6 +39,29 @@ class TestExitCodes:
         ]
         assert len(set(codes)) == len(codes)
         assert all(0 <= code < 256 for code in codes)
+
+    def test_taxonomy_tuple_matches_the_constants(self):
+        # EXIT_CODES is the single source of truth the docs generate from:
+        # every exported EXIT_* constant appears exactly once, value-correct
+        # and described.
+        constants = {
+            name: getattr(shutdown_module, name)
+            for name in shutdown_module.__all__
+            if name.startswith("EXIT_") and name != "EXIT_CODES"
+        }
+        table = {name: value for name, value, _ in EXIT_CODES}
+        assert table == constants
+        assert len(EXIT_CODES) == len(table)
+        assert all(description for _, _, description in EXIT_CODES)
+
+    def test_taxonomy_generated_into_api_docs(self):
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        assert "## Exit codes" in api
+        for name, value, _ in EXIT_CODES:
+            assert f"| {value} | `{name}` |" in api, (
+                f"{name} missing from docs/API.md — rerun "
+                "scripts/generate_api_docs.py"
+            )
 
 
 class TestGracefulExit:

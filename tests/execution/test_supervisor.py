@@ -184,10 +184,18 @@ class TestCheckpointing:
     def test_per_shard_checkpoints_resume(self, tmp_path):
         base = tmp_path / "run.ckpt"
         first = _run(workers=2, checkpoint_base=base, checkpoint_every=5)
-        shard_files = sorted(tmp_path.glob("run.ckpt.shard*"))
+        all_shard_files = sorted(tmp_path.glob("run.ckpt.shard*"))
+        shard_files = [
+            p for p in all_shard_files if not p.name.endswith(".heartbeat.json")
+        ]
         assert len(shard_files) == 4
         for path in shard_files:
             assert json.loads(path.read_text())["complete"] is True
+        # Heartbeats ride along with the checkpoints and end terminal.
+        heartbeats = [p for p in all_shard_files if p not in shard_files]
+        assert len(heartbeats) == 4
+        for path in heartbeats:
+            assert json.loads(path.read_text())["status"] == "done"
         # Re-running with the completed checkpoints replays the result.
         again = _run(workers=2, checkpoint_base=base, checkpoint_every=5)
         assert np.array_equal(first.times, again.times, equal_nan=True)

@@ -1,0 +1,153 @@
+"""Tests for heartbeat files: atomic writes, salvage-tolerant reads, recorder."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.ensemble import convergence_ensemble
+from repro.dynamics.config import wrong_consensus_configuration
+from repro.dynamics.rng import make_rng
+from repro.protocols import voter
+from repro.telemetry.heartbeat import (
+    HEARTBEAT_SCHEMA_VERSION,
+    HEARTBEAT_SUFFIX,
+    Heartbeat,
+    HeartbeatRecorder,
+    discover_heartbeats,
+    heartbeat_path,
+    read_heartbeat,
+    write_heartbeat,
+)
+
+
+class TestReadWriteRoundTrip:
+    def test_round_trip_preserves_fields(self, tmp_path):
+        path = tmp_path / "run.heartbeat.json"
+        beat = Heartbeat(
+            role="shard", status="running", pid=42, updated_at=123.5,
+            round=17, max_rounds=100, replicas=4, replicas_done=1,
+            rounds_per_second=250.0, shard=2, attempt=3,
+            rss_bytes=1024, peak_rss_bytes=2048, cpu_s=0.75,
+        )
+        write_heartbeat(path, beat)
+        back = read_heartbeat(path)
+        assert back == beat
+        assert back.schema == HEARTBEAT_SCHEMA_VERSION
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_heartbeat_path_appends_suffix(self, tmp_path):
+        base = tmp_path / "run.ckpt"
+        assert heartbeat_path(base).name == "run.ckpt" + HEARTBEAT_SUFFIX
+
+    def test_unknown_keys_tolerated(self, tmp_path):
+        # A newer writer may add fields; an older reader must not choke.
+        path = tmp_path / "new.heartbeat.json"
+        document = Heartbeat(role="run").to_dict()
+        document["from_the_future"] = True
+        path.write_text(json.dumps(document))
+        assert read_heartbeat(path).role == "run"
+
+
+class TestSalvageTolerance:
+    def test_missing_file_reads_none(self, tmp_path):
+        assert read_heartbeat(tmp_path / "absent.heartbeat.json") is None
+
+    def test_torn_file_reads_none(self, tmp_path):
+        path = tmp_path / "torn.heartbeat.json"
+        payload = json.dumps(Heartbeat(role="run").to_dict())
+        path.write_text(payload[: len(payload) // 2])
+        assert read_heartbeat(path) is None
+
+    def test_wrong_shape_reads_none(self, tmp_path):
+        path = tmp_path / "odd.heartbeat.json"
+        path.write_text("[1, 2, 3]\n")
+        assert read_heartbeat(path) is None
+        path.write_text('{"no_role": true}\n')
+        assert read_heartbeat(path) is None
+
+
+class TestDiscovery:
+    def test_base_path_collects_run_and_shards(self, tmp_path):
+        base = tmp_path / "run.ckpt"
+        write_heartbeat(heartbeat_path(base), Heartbeat(role="supervisor"))
+        for k in range(2):
+            write_heartbeat(
+                heartbeat_path(base.with_name(f"{base.name}.shard{k}")),
+                Heartbeat(role="shard", shard=k),
+            )
+        entries = discover_heartbeats(base)
+        assert len(entries) == 3
+        roles = [beat.role for _, beat in entries]
+        assert roles.count("shard") == 2 and roles.count("supervisor") == 1
+
+    def test_directory_discovery_keeps_torn_entries(self, tmp_path):
+        write_heartbeat(tmp_path / f"a{HEARTBEAT_SUFFIX}", Heartbeat(role="run"))
+        (tmp_path / f"b{HEARTBEAT_SUFFIX}").write_text('{"torn')
+        entries = discover_heartbeats(tmp_path)
+        assert len(entries) == 2
+        parsed = {path.name: beat for path, beat in entries}
+        assert parsed[f"a{HEARTBEAT_SUFFIX}"] is not None
+        assert parsed[f"b{HEARTBEAT_SUFFIX}"] is None  # rendered, not hidden
+
+
+class TestTerminalStates:
+    def test_terminal_property(self):
+        assert not Heartbeat(role="run", status="running").terminal
+        for status in ("done", "failed", "interrupted"):
+            assert Heartbeat(role="run", status=status).terminal
+
+    def test_age_against_fixed_now(self):
+        beat = Heartbeat(role="run", updated_at=100.0)
+        assert beat.age_s(now=103.5) == 3.5
+        assert beat.age_s(now=99.0) == 0.0  # clock skew clamps at zero
+
+
+class TestHeartbeatRecorder:
+    def test_interval_zero_flushes_every_round(self, tmp_path):
+        path = tmp_path / "run.heartbeat.json"
+        recorder = HeartbeatRecorder(path, role="run", interval_s=0.0)
+        recorder.round_recorded(1, 10)
+        recorder.round_recorded(2, 9)
+        recorder.round_recorded(3, 8)
+        assert recorder.writes == 3
+        assert read_heartbeat(path).round == 3
+
+    def test_interval_throttles_by_clock(self, tmp_path):
+        ticks = iter([0.0, 0.1, 0.2, 5.0, 5.0, 5.1])
+        recorder = HeartbeatRecorder(
+            tmp_path / "run.heartbeat.json", role="run", interval_s=1.0,
+            _clock=lambda: next(ticks),
+        )
+        recorder.round_recorded(1, 10)   # first write always lands
+        recorder.round_recorded(2, 9)    # 0.2s later: throttled
+        recorder.round_recorded(3, 8)    # 5.0s later: flushed
+        assert recorder.writes == 2
+
+    def test_over_a_real_ensemble_run(self, tmp_path):
+        path = tmp_path / "ens.heartbeat.json"
+        recorder = HeartbeatRecorder(path, role="run", interval_s=0.0)
+        stats = convergence_ensemble(
+            voter(1), wrong_consensus_configuration(48, 1), 5000,
+            make_rng(3), 4, recorder=recorder,
+        )
+        beat = read_heartbeat(path)
+        assert beat.status == "done"
+        assert beat.pid == os.getpid()
+        assert beat.replicas == 4
+        assert beat.replicas_done == stats.trials + stats.censored
+        assert beat.max_rounds == 5000
+        assert beat.round >= 1
+        assert beat.rss_bytes > 0 and beat.cpu_s >= 0.0
+
+    def test_attaching_recorder_never_perturbs_results(self, tmp_path):
+        config = wrong_consensus_configuration(48, 1)
+        plain = convergence_ensemble(voter(1), config, 5000, make_rng(3), 4)
+        observed = convergence_ensemble(
+            voter(1), config, 5000, make_rng(3), 4,
+            recorder=HeartbeatRecorder(
+                tmp_path / "obs.heartbeat.json", role="run", interval_s=0.0
+            ),
+        )
+        assert plain.median == observed.median
+        assert plain.trials == observed.trials

@@ -1,0 +1,150 @@
+"""End-to-end observability: scrape /metrics while a supervised run is live.
+
+The acceptance criterion behind these tests: a supervised ensemble with the
+metrics endpoint attached serves grammar-valid payloads *mid-run* (not just
+a final snapshot), and the quarantine transition is observable in them.
+``scripts/metrics_smoke.py`` proves the same over the real CLI subprocess;
+here the pool runs in-process so failures are debuggable under pytest.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import urllib.request
+
+from repro.dynamics.config import wrong_consensus_configuration
+from repro.dynamics.rng import make_rng
+from repro.execution.supervisor import (
+    SupervisorConfig,
+    run_supervised_ensemble,
+)
+from repro.protocols import voter
+from repro.telemetry.heartbeat import discover_heartbeats, read_heartbeat
+from repro.telemetry.prometheus import (
+    MetricsServer,
+    render_metrics,
+    validate_exposition,
+)
+
+
+def heartbeat_collector(base):
+    def collect() -> str:
+        beats = [b for _, b in discover_heartbeats(base) if b is not None]
+        return render_metrics(None, beats)
+
+    return collect
+
+
+class TestMidRunScrapes:
+    def test_every_mid_run_payload_validates(self, tmp_path):
+        base = tmp_path / "run.ckpt"
+        payloads: list = []
+        stop = threading.Event()
+
+        def scrape_loop(url: str) -> None:
+            while not stop.is_set():
+                try:
+                    with urllib.request.urlopen(url, timeout=5) as response:
+                        payloads.append(response.read().decode("utf-8"))
+                except OSError:
+                    pass
+                time.sleep(0.02)
+
+        with MetricsServer(heartbeat_collector(base), port=0) as server:
+            scraper = threading.Thread(
+                target=scrape_loop, args=(server.url,), daemon=True
+            )
+            scraper.start()
+            try:
+                # The pool blocks this (main) thread; the scraper races it.
+                # interval 0.0 = heartbeats rewritten every round.
+                result = run_supervised_ensemble(
+                    voter(1),
+                    wrong_consensus_configuration(512, 1),
+                    20000,
+                    make_rng(11),
+                    8,
+                    supervisor=SupervisorConfig(workers=2, shards=4),
+                    checkpoint_base=base,
+                    heartbeat_base=base,
+                    heartbeat_every_s=0.0,
+                )
+            finally:
+                stop.set()
+                scraper.join(timeout=10)
+
+        assert result.failed_shards == 0
+        assert payloads, "the run finished before a single scrape landed"
+        for payload in payloads:
+            validate_exposition(payload)
+        live = [p for p in payloads if "repro_progress_rounds" in p]
+        assert live, "no scrape ever observed heartbeat progress"
+        # The last heartbeat-bearing payload reflects the supervisor's view.
+        assert "repro_shards 4" in live[-1]
+
+    def test_final_state_scrapeable_post_mortem(self, tmp_path):
+        base = tmp_path / "run.ckpt"
+        run_supervised_ensemble(
+            voter(1), wrong_consensus_configuration(64, 1), 5000,
+            make_rng(5), 4,
+            supervisor=SupervisorConfig(workers=2, shards=2),
+            checkpoint_base=base,
+            heartbeat_every_s=0.0,
+        )
+        # The run is dead; the files alone must still render a full story.
+        payload = heartbeat_collector(base)()
+        validate_exposition(payload)
+        assert 'repro_heartbeat_up{role="supervisor"} 0' in payload
+        assert "repro_progress_replicas_done" in payload
+
+
+class TestQuarantineObservability:
+    def test_quarantine_ticks_the_gauge_and_marks_the_shard(
+        self, tmp_path, monkeypatch
+    ):
+        # Sticky fault on shard 0 with a zero retry budget: the first death
+        # quarantines it, and the transition must be durably observable.
+        monkeypatch.setenv("REPRO_FAULT", "ensemble:after_round:3")
+        monkeypatch.setenv("REPRO_FAULT_SHARD", "0")
+        monkeypatch.setenv("REPRO_FAULT_STICKY", "1")
+        base = tmp_path / "run.ckpt"
+        result = run_supervised_ensemble(
+            voter(1), wrong_consensus_configuration(64, 1), 5000,
+            make_rng(5), 4,
+            supervisor=SupervisorConfig(
+                workers=2, shards=2, max_retries=0, backoff_base_s=0.01
+            ),
+            checkpoint_base=base,
+            heartbeat_every_s=0.0,
+        )
+        assert result.failed_shards == 1
+
+        supervisor_beat = read_heartbeat(tmp_path / "run.ckpt.heartbeat.json")
+        assert supervisor_beat.status == "done"
+        assert supervisor_beat.failed_shards == 1
+        shard0 = read_heartbeat(tmp_path / "run.ckpt.shard0.heartbeat.json")
+        assert shard0.status == "failed"
+
+        payload = heartbeat_collector(base)()
+        validate_exposition(payload)
+        assert "repro_shards_quarantined 1" in payload
+        assert 'repro_heartbeat_up{role="shard",shard="0"} 0' in payload
+
+
+class TestProfileArtifacts:
+    def test_per_shard_profiles_written(self, tmp_path):
+        profile_dir = tmp_path / "prof"
+        run_supervised_ensemble(
+            voter(1), wrong_consensus_configuration(64, 1), 5000,
+            make_rng(5), 4,
+            supervisor=SupervisorConfig(workers=2, shards=2),
+            checkpoint_base=tmp_path / "run.ckpt",
+            profile_dir=profile_dir,
+        )
+        import pstats
+
+        for shard in range(2):
+            target = profile_dir / f"shard{shard}.prof"
+            assert target.exists()
+            assert pstats.Stats(str(target)).total_calls >= 1

@@ -1,0 +1,105 @@
+"""Tests for profiling hooks: cProfile capture and speedscope export."""
+
+from __future__ import annotations
+
+import json
+import pstats
+
+import pytest
+
+from repro.telemetry import MetricsRecorder, span
+from repro.telemetry.profiling import (
+    maybe_cprofile,
+    spans_to_speedscope,
+    write_speedscope,
+)
+from repro.telemetry.spans import SpanAggregate
+
+
+def aggregate(wall_s: float, calls: int = 1) -> SpanAggregate:
+    agg = SpanAggregate()
+    agg.calls = calls
+    agg.wall_s = wall_s
+    return agg
+
+
+class TestSpansToSpeedscope:
+    def test_self_time_weights(self):
+        # parent 5s with children 3s + 1s => parent self time 1s.
+        spans = {
+            "parent": aggregate(5.0),
+            "parent/child_a": aggregate(3.0),
+            "parent/child_b": aggregate(1.0),
+        }
+        document = spans_to_speedscope(spans)
+        profile = document["profiles"][0]
+        frames = [f["name"] for f in document["shared"]["frames"]]
+        stacks = [
+            [frames[i] for i in sample] for sample in profile["samples"]
+        ]
+        by_stack = dict(zip(map(tuple, stacks), profile["weights"]))
+        assert by_stack[("parent",)] == pytest.approx(1.0)
+        assert by_stack[("parent", "child_a")] == pytest.approx(3.0)
+        assert by_stack[("parent", "child_b")] == pytest.approx(1.0)
+        assert profile["endValue"] == pytest.approx(sum(profile["weights"]))
+        assert profile["type"] == "sampled" and profile["unit"] == "seconds"
+
+    def test_only_direct_children_subtract(self):
+        # A grandchild's wall must not be double-subtracted from the root.
+        spans = {
+            "a": aggregate(10.0),
+            "a/b": aggregate(6.0),
+            "a/b/c": aggregate(2.0),
+        }
+        profile = spans_to_speedscope(spans)["profiles"][0]
+        # a self = 10 - 6 (only a/b counts, not a/b/c); a/b self = 6 - 2;
+        # a/b/c self = 2.
+        assert sorted(profile["weights"]) == pytest.approx([2.0, 4.0, 4.0])
+
+    def test_zero_self_time_paths_dropped(self):
+        spans = {"outer": aggregate(2.0), "outer/inner": aggregate(2.0)}
+        profile = spans_to_speedscope(spans)["profiles"][0]
+        assert len(profile["samples"]) == 1  # outer's self time is 0
+
+    def test_empty_spans_still_a_valid_document(self):
+        document = spans_to_speedscope({})
+        assert document["profiles"][0]["samples"] == []
+        assert document["profiles"][0]["endValue"] == 0
+
+    def test_from_a_live_recorder(self):
+        recorder = MetricsRecorder()
+        with span(recorder, "stage"):
+            with span(recorder, "inner"):
+                pass
+        document = spans_to_speedscope(recorder.metrics().spans)
+        names = {f["name"] for f in document["shared"]["frames"]}
+        assert {"stage", "inner"} <= names
+
+
+class TestWriteSpeedscope:
+    def test_atomic_json_on_disk(self, tmp_path):
+        target = tmp_path / "spans.speedscope.json"
+        document = spans_to_speedscope({"s": aggregate(1.0)})
+        assert write_speedscope(target, document) == target
+        assert not (tmp_path / "spans.speedscope.json.tmp").exists()
+        assert json.loads(target.read_text()) == document
+
+
+class TestMaybeCprofile:
+    def test_none_is_a_noop(self):
+        with maybe_cprofile(None) as profiler:
+            assert profiler is None
+
+    def test_profile_dumped_and_loadable(self, tmp_path):
+        target = tmp_path / "deep" / "run.prof"  # parents created on demand
+        with maybe_cprofile(target):
+            sum(range(1000))
+        stats = pstats.Stats(str(target))
+        assert stats.total_calls >= 1
+
+    def test_profile_dumped_even_on_raise(self, tmp_path):
+        target = tmp_path / "failed.prof"
+        with pytest.raises(RuntimeError):
+            with maybe_cprofile(target):
+                raise RuntimeError("the interesting attempt")
+        assert target.exists()
