@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test doctest docs-check bench bench-smoke examples report perf-gate trace-smoke fault-smoke ensemble-smoke metrics-smoke clean
+.PHONY: install test doctest docs-check bench bench-smoke examples report perf-gate trace-smoke trace-roundtrip fault-smoke ensemble-smoke metrics-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -37,11 +37,16 @@ perf-gate:
 trace-smoke:
 	$(PYTHON) scripts/trace_smoke.py
 
+trace-roundtrip:
+	$(PYTHON) scripts/trace_roundtrip_smoke.py
+
 fault-smoke:
 	$(PYTHON) scripts/fault_smoke.py ensemble:after_replica:2
 	$(PYTHON) scripts/fault_smoke.py ensemble:after_round:25
 	$(PYTHON) scripts/fault_smoke.py checkpoint:after_tmp_write:3
 	$(PYTHON) scripts/fault_smoke.py heartbeat:mid_write:30
+	$(PYTHON) scripts/fault_smoke.py trace:mid_write:200
+	$(PYTHON) scripts/fault_smoke.py --trace-format columnar trace:mid_write:6
 
 ensemble-smoke:
 	$(PYTHON) scripts/fault_smoke.py --parallel ensemble:after_round:25

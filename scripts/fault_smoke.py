@@ -9,11 +9,17 @@ For a given crashpoint (see :mod:`repro.execution.faults`), this script:
    closest stdlib stand-in for SIGKILL);
 3. resumes from the surviving checkpoint in a fresh subprocess;
 4. asserts the resumed stats are **bit-identical** to the baseline, that
-   the torn JSONL trace left behind is salvageable
-   (``validate_trace(..., salvage=True)``), and that the resumed run's
-   timing-free trace is a **byte-identical tail** of the baseline's —
-   every round record the resumed run emits matches the uninterrupted
-   run's record for the same round, byte for byte.
+   the torn trace left behind is salvageable
+   (``validate_trace(..., salvage=True)`` — format-sniffing, so the same
+   check covers both sinks), and that the resumed run's timing-free trace
+   is a **bit-identical tail** of the baseline's — every round record the
+   resumed run emits matches the uninterrupted run's record for the same
+   round.  With ``--trace-format jsonl`` (the default) the tail check is
+   byte-for-byte on the raw lines; with ``--trace-format columnar`` the
+   run streams through :class:`ColumnarTraceWriter` (small
+   ``chunk_rounds`` so ``trace:mid_write`` tears a mid-run chunk) and the
+   tail check compares canonical record encodings, since the container
+   frames records in chunks rather than lines.
 
 Every serial leg also composes a :class:`HeartbeatRecorder` with the
 trace (interval 0.0 — one write per round, so crashpoint visit counts
@@ -36,6 +42,7 @@ Usage:
     PYTHONPATH=src python scripts/fault_smoke.py ensemble:after_replica:2
     PYTHONPATH=src python scripts/fault_smoke.py checkpoint:after_tmp_write:3
     PYTHONPATH=src python scripts/fault_smoke.py --parallel ensemble:after_round:25
+    PYTHONPATH=src python scripts/fault_smoke.py --trace-format columnar trace:mid_write:12
 
 Exit 0 on pass, 1 on any violated invariant.  The CI fault-injection
 matrix and ``tests/execution/test_faults.py`` both drive this entry point,
@@ -69,6 +76,15 @@ SCENARIO = {
     "every": 5,
 }
 
+# Columnar fault legs buffer this many rounds per chunk: small enough that
+# ``trace:mid_write`` visits a chunk write early and often, large enough
+# that a torn chunk really does straddle many records.
+FAULT_CHUNK_ROUNDS = 64
+
+
+def _trace_name(trace_format: str) -> str:
+    return "ensemble.jsonl" if trace_format == "jsonl" else "ensemble.ctrace"
+
 
 def _stats_dict(stats) -> dict:
     return {
@@ -86,7 +102,12 @@ def _stats_dict(stats) -> dict:
     }
 
 
-def _run_ensemble(outdir: pathlib.Path, resume: bool, with_trace: bool) -> dict:
+def _run_ensemble(
+    outdir: pathlib.Path,
+    resume: bool,
+    with_trace: bool,
+    trace_format: str = "jsonl",
+) -> dict:
     """Worker body: run (or resume) the scenario ensemble to completion."""
     from repro.analysis.ensemble import convergence_ensemble
     from repro.dynamics.config import wrong_consensus_configuration
@@ -94,8 +115,8 @@ def _run_ensemble(outdir: pathlib.Path, resume: bool, with_trace: bool) -> dict:
     from repro.protocols import voter
     from repro.telemetry import (
         HeartbeatRecorder,
-        JsonlTraceWriter,
         compose_recorders,
+        open_trace_writer,
     )
 
     checkpoint_path = outdir / "ensemble.ckpt"
@@ -103,8 +124,16 @@ def _run_ensemble(outdir: pathlib.Path, resume: bool, with_trace: bool) -> dict:
         checkpoint = Checkpointer.resume(checkpoint_path, every=SCENARIO["every"])
     else:
         checkpoint = Checkpointer(checkpoint_path, every=SCENARIO["every"])
+    sink_kwargs = (
+        {"chunk_rounds": FAULT_CHUNK_ROUNDS} if trace_format == "columnar" else {}
+    )
     trace = (
-        JsonlTraceWriter(outdir / "ensemble.jsonl", include_timings=False)
+        open_trace_writer(
+            outdir / _trace_name(trace_format),
+            trace_format,
+            include_timings=False,
+            **sink_kwargs,
+        )
         if with_trace
         else None
     )
@@ -169,6 +198,9 @@ def _worker(argv) -> int:
     parser.add_argument("outdir", type=pathlib.Path)
     parser.add_argument("--resume", action="store_true")
     parser.add_argument("--parallel", action="store_true")
+    parser.add_argument(
+        "--trace-format", choices=("jsonl", "columnar"), default="jsonl"
+    )
     args = parser.parse_args(argv)
     if args.parallel:
         document = _run_parallel_ensemble(args.outdir, workers=2)
@@ -176,7 +208,12 @@ def _worker(argv) -> int:
             json.dumps(document, sort_keys=True) + "\n"
         )
         return 0
-    stats = _run_ensemble(args.outdir, resume=args.resume, with_trace=True)
+    stats = _run_ensemble(
+        args.outdir,
+        resume=args.resume,
+        with_trace=True,
+        trace_format=args.trace_format,
+    )
     (args.outdir / "stats.json").write_text(json.dumps(stats, sort_keys=True) + "\n")
     return 0
 
@@ -187,9 +224,10 @@ def _spawn_worker(
     resume: bool = False,
     parallel: bool = False,
     fault_shard: str = "",
+    trace_format: str = "jsonl",
 ):
     command = [sys.executable, str(pathlib.Path(__file__).resolve()), "--worker",
-               str(outdir)]
+               str(outdir), "--trace-format", trace_format]
     if resume:
         command.append("--resume")
     if parallel:
@@ -303,6 +341,11 @@ def main(argv=None) -> int:
         help="run the scenario through the supervised worker pool: kill one "
              "worker's shard, assert the retry recovers bit-identically",
     )
+    parser.add_argument(
+        "--trace-format", choices=("jsonl", "columnar"), default="jsonl",
+        help="trace sink for the serial kill-and-resume legs (the columnar "
+             "variant proves chunk-granularity salvage; ignored by --parallel)",
+    )
     args = parser.parse_args(argv)
 
     if args.workdir is None:
@@ -317,21 +360,30 @@ def main(argv=None) -> int:
     if args.parallel:
         return _main_parallel(args, workdir)
 
+    label = f"{args.fault} trace={args.trace_format}"
+
     def fail(message: str) -> int:
-        print(f"fault_smoke[{args.fault}]: FAIL: {message}", file=sys.stderr)
+        print(f"fault_smoke[{label}]: FAIL: {message}", file=sys.stderr)
         return 1
+
+    trace_name = _trace_name(args.trace_format)
 
     # 1. Baseline, in-process, uninterrupted (checkpointing on: it must not
     #    perturb the random stream).
     baseline_dir = workdir / "baseline"
     baseline_dir.mkdir()
     os.environ.pop("REPRO_FAULT", None)
-    baseline = _run_ensemble(baseline_dir, resume=False, with_trace=True)
+    baseline = _run_ensemble(
+        baseline_dir, resume=False, with_trace=True,
+        trace_format=args.trace_format,
+    )
 
     # 2. Faulted run: the subprocess must die at the crashpoint.
     faulted_dir = workdir / "faulted"
     faulted_dir.mkdir()
-    faulted = _spawn_worker(faulted_dir, fault=args.fault)
+    faulted = _spawn_worker(
+        faulted_dir, fault=args.fault, trace_format=args.trace_format
+    )
     if faulted.returncode != EXIT_FAULT_INJECTED:
         return fail(
             f"faulted worker exited {faulted.returncode}, expected "
@@ -356,8 +408,10 @@ def main(argv=None) -> int:
             )
 
     # 3. The torn trace (still at its .tmp name — the rename never ran) must
-    #    salvage to a non-empty valid prefix.
-    torn = faulted_dir / "ensemble.jsonl.tmp"
+    #    salvage to a non-empty valid prefix.  validate_trace sniffs the
+    #    format, so the same call covers a torn JSONL line and a torn
+    #    columnar chunk.
+    torn = faulted_dir / (trace_name + ".tmp")
     if not torn.exists():
         return fail("no torn trace left behind by the crash")
     salvaged = validate_trace(torn, salvage=True)
@@ -365,7 +419,9 @@ def main(argv=None) -> int:
         return fail("torn trace did not salvage to a valid prefix")
 
     # 4. Resume from the surviving checkpoint; stats must be bit-identical.
-    resumed = _spawn_worker(faulted_dir, resume=True)
+    resumed = _spawn_worker(
+        faulted_dir, resume=True, trace_format=args.trace_format
+    )
     if resumed.returncode != 0:
         return fail(
             f"resume worker exited {resumed.returncode}\n"
@@ -390,25 +446,34 @@ def main(argv=None) -> int:
             f"(read back: {status!r}, expected 'done')"
         )
 
-    # 5. The resumed run's timing-free trace must be a byte-identical tail
-    #    of the baseline's: same rounds => same bytes.
+    # 5. The resumed run's timing-free trace must be a bit-identical tail
+    #    of the baseline's: same rounds => same records.  JSONL is compared
+    #    on the raw line bytes; the columnar container frames records in
+    #    chunks (whose boundaries legitimately differ after a resume), so
+    #    it is compared on canonical record encodings instead.
     def round_lines(path: pathlib.Path) -> list:
+        if args.trace_format == "jsonl":
+            return [
+                line for line in path.read_text().splitlines()
+                if json.loads(line).get("kind") == "round"
+            ]
         return [
-            line for line in path.read_text().splitlines()
-            if json.loads(line).get("kind") == "round"
+            json.dumps(record, sort_keys=True)
+            for record in validate_trace(path)
+            if record.get("kind") == "round"
         ]
 
-    baseline_rounds = round_lines(baseline_dir / "ensemble.jsonl")
-    resumed_rounds = round_lines(faulted_dir / "ensemble.jsonl")
+    baseline_rounds = round_lines(baseline_dir / trace_name)
+    resumed_rounds = round_lines(faulted_dir / trace_name)
     if not resumed_rounds:
         return fail("resumed trace recorded no rounds")
     if resumed_rounds != baseline_rounds[-len(resumed_rounds):]:
-        return fail("resumed trace is not a byte-identical tail of the baseline's")
+        return fail("resumed trace is not a bit-identical tail of the baseline's")
 
     print(
-        f"fault_smoke[{args.fault}]: PASS — killed at the crashpoint, "
+        f"fault_smoke[{label}]: PASS — killed at the crashpoint, "
         f"salvaged {len(salvaged)} trace records, resumed bit-identical "
-        f"({len(resumed_rounds)}-round byte-identical trace tail, "
+        f"({len(resumed_rounds)}-round bit-identical trace tail, "
         f"terminal heartbeat {final_beat.status!r}, "
         f"median={baseline['median']}, censored={baseline['censored']})"
     )

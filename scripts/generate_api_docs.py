@@ -26,6 +26,7 @@ MODULES = [
     "repro.dynamics.adversary", "repro.dynamics.graphs", "repro.dynamics.heterogeneous",
     "repro.dynamics.rng",
     "repro.telemetry.recorder", "repro.telemetry.jsonl",
+    "repro.telemetry.columnar",
     "repro.telemetry.resources", "repro.telemetry.heartbeat",
     "repro.telemetry.prometheus", "repro.telemetry.profiling",
     "repro.execution.checkpoint", "repro.execution.faults", "repro.execution.shutdown",
@@ -38,7 +39,7 @@ MODULES = [
     "repro.dual.coalescing",
     "repro.extensions.memory", "repro.extensions.population", "repro.extensions.undecided",
     "repro.analysis.ensemble", "repro.analysis.scaling", "repro.analysis.series",
-    "repro.analysis.traces", "repro.analysis.watch",
+    "repro.analysis.traces", "repro.analysis.watch", "repro.analysis.index",
     "repro.cli",
 ]
 

@@ -1,9 +1,9 @@
 """Trace analytics and the benchmark-regression ledger.
 
 The write side of observability lives in :mod:`repro.telemetry` (recorders,
-JSONL traces) and :mod:`benchmarks/_harness` (``BENCH_*.json`` timing
-sidecars).  This module is the read side: it ingests directories of those
-artifacts and turns them into
+JSONL and columnar traces) and :mod:`benchmarks/_harness` (``BENCH_*.json``
+timing sidecars).  This module is the read side: it ingests directories of
+those artifacts and turns them into
 
 * per-trace summaries — rounds to consensus, rounds/sec, span time
   breakdowns, and the realized mean drift compared against the Proposition-5
@@ -29,7 +29,7 @@ import json
 import math
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.analysis.series import Table
 from repro.core.bias import bias_value
 from repro.protocols.table import table_protocol
 from repro.telemetry import validate_trace
+from repro.telemetry.columnar import detect_trace_format, load_columnar_data
 
 __all__ = [
     "TraceSummary",
@@ -78,7 +79,7 @@ _SCALAR_COUNT_RUNNERS = frozenset(
 
 @dataclass(frozen=True)
 class TraceSummary:
-    """Everything ``repro report`` shows about one JSONL trace.
+    """Everything ``repro report`` shows about one trace (either format).
 
     Attributes:
         path: the trace file.
@@ -155,7 +156,16 @@ class ProtocolReport:
 
 
 def summarize_trace(path: Union[str, Path]) -> TraceSummary:
-    """Validate one JSONL trace and reduce it to a :class:`TraceSummary`."""
+    """Validate one trace (either format) and reduce it to a summary.
+
+    Columnar traces take the zero-reparse path: validation and the drift
+    statistics run on the memory-mapped column arrays from
+    :func:`~repro.telemetry.columnar.load_columnar_data`, never
+    materialising per-round dicts.  JSONL traces parse line by line as
+    before.  Both paths produce value-identical summaries.
+    """
+    if detect_trace_format(path) == "columnar":
+        return _summarize_columnar(path)
     records = validate_trace(path)
     start = records[0]
     end = next(r for r in records if r.get("kind") == "run_end")
@@ -181,17 +191,9 @@ def summarize_trace(path: Union[str, Path]) -> TraceSummary:
         else None
     )
 
-    spans: Dict[str, Dict[str, Any]] = {}
-    for record in records:
-        if record.get("kind") != "span":
-            continue
-        entry = spans.setdefault(
-            record["path"], {"calls": 0, "wall_s": 0.0, "counters": {}}
-        )
-        entry["calls"] += 1
-        entry["wall_s"] += record.get("wall_s") or 0.0
-        for key, value in record.get("counters", {}).items():
-            entry["counters"][key] = entry["counters"].get(key, 0) + value
+    spans = _aggregate_spans(
+        record for record in records if record.get("kind") == "span"
+    )
 
     return TraceSummary(
         path=str(path),
@@ -211,6 +213,75 @@ def summarize_trace(path: Union[str, Path]) -> TraceSummary:
     )
 
 
+def _summarize_columnar(path: Union[str, Path]) -> TraceSummary:
+    """The columnar fast path behind :func:`summarize_trace`.
+
+    Everything scalar comes from the (already decoded) ``run_start`` /
+    ``run_end`` dicts; the drift statistics are single vectorised reductions
+    over the column arrays.
+    """
+    data = load_columnar_data(path)
+    start, end = data.start, data.end
+    params = start.get("params", {})
+    protocol_info = start.get("protocol", {})
+
+    converged = end.get("converged")
+    if isinstance(converged, (int, float)) and not isinstance(converged, bool):
+        converged = end.get("censored") == 0
+    tau = end.get("rounds")
+    if tau is None and end.get("activations") is not None and params.get("n"):
+        tau = end["activations"] / params["n"]
+
+    drifts = data.column("drift")
+    realized = (
+        float(drifts.mean()) if drifts is not None and drifts.size else None
+    )
+    counts = data.column("count")
+    predicted = (
+        _predicted_drift_from_counts(start, counts)
+        if counts is not None
+        else None
+    )
+    gap = (
+        realized - predicted
+        if realized is not None and predicted is not None
+        else None
+    )
+
+    return TraceSummary(
+        path=str(path),
+        runner=start.get("runner", "?"),
+        protocol=protocol_info.get("name", "?"),
+        fingerprint=protocol_info.get("fingerprint", "?"),
+        n=params.get("n"),
+        rounds=data.rounds,
+        converged=converged if isinstance(converged, bool) else None,
+        rounds_to_consensus=float(tau) if tau is not None else None,
+        wall_clock_s=end.get("wall_clock_s"),
+        rounds_per_second=end.get("rounds_per_second"),
+        mean_realized_drift=realized,
+        mean_predicted_drift=predicted,
+        drift_gap=gap,
+        spans=_aggregate_spans(data.spans),
+    )
+
+
+def _aggregate_spans(
+    records: Iterable[Mapping[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """Fold ``span`` records into per-path call/wall-clock/counter totals."""
+    spans: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        entry = spans.setdefault(
+            record["path"], {"calls": 0, "wall_s": 0.0, "counters": {}}
+        )
+        entry["calls"] += 1
+        entry["wall_s"] += record.get("wall_s") or 0.0
+        for key, value in record.get("counters", {}).items():
+            entry["counters"][key] = entry["counters"].get(key, 0) + value
+    return spans
+
+
 def _mean_predicted_drift(
     start: Mapping[str, Any], rounds: Sequence[Mapping[str, Any]]
 ) -> Optional[float]:
@@ -221,31 +292,56 @@ def _mean_predicted_drift(
     Requires the response tables (``protocol.g0/g1``) in the provenance and
     a scalar-count runner.
     """
+    if not rounds:
+        return None
+    return _predicted_drift_from_counts(
+        start, np.asarray([r["count"] for r in rounds], dtype=float)
+    )
+
+
+def _predicted_drift_from_counts(
+    start: Mapping[str, Any], counts: np.ndarray
+) -> Optional[float]:
+    """:func:`_mean_predicted_drift` on a ready-made per-round count array."""
     if start.get("runner") not in _SCALAR_COUNT_RUNNERS:
         return None
     protocol_info = start.get("protocol", {})
     g0, g1 = protocol_info.get("g0"), protocol_info.get("g1")
     n = start.get("params", {}).get("n")
     x0 = start.get("params", {}).get("x0")
-    if g0 is None or g1 is None or not n or x0 is None or not rounds:
+    if g0 is None or g1 is None or not n or x0 is None or not len(counts):
         return None
     protocol = table_protocol(g0, g1, name=protocol_info.get("name", "trace"))
-    counts = np.asarray([x0] + [r["count"] for r in rounds], dtype=float)
-    previous = counts[:-1]
+    previous = np.concatenate(
+        ([float(x0)], np.asarray(counts, dtype=float)[:-1])
+    )
     predictions = n * np.asarray(bias_value(protocol, previous / n))
     return float(predictions.mean())
 
 
-def summarize_trace_dir(directory: Union[str, Path]) -> List[TraceSummary]:
-    """Summarize every ``*.jsonl`` trace under ``directory`` (sorted).
+def summarize_trace_dir(
+    directory: Union[str, Path], use_index: bool = False
+) -> List[TraceSummary]:
+    """Summarize every trace (``*.jsonl`` + ``*.ctrace``) under ``directory``.
+
+    Results are sorted by file name.  With ``use_index=True`` the
+    directory's persistent ``TRACE_INDEX.json`` is refreshed first — only
+    files whose size/mtime identity changed get re-summarized — and the
+    summaries are answered from the index, which is what makes a repeated
+    ``repro report`` a constant-time query instead of a full re-parse.
 
     Unreadable or schema-violating traces raise ``ValueError`` naming the
     offending file, so a corrupt artifact fails loudly rather than silently
     shrinking the report.
     """
     directory = Path(directory)
+    if use_index:
+        from repro.analysis.index import refresh_trace_index, summaries_from_index
+
+        return summaries_from_index(directory, refresh_trace_index(directory))
     summaries = []
-    for path in sorted(directory.glob("*.jsonl")):
+    traces = list(directory.glob("*.jsonl")) + list(directory.glob("*.ctrace"))
+    for path in sorted(traces, key=lambda path: path.name):
         try:
             summaries.append(summarize_trace(path))
         except ValueError as error:
@@ -535,6 +631,7 @@ def build_report(
     baseline_path: Optional[Union[str, Path]] = None,
     min_rel_slowdown: float = DEFAULT_MIN_REL_SLOWDOWN,
     noise_sigmas: float = DEFAULT_NOISE_SIGMAS,
+    use_index: bool = True,
 ) -> Dict[str, Any]:
     """Assemble the full analytics report for a results directory.
 
@@ -547,11 +644,15 @@ def build_report(
     enough to carry them).  The baseline defaults to
     ``<results_dir>/BASELINE.json``; the gate thresholds are forwarded to
     :func:`compare_against_baseline`.
+
+    Trace summaries answer from the directory's persistent index by
+    default (``use_index=True``); see :func:`summarize_trace_dir`.  The
+    index write is best-effort, so read-only results mirrors still report.
     """
     results_dir = Path(results_dir)
     if baseline_path is None:
         baseline_path = results_dir / "BASELINE.json"
-    summaries = summarize_trace_dir(results_dir)
+    summaries = summarize_trace_dir(results_dir, use_index=use_index)
     protocols = group_by_protocol(summaries)
     current = load_bench_records(results_dir)
     baseline = load_baseline(baseline_path)
@@ -615,7 +716,7 @@ def render_report(report: Mapping[str, Any]) -> str:
             sections.append(span_lines)
     else:
         sections.append(
-            f"no JSONL traces under {report.get('results_dir')} "
+            f"no traces under {report.get('results_dir')} "
             "(run e.g. `python -m repro run voter --trace results/run.jsonl`)"
         )
 

@@ -2,7 +2,8 @@
 
 The watcher is a pure *reader*: it tails the atomic heartbeat files a run
 (serial or supervised) publishes next to its checkpoints, plus the last
-round record of any JSONL traces beside them, and renders per-shard
+round record of any traces (JSONL or columnar) beside them, and renders
+per-shard
 progress bars, throughput, ETA, attempt counts, memory, and quarantine
 state.  No IPC with the run means the same command is a post-mortem
 viewer: pointed at a dead run's directory it renders the final (or torn)
@@ -29,6 +30,7 @@ from repro.telemetry.heartbeat import (
     Heartbeat,
     discover_heartbeats,
 )
+from repro.telemetry.jsonl import COLUMNAR_MAGIC
 
 __all__ = [
     "discover_traces",
@@ -152,12 +154,23 @@ def _supervisor_line(beat: Heartbeat) -> str:
 
 
 def discover_traces(path: Union[str, Path]) -> List[Path]:
-    """JSONL trace files belonging to a run base or directory (sorted)."""
+    """Trace files (JSONL or columnar) for a run base or directory (sorted).
+
+    Matches ``*.jsonl*`` and ``*.ctrace*`` so shard-suffixed fragments
+    (``ensemble.jsonl.shard0``) show up alongside merged traces; in-flight
+    ``.tmp`` staging files are excluded.
+    """
     path = Path(path)
     if path.is_dir():
-        candidates = path.glob("*.jsonl*")
+        candidates = [
+            *path.glob("*.jsonl*"),
+            *path.glob("*.ctrace*"),
+        ]
     else:
-        candidates = path.parent.glob(f"{path.name}*.jsonl*")
+        candidates = [
+            *path.parent.glob(f"{path.name}*.jsonl*"),
+            *path.parent.glob(f"{path.name}*.ctrace*"),
+        ]
     return sorted(
         candidate
         for candidate in candidates
@@ -166,15 +179,21 @@ def discover_traces(path: Union[str, Path]) -> List[Path]:
 
 
 def tail_trace_round(path: Union[str, Path]) -> Optional[dict]:
-    """The last ``round`` record of a JSONL trace, reading only the tail.
+    """The last ``round`` record of a trace, reading only the tail.
 
-    Seeks to the final :data:`_TAIL_BYTES` of the file, so tailing a
-    multi-gigabyte trace of a live run stays O(1).  Returns ``None`` when
-    the tail holds no parsable round record (empty or torn file included).
+    Format is sniffed from the file's leading bytes.  JSONL traces seek to
+    the final :data:`_TAIL_BYTES` and parse backwards; columnar traces walk
+    chunk headers and decode only the last round-bearing chunk — both stay
+    O(1)-ish on a multi-gigabyte trace of a live run.  Returns ``None``
+    when no complete round record exists (empty or torn file included).
     """
     path = Path(path)
     try:
         with path.open("rb") as handle:
+            if handle.read(len(COLUMNAR_MAGIC)) == COLUMNAR_MAGIC:
+                from repro.telemetry.columnar import columnar_tail_round
+
+                return columnar_tail_round(path)
             handle.seek(0, 2)
             size = handle.tell()
             handle.seek(max(0, size - _TAIL_BYTES))

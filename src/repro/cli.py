@@ -9,6 +9,9 @@ Usage (installed as ``python -m repro``):
     python -m repro run voter --n 100000 --checkpoint run.ckpt --checkpoint-every 500
     python -m repro resume run.ckpt
     python -m repro trace validate results/run.jsonl --salvage
+    python -m repro run voter --trace run.ctrace --trace-format columnar
+    python -m repro trace convert results/run.jsonl results/run.ctrace
+    python -m repro trace index results/
     python -m repro sweep voter --sizes 128,256,512,1024 --replicas 10
     python -m repro landscape minority-3
     python -m repro bench --smoke --timeout 60
@@ -79,7 +82,12 @@ from repro.execution import (
     load_checkpoint,
 )
 from repro.protocols import available_protocols, get_family, table_protocol
-from repro.telemetry import JsonlTraceWriter, MetricsRecorder, compose_recorders
+from repro.telemetry import (
+    TRACE_FORMATS,
+    MetricsRecorder,
+    compose_recorders,
+    open_trace_writer,
+)
 
 __all__ = ["main", "resolve_protocol"]
 
@@ -205,6 +213,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         protocol, config,
         rounds=args.rounds, seed=args.seed, record=args.record,
         want_metrics=args.metrics, trace_path=args.trace,
+        trace_format=args.trace_format,
         checkpoint_path=args.checkpoint, checkpoint_every=args.checkpoint_every,
         meta=meta, resume=False, show_plot=args.record,
         metrics_port=args.metrics_port,
@@ -222,6 +231,7 @@ def _run_simulation(
     record: bool,
     want_metrics: bool,
     trace_path: Optional[str],
+    trace_format: str = "jsonl",
     checkpoint_path: Optional[str],
     checkpoint_every: int,
     meta: Dict[str, Any],
@@ -240,7 +250,9 @@ def _run_simulation(
     # Observability rides on MetricsRecorder aggregates, so any of the
     # flags forces it on (telemetry *printing* still follows --metrics).
     metrics = MetricsRecorder() if (want_metrics or observing) else None
-    trace = JsonlTraceWriter(trace_path) if trace_path else None
+    trace = (
+        open_trace_writer(trace_path, trace_format) if trace_path else None
+    )
     interrupted: Optional[GracefulExit] = None
     checkpoint: Optional[Checkpointer] = None
     with contextlib.ExitStack() as stack:
@@ -382,6 +394,7 @@ def _run_ensemble(
         shards=args.shards,
         timeout_s=args.shard_timeout,
         max_retries=args.max_retries,
+        trace_format=args.trace_format,
     )
     with contextlib.ExitStack() as stack:
         guard = None
@@ -519,6 +532,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         rounds=int(meta["rounds"]), seed=int(meta["seed"]),
         record=bool(meta.get("record", False)),
         want_metrics=args.metrics, trace_path=args.trace,
+        trace_format=args.trace_format,
         checkpoint_path=args.checkpoint,
         checkpoint_every=int(meta.get("checkpoint_every", DEFAULT_CHECKPOINT_EVERY)),
         meta=meta, resume=True, show_plot=False,
@@ -550,6 +564,71 @@ def _cmd_trace_validate(args: argparse.Namespace) -> int:
             for record in records:
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
         print(f"wrote {len(records)} records to {output}", file=sys.stderr)
+    return EXIT_OK
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    """Losslessly convert a trace between JSONL and columnar containers.
+
+    The direction comes from the *source's* sniffed format: JSONL sources
+    become columnar targets and vice versa.  Conversion validates first, so
+    an invalid trace exits 3 without writing anything; ``--salvage``
+    converts the recoverable prefix of a torn trace instead.
+    """
+    from repro.telemetry.columnar import (
+        columnar_to_jsonl,
+        detect_trace_format,
+        jsonl_to_columnar,
+    )
+
+    try:
+        source_format = detect_trace_format(args.source)
+        if source_format == "jsonl":
+            chunking = (
+                {"chunk_rounds": args.chunk_rounds} if args.chunk_rounds else {}
+            )
+            count = jsonl_to_columnar(
+                args.source, args.target, salvage=args.salvage, **chunking
+            )
+            target_format = "columnar"
+        else:
+            count = columnar_to_jsonl(
+                args.source, args.target, salvage=args.salvage
+            )
+            target_format = "jsonl"
+    except OSError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    except ValueError as error:
+        print(f"invalid trace: {error}", file=sys.stderr)
+        return EXIT_INVALID_TRACE
+    print(f"source_format={source_format}")
+    print(f"target_format={target_format}")
+    print(f"records={count}")
+    print(f"wrote {args.target}", file=sys.stderr)
+    return EXIT_OK
+
+
+def _cmd_trace_index(args: argparse.Namespace) -> int:
+    """Refresh (or rebuild) a trace directory's persistent query index."""
+    from repro.analysis.index import index_path, refresh_trace_index
+
+    directory = pathlib.Path(args.directory)
+    if not directory.is_dir():
+        print(f"repro: no directory at {directory}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        index = refresh_trace_index(directory, rebuild=args.rebuild)
+    except ValueError as error:
+        print(f"invalid trace: {error}", file=sys.stderr)
+        return EXIT_INVALID_TRACE
+    print(f"index={index_path(directory)}")
+    print(f"traces={len(index['entries'])}")
+    print(f"refreshed={index['refreshed']}")
+    for name in sorted(index["entries"]):
+        entry = index["entries"][name]
+        rounds = entry.get("counts", {}).get("rounds")
+        print(f"{name}: format={entry.get('format')} rounds={rounds}")
     return EXIT_OK
 
 
@@ -824,7 +903,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--record", action="store_true", help="plot the trajectory")
     run.add_argument(
         "--trace", metavar="PATH", default=None,
-        help="stream a JSONL telemetry trace to PATH (see docs/OBSERVABILITY.md)",
+        help="stream a telemetry trace to PATH (see docs/OBSERVABILITY.md)",
+    )
+    run.add_argument(
+        "--trace-format", choices=TRACE_FORMATS, default="jsonl",
+        help="trace container: jsonl (text, per-record durability) or "
+             "columnar (chunked binary, cheaper hot path + fast analytics)",
     )
     run.add_argument(
         "--metrics", action="store_true",
@@ -922,7 +1006,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume.add_argument(
         "--trace", metavar="PATH", default=None,
-        help="stream a JSONL telemetry trace of the resumed leg to PATH",
+        help="stream a telemetry trace of the resumed leg to PATH",
+    )
+    resume.add_argument(
+        "--trace-format", choices=TRACE_FORMATS, default="jsonl",
+        help="trace container for the resumed leg (default jsonl)",
     )
     resume.add_argument(
         "--metrics", action="store_true",
@@ -931,14 +1019,15 @@ def build_parser() -> argparse.ArgumentParser:
     resume.set_defaults(handler=_cmd_resume)
 
     trace = sub.add_parser(
-        "trace", help="inspect and validate JSONL telemetry traces"
+        "trace",
+        help="inspect, validate, convert, and index telemetry traces",
     )
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     validate = trace_sub.add_parser(
         "validate",
-        help="schema-check a trace (exit 3 when invalid)",
+        help="schema-check a trace, either format (exit 3 when invalid)",
     )
-    validate.add_argument("path", help="JSONL trace file")
+    validate.add_argument("path", help="trace file (JSONL or columnar)")
     validate.add_argument(
         "--salvage", action="store_true",
         help="recover the valid prefix of a truncated trace instead of failing",
@@ -948,6 +1037,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the validated (or salvaged) records to PATH as JSONL",
     )
     validate.set_defaults(handler=_cmd_trace_validate)
+    convert = trace_sub.add_parser(
+        "convert",
+        help="convert a trace to the other container (jsonl <-> columnar), "
+             "losslessly",
+    )
+    convert.add_argument("source", help="trace file; its format is sniffed")
+    convert.add_argument("target", help="output path (the opposite format)")
+    convert.add_argument(
+        "--salvage", action="store_true",
+        help="convert the recoverable prefix of a torn trace instead of failing",
+    )
+    convert.add_argument(
+        "--chunk-rounds", metavar="N", type=int, default=None,
+        help="rounds per column chunk when writing columnar "
+             "(default 4096)",
+    )
+    convert.set_defaults(handler=_cmd_trace_convert)
+    index = trace_sub.add_parser(
+        "index",
+        help="refresh the persistent TRACE_INDEX.json of a trace directory",
+    )
+    index.add_argument("directory", help="directory of trace files")
+    index.add_argument(
+        "--rebuild", action="store_true",
+        help="ignore the existing index and re-summarize every trace",
+    )
+    index.set_defaults(handler=_cmd_trace_index)
 
     sweep = sub.add_parser("sweep", help="tau vs n with a power-law fit")
     sweep.add_argument("protocol")

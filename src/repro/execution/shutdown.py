@@ -37,7 +37,7 @@ __all__ = [
 EXIT_OK = 0
 EXIT_ERROR = 1  # generic failure (argparse errors, missing inputs, ...)
 EXIT_NOT_CONVERGED = 2  # `repro run`: the run was censored at its budget
-EXIT_INVALID_TRACE = 3  # `repro trace validate`: schema violation
+EXIT_INVALID_TRACE = 3  # `repro trace validate|convert|index`: schema violation
 EXIT_PERF_REGRESSION = 4  # `repro report --strict`: the ledger flagged a regression
 EXIT_INTERRUPTED = 5  # SIGINT/SIGTERM with a final checkpoint written
 EXIT_BENCH_TIMEOUT = 6  # `repro bench --timeout`: an experiment overran its budget
@@ -51,7 +51,8 @@ EXIT_CODES = (
     ("EXIT_NOT_CONVERGED", EXIT_NOT_CONVERGED,
      "`repro run`: the run was censored at its round budget without converging."),
     ("EXIT_INVALID_TRACE", EXIT_INVALID_TRACE,
-     "`repro trace validate`: the trace file violates the record schema."),
+     "`repro trace validate|convert|index`: a trace (JSONL or columnar) "
+     "violates the record schema or its container framing."),
     ("EXIT_PERF_REGRESSION", EXIT_PERF_REGRESSION,
      "`repro report --strict`: the benchmark ledger flagged a regression."),
     ("EXIT_INTERRUPTED", EXIT_INTERRUPTED,

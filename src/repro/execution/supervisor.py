@@ -87,7 +87,8 @@ from repro.telemetry.heartbeat import (
     read_heartbeat,
     write_heartbeat,
 )
-from repro.telemetry.jsonl import JsonlTraceWriter, read_trace
+from repro.telemetry.columnar import open_trace_writer, write_trace_records
+from repro.telemetry.jsonl import read_trace
 from repro.telemetry.recorder import TRACE_SCHEMA_VERSION
 from repro.telemetry.resources import sample_resources
 
@@ -140,6 +141,9 @@ class SupervisorConfig:
         poll_s: supervision loop wakeup interval.
         trace_timings: forward wall-clock fields into per-shard traces
             (default off so merged traces stay byte-identical per seed).
+        trace_format: container for shard traces and the merged trace —
+            ``"jsonl"`` or ``"columnar"`` (see docs/OBSERVABILITY.md,
+            "Trace formats").
     """
 
     workers: int = 1
@@ -150,6 +154,7 @@ class SupervisorConfig:
     backoff_cap_s: float = 5.0
     poll_s: float = 0.05
     trace_timings: bool = False
+    trace_format: str = "jsonl"
 
 
 @dataclass(frozen=True)
@@ -292,6 +297,7 @@ class _ShardTask:
     checkpoint_every: int
     trace_path: Optional[str]
     trace_timings: bool
+    trace_format: str
     times_path: str
     env: Dict[str, Optional[str]]
     engine: Optional[str] = None
@@ -337,7 +343,10 @@ def _shard_worker(task: _ShardTask) -> None:
         if checkpoint is None:
             checkpoint = Checkpointer(path, every=task.checkpoint_every)
     trace = (
-        JsonlTraceWriter(task.trace_path, include_timings=task.trace_timings)
+        open_trace_writer(
+            task.trace_path, task.trace_format,
+            include_timings=task.trace_timings,
+        )
         if task.trace_path is not None
         else None
     )
@@ -685,6 +694,7 @@ def run_supervised_ensemble(
                 else None
             ),
             trace_timings=cfg.trace_timings,
+            trace_format=cfg.trace_format,
             times_path=str(scratch / f"shard{index}.times.json"),
             env=_fault_env(index, attempt),
             engine=family,
@@ -839,7 +849,10 @@ def run_supervised_ensemble(
             timing.incr("timeouts", timeouts)
             timing.incr("failed_shards", result.failed_shards)
     if trace_path is not None:
-        _write_merged_trace(Path(trace_path), provenance, result, shard_trace_path)
+        _write_merged_trace(
+            Path(trace_path), provenance, result, shard_trace_path,
+            trace_format=cfg.trace_format,
+        )
     if recording:
         censored = int(np.isnan(result.times).sum())
         recorder.run_finished(
@@ -860,7 +873,9 @@ def run_supervised_ensemble(
 # ----------------------------------------------------------------------
 
 
-def _write_merged_trace(target, provenance, result, shard_trace_path) -> None:
+def _write_merged_trace(
+    target, provenance, result, shard_trace_path, trace_format="jsonl"
+) -> None:
     """Merge per-shard traces into one deterministic, validating trace.
 
     Layout: the supervisor's own ``run_start`` (runner
@@ -870,10 +885,12 @@ def _write_merged_trace(target, provenance, result, shard_trace_path) -> None:
     the validator requires), the shards' span records likewise tagged, and
     one ``run_end`` carrying the degradation summary.  Shard traces are
     timing-free by default, so the merged bytes are a pure function of the
-    seed and shard count.  A shard that resumed a *complete* checkpoint
-    replays its stored result without re-simulating and thus contributes
-    no round records.  Written atomically (tmp + rename); consumed shard
-    traces are removed.
+    seed, shard count, and container format.  A shard that resumed a
+    *complete* checkpoint replays its stored result without re-simulating
+    and thus contributes no round records.  Shard traces are read
+    format-agnostically (sniffed) and the merge is emitted in
+    ``trace_format``; written atomically (tmp + fsync + rename); consumed
+    shard traces are removed.
     """
     rounds: List[dict] = []
     spans: List[dict] = []
@@ -914,13 +931,7 @@ def _write_merged_trace(target, provenance, result, shard_trace_path) -> None:
     }
     start = {"kind": "run_start", "schema": TRACE_SCHEMA_VERSION}
     start.update(provenance.to_dict())
-    tmp = target.with_name(target.name + ".tmp")
-    with tmp.open("w") as handle:
-        for record in [start, *rounds, *spans, end]:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, target)
+    write_trace_records(target, [start, *rounds, *spans, end], trace_format)
     for path in consumed:
         path.unlink(missing_ok=True)
 
@@ -934,7 +945,8 @@ def supervisor_from(
 
     >>> supervisor_from(None, workers=4, shards=2)
     SupervisorConfig(workers=4, shards=2, timeout_s=None, max_retries=2, \
-backoff_base_s=0.1, backoff_cap_s=5.0, poll_s=0.05, trace_timings=False)
+backoff_base_s=0.1, backoff_cap_s=5.0, poll_s=0.05, trace_timings=False, \
+trace_format='jsonl')
     >>> supervisor_from(SupervisorConfig(workers=8), None, None).workers
     8
     """

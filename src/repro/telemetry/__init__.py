@@ -9,6 +9,11 @@ the exact pre-telemetry code path).  Three concrete recorders ship:
 * :class:`JsonlTraceWriter` — streams one JSON record per round, plus a
   provenance header (protocol fingerprint, RNG state hash, parameters) and
   a closing summary.
+* :class:`ColumnarTraceWriter` — the same record stream in a chunked
+  binary column container (``--trace-format columnar``): cheaper on the
+  hot path, memory-mappable for analytics, losslessly convertible to and
+  from JSONL (:func:`jsonl_to_columnar` / :func:`columnar_to_jsonl`);
+  :func:`open_trace_writer` picks the sink from a format name.
 * :class:`TeeRecorder` / :func:`compose_recorders` — fan events out to both.
 
 Stage-level timing uses :func:`span` — named, nestable wall-clock spans
@@ -40,11 +45,26 @@ from repro.telemetry.heartbeat import (
     read_heartbeat,
     write_heartbeat,
 )
+from repro.telemetry.columnar import (
+    COLUMNAR_SUFFIX,
+    TRACE_FORMATS,
+    ColumnarTraceData,
+    ColumnarTraceWriter,
+    columnar_tail_round,
+    columnar_to_jsonl,
+    detect_trace_format,
+    jsonl_to_columnar,
+    load_columnar_data,
+    open_trace_writer,
+    read_columnar_trace,
+    write_trace_records,
+)
 from repro.telemetry.jsonl import (
     JsonlTraceWriter,
     read_trace,
     trace_counts,
     trace_to_series,
+    validate_records,
     validate_trace,
 )
 from repro.telemetry.recorder import (
@@ -97,10 +117,23 @@ __all__ = [
     "protocol_fingerprint",
     "rng_provenance",
     "JsonlTraceWriter",
+    "ColumnarTraceData",
+    "ColumnarTraceWriter",
+    "COLUMNAR_SUFFIX",
+    "TRACE_FORMATS",
+    "columnar_tail_round",
+    "columnar_to_jsonl",
+    "load_columnar_data",
+    "detect_trace_format",
+    "jsonl_to_columnar",
+    "open_trace_writer",
+    "read_columnar_trace",
     "read_trace",
     "trace_counts",
     "trace_to_series",
+    "validate_records",
     "validate_trace",
+    "write_trace_records",
     "HEARTBEAT_SCHEMA_VERSION",
     "HEARTBEAT_SUFFIX",
     "Heartbeat",

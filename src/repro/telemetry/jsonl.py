@@ -6,13 +6,20 @@ field-by-field schema is documented in ``docs/OBSERVABILITY.md``;
 :func:`validate_trace` is that document's executable counterpart and is
 what ``make trace-smoke`` runs.
 
-Durability: path-targeted traces are streamed line-buffered to
-``<path>.tmp`` and renamed over ``path`` on :meth:`JsonlTraceWriter.close`
-(after a flush + fsync), so a trace observed at its target path is never
-half-written — a hard kill leaves the fsynced prefix in the ``.tmp`` file
-instead.  ``read_trace``/``validate_trace`` accept ``salvage=True`` to
-recover the valid prefix of such a truncated trace; strict rejection stays
-the default.  See docs/OBSERVABILITY.md, "Durability & fault model".
+Durability: path-targeted traces are streamed to ``<path>.tmp`` — one
+unbuffered binary write per record, so every completed record reaches the
+OS as it happens — and renamed over ``path`` on
+:meth:`JsonlTraceWriter.close` (after a flush + fsync), so a trace
+observed at its target path is never half-written; a hard kill leaves the
+written prefix in the ``.tmp`` file instead.  ``read_trace``/
+``validate_trace`` accept ``salvage=True`` to recover the valid prefix of
+such a truncated trace; strict rejection stays the default.  See
+docs/OBSERVABILITY.md, "Durability & fault model".
+
+Both functions sniff the on-disk format: pointed at a columnar container
+(:mod:`repro.telemetry.columnar`, magic ``RCOL``) they delegate to its
+reader and validate the decoded records against the *same* schema, so
+every trace consumer works on either format transparently.
 """
 
 from __future__ import annotations
@@ -31,49 +38,46 @@ from repro.telemetry.recorder import Recorder, RunProvenance, TRACE_SCHEMA_VERSI
 from repro.telemetry.spans import SpanRecord
 
 __all__ = [
+    "COLUMNAR_MAGIC",
     "JsonlTraceWriter",
     "read_trace",
     "trace_counts",
     "trace_to_series",
+    "validate_records",
     "validate_trace",
 ]
 
 PathOrFile = Union[str, Path, IO[str]]
 
+COLUMNAR_MAGIC = b"RCOL"
+"""First bytes of a columnar trace container (see :mod:`.columnar`).
 
-class JsonlTraceWriter(Recorder):
-    """Stream a run as JSON-lines records to a path or an open text file.
+Defined here — not in :mod:`repro.telemetry.columnar` — so the JSONL
+reader can sniff the format without importing the columnar machinery
+until a columnar file is actually met.
+"""
 
-    One ``round`` record is written per observed round, line-buffered, so
-    every completed record reaches the OS as it happens and a process that
-    dies mid-run leaves a salvageable prefix (see ``salvage=True`` on
-    :func:`read_trace`/:func:`validate_trace`).  A path target is written
-    as ``<path>.tmp`` and atomically renamed into place on :meth:`close`,
-    so the trace at the target path is never observably half-written.
-    Use as a context manager, or call :meth:`close` explicitly; the file is
-    opened lazily on the first record.
+# json.dumps(..., sort_keys=True) constructs a fresh JSONEncoder on every
+# call; binding one encoder once removes that per-record cost.  Same
+# defaults as json.dumps, so the emitted bytes are unchanged.
+_ENCODE = json.JSONEncoder(sort_keys=True).encode
 
-    Args:
-        target: output path or an already-open text file (not closed by us,
-            and written in place — no tmp-then-rename for caller-owned files).
-        include_timings: when ``False``, omit the wall-clock fields
-            (``wall_s``, ``wall_clock_s``, ``rounds_per_second``) so that
-            traces of seed-identical runs are byte-identical — the mode the
-            determinism tests use.
+
+class TraceWriterBase(Recorder):
+    """Recorder that turns run events into schema-v1 trace records.
+
+    Subclasses implement the storage: :meth:`_write` receives each
+    finished record dict in stream order (:class:`JsonlTraceWriter` dumps
+    it as a JSON line, :class:`~repro.telemetry.columnar.
+    ColumnarTraceWriter` batches rounds into binary column chunks).  The
+    record-*building* logic lives here, once, so both sinks emit
+    value-identical records and a trace converted between formats is
+    lossless by construction.
     """
 
-    def __init__(self, target: PathOrFile, include_timings: bool = True) -> None:
+    def __init__(self, include_timings: bool = True) -> None:
         self.include_timings = include_timings
         self.records_written = 0
-        self._path: Optional[Path] = None
-        self._tmp_path: Optional[Path] = None
-        self._file: Optional[IO[str]] = None
-        self._owns_file = False
-        if isinstance(target, (str, Path)):
-            self._path = Path(target)
-            self._owns_file = True
-        else:
-            self._file = target
         self._previous_count: Optional[float] = None
         self._started_at: Optional[float] = None
         self._last_seen_at: Optional[float] = None
@@ -138,6 +142,60 @@ class JsonlTraceWriter(Recorder):
         self._write(record)
 
     # ------------------------------------------------------------------
+    # Storage interface
+    # ------------------------------------------------------------------
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:  # pragma: no cover - trivially overridden
+        pass
+
+    def close(self) -> None:  # pragma: no cover - trivially overridden
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class JsonlTraceWriter(TraceWriterBase):
+    """Stream a run as JSON-lines records to a path or an open text file.
+
+    One ``round`` record is written per observed round as a single
+    unbuffered binary write, so every completed record reaches the OS as
+    it happens and a process that dies mid-run leaves a salvageable prefix
+    (see ``salvage=True`` on :func:`read_trace`/:func:`validate_trace`).
+    A path target is written as ``<path>.tmp`` and atomically renamed into
+    place on :meth:`close`, so the trace at the target path is never
+    observably half-written.  Use as a context manager, or call
+    :meth:`close` explicitly; the file is opened lazily on the first
+    record.
+
+    Args:
+        target: output path or an already-open text file (not closed by us,
+            and written in place — no tmp-then-rename for caller-owned files).
+        include_timings: when ``False``, omit the wall-clock fields
+            (``wall_s``, ``wall_clock_s``, ``rounds_per_second``) so that
+            traces of seed-identical runs are byte-identical — the mode the
+            determinism tests use.
+    """
+
+    def __init__(self, target: PathOrFile, include_timings: bool = True) -> None:
+        super().__init__(include_timings)
+        self._path: Optional[Path] = None
+        self._tmp_path: Optional[Path] = None
+        self._file: Optional[IO] = None
+        self._owns_file = False
+        if isinstance(target, (str, Path)):
+            self._path = Path(target)
+            self._owns_file = True
+        else:
+            self._file = target
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
@@ -173,29 +231,26 @@ class JsonlTraceWriter(Recorder):
                 os.replace(self._tmp_path, self._path)
                 self._tmp_path = None
 
-    def __enter__(self) -> "JsonlTraceWriter":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
     def _write(self, record: Dict[str, Any]) -> None:
         if self._file is None:
             if self._path is None:
                 raise ValueError("trace writer already closed")
             self._tmp_path = self._path.with_name(self._path.name + ".tmp")
-            # Line buffering: every completed record reaches the OS as it
-            # is written, so a killed process leaves a salvageable prefix.
-            self._file = self._tmp_path.open("w", buffering=1)
-        line = json.dumps(record, sort_keys=True) + "\n"
+            # Unbuffered raw binary: each record is one write(2) straight
+            # to the OS, so a killed process leaves a salvageable prefix —
+            # the line-buffered TextIOWrapper gave the same guarantee but
+            # paid a per-write newline scan and encoder pass on top.
+            self._file = self._tmp_path.open("wb", buffering=0)
+        line = _ENCODE(record) + "\n"
+        data = line.encode("utf-8") if self._owns_file else line
         if faults.should_trip("trace:mid_write"):
             # Deterministically manufacture a torn write: half the record,
             # durable on disk, then death — the scenario salvage mode exists
             # for, produced on demand instead of waited for.
-            self._file.write(line[: max(1, len(line) // 2)])
+            self._file.write(data[: max(1, len(data) // 2)])
             self.flush()
             faults.trip("trace:mid_write")
-        self._file.write(line)
+        self._file.write(data)
         self.records_written += 1
         if faults.should_trip("trace:after_write"):
             self.flush()
@@ -209,15 +264,33 @@ def _number(value):
     return value
 
 
-def read_trace(path: PathOrFile, salvage: bool = False) -> List[Dict[str, Any]]:
-    """Parse a JSONL trace back into a list of record dicts (in file order).
+def _is_columnar(path: PathOrFile) -> bool:
+    """True when ``path`` names an on-disk columnar container (by magic)."""
+    if not isinstance(path, (str, Path)):
+        return False
+    try:
+        with Path(path).open("rb") as handle:
+            return handle.read(len(COLUMNAR_MAGIC)) == COLUMNAR_MAGIC
+    except OSError:
+        return False
 
-    With ``salvage=True``, an undecodable line (the torn final write of a
-    killed process, typically) ends the parse: the valid prefix is returned
+
+def read_trace(path: PathOrFile, salvage: bool = False) -> List[Dict[str, Any]]:
+    """Parse a trace back into a list of record dicts (in file order).
+
+    The format is sniffed: JSONL text is parsed line by line, a columnar
+    container (magic ``RCOL``) is decoded chunk by chunk — the returned
+    records are value-identical either way.  With ``salvage=True``, an
+    undecodable line (or torn/corrupt chunk — the final write of a killed
+    process, typically) ends the parse: the valid prefix is returned
     instead of raising.  Everything *after* the first bad line is dropped
     too — a trace is an ordered stream, and records beyond a corruption
     point have lost their provenance.
     """
+    if _is_columnar(path):
+        from repro.telemetry.columnar import read_columnar_trace
+
+        return read_columnar_trace(path, salvage=salvage)
     text = Path(path).read_text() if isinstance(path, (str, Path)) else path.read()
     records = []
     for line_number, line in enumerate(text.splitlines(), start=1):
@@ -281,24 +354,43 @@ _REQUIRED_START_KEYS = ("schema", "runner", "protocol", "params", "rng")
 def validate_trace(path: PathOrFile, salvage: bool = False) -> List[Dict[str, Any]]:
     """Validate a trace against the documented schema; return its records.
 
-    Checks: the file is JSONL; the first record is a ``run_start`` with the
-    supported schema version and all provenance sections; every ``round``
-    record has an integer ``t`` (non-decreasing) and a finite numeric
-    ``count``; ``span`` records carry a name/path and finite timings; there
-    is exactly one ``run_end``, all rounds precede it, and only spans (the
-    ones enclosing the whole run) may trail it.  Raises ``ValueError`` on
-    the first violation.  This is the check behind ``make trace-smoke``.
+    Works on both sinks — the format is sniffed exactly as in
+    :func:`read_trace`, and the decoded records face the same
+    :func:`validate_records` checks: the first record is a ``run_start``
+    with the supported schema version and all provenance sections; every
+    ``round`` record has an integer ``t`` (non-decreasing) and a finite
+    numeric ``count``; ``span`` records carry a name/path and finite
+    timings; there is exactly one ``run_end``, all rounds precede it, and
+    only spans (the ones enclosing the whole run) may trail it.  Raises
+    ``ValueError`` on the first violation.  This is the check behind
+    ``make trace-smoke``.
 
     With ``salvage=True`` — the recovery mode for traces truncated by a
     crash, OOM kill, or fault injection — the *valid prefix* is returned
-    instead: parsing and validation stop at the first bad line or record,
-    and a missing ``run_end`` is tolerated.  The ``run_start`` header must
-    still be fully valid (a trace without its provenance has lost the run
-    it describes, so there is nothing worth salvaging), and a ``run_end``
-    whose ``rounds_recorded`` claim contradicts the salvaged rounds is
-    dropped along with everything after it.
+    instead: parsing and validation stop at the first bad line, torn
+    chunk, or invalid record, and a missing ``run_end`` is tolerated.  The
+    ``run_start`` header must still be fully valid (a trace without its
+    provenance has lost the run it describes, so there is nothing worth
+    salvaging), and a ``run_end`` whose ``rounds_recorded`` claim
+    contradicts the salvaged rounds is dropped along with everything after
+    it.
     """
     records = read_trace(path, salvage=salvage)
+    return validate_records(records, salvage=salvage)
+
+
+def validate_records(
+    records: List[Dict[str, Any]], salvage: bool = False
+) -> List[Dict[str, Any]]:
+    """The record-level schema checks behind :func:`validate_trace`.
+
+    Shared by both trace formats (the JSONL reader and the columnar
+    decoder both produce plain record dicts) and by the converters, which
+    validate before writing so an invalid trace can never silently change
+    format.  Semantics are exactly those documented on
+    :func:`validate_trace`; ``salvage=True`` returns the valid prefix
+    instead of raising on the first bad record.
+    """
     if not records:
         raise ValueError("trace is empty" + (": nothing to salvage" if salvage else ""))
     start = records[0]

@@ -1,0 +1,157 @@
+"""Tests for the persistent trace-directory index (TRACE_INDEX.json)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.index import (
+    INDEX_FILENAME,
+    INDEX_SCHEMA_VERSION,
+    index_path,
+    load_trace_index,
+    refresh_trace_index,
+    summaries_from_index,
+    write_trace_index,
+)
+from repro.analysis.report import summarize_trace_dir
+from repro.dynamics.config import wrong_consensus_configuration
+from repro.dynamics.rng import make_rng
+from repro.dynamics.run import simulate
+from repro.protocols import voter
+from repro.telemetry import jsonl_to_columnar, open_trace_writer
+
+
+def _write_trace(path, trace_format="jsonl", seed=0):
+    config = wrong_consensus_configuration(64, z=1)
+    with open_trace_writer(path, trace_format, include_timings=False) as writer:
+        return simulate(voter(1), config, 50_000, make_rng(seed), recorder=writer)
+
+
+@pytest.fixture
+def trace_dir(tmp_path):
+    _write_trace(tmp_path / "a.jsonl", seed=1)
+    _write_trace(tmp_path / "b.ctrace", trace_format="columnar", seed=2)
+    return tmp_path
+
+
+class TestRefresh:
+    def test_cold_refresh_summarizes_every_file(self, trace_dir):
+        index = refresh_trace_index(trace_dir)
+        assert index["refreshed"] == 2
+        assert sorted(index["entries"]) == ["a.jsonl", "b.ctrace"]
+        assert index["entries"]["a.jsonl"]["format"] == "jsonl"
+        assert index["entries"]["b.ctrace"]["format"] == "columnar"
+        assert index_path(trace_dir).exists()
+
+    def test_warm_refresh_reuses_unchanged_entries(self, trace_dir):
+        refresh_trace_index(trace_dir)
+        assert refresh_trace_index(trace_dir)["refreshed"] == 0
+
+    def test_rewritten_file_is_resummarized(self, trace_dir):
+        refresh_trace_index(trace_dir)
+        _write_trace(trace_dir / "a.jsonl", seed=9)
+        index = refresh_trace_index(trace_dir)
+        assert index["refreshed"] == 1
+
+    def test_deleted_file_drops_its_entry(self, trace_dir):
+        refresh_trace_index(trace_dir)
+        (trace_dir / "a.jsonl").unlink()
+        index = refresh_trace_index(trace_dir)
+        assert sorted(index["entries"]) == ["b.ctrace"]
+
+    def test_rebuild_ignores_cached_entries(self, trace_dir):
+        refresh_trace_index(trace_dir)
+        index = refresh_trace_index(trace_dir, rebuild=True)
+        assert index["refreshed"] == 2
+
+    def test_tmp_and_shard_files_excluded(self, trace_dir):
+        (trace_dir / "live.jsonl.tmp").write_text("")
+        (trace_dir / "run.jsonl.shard0").write_text("")
+        index = refresh_trace_index(trace_dir)
+        assert sorted(index["entries"]) == ["a.jsonl", "b.ctrace"]
+
+    def test_corrupt_trace_fails_loudly_naming_the_file(self, trace_dir):
+        (trace_dir / "bad.jsonl").write_text("not json\n")
+        with pytest.raises(ValueError, match="bad.jsonl"):
+            refresh_trace_index(trace_dir)
+
+    def test_read_only_directory_serves_in_memory(self, trace_dir, monkeypatch):
+        # chmod is not reliable under root, so fail the publish directly.
+        import repro.analysis.index as index_module
+
+        def refuse(directory, index):
+            raise OSError(30, "Read-only file system")
+
+        monkeypatch.setattr(index_module, "write_trace_index", refuse)
+        index = refresh_trace_index(trace_dir)
+        assert index["refreshed"] == 2
+        assert sorted(index["entries"]) == ["a.jsonl", "b.ctrace"]
+        assert not index_path(trace_dir).exists()
+
+    def test_round_range_reaches_the_tail(self, trace_dir):
+        index = refresh_trace_index(trace_dir)
+        for entry in index["entries"].values():
+            low, high = entry["round_range"]
+            assert low == 0 and high >= entry["counts"]["rounds"]
+
+
+class TestIndexFile:
+    def test_corrupt_index_treated_as_missing(self, trace_dir):
+        index_path(trace_dir).write_text("{half a docum")
+        assert load_trace_index(trace_dir)["entries"] == {}
+        assert refresh_trace_index(trace_dir)["refreshed"] == 2
+
+    def test_version_skew_treated_as_missing(self, trace_dir):
+        write_trace_index(
+            trace_dir, {"schema": INDEX_SCHEMA_VERSION + 1, "entries": {"x": {}}}
+        )
+        assert load_trace_index(trace_dir)["entries"] == {}
+
+    def test_written_atomically_and_json_parsable(self, trace_dir):
+        refresh_trace_index(trace_dir)
+        snapshot = json.loads(index_path(trace_dir).read_text())
+        assert snapshot["schema"] == INDEX_SCHEMA_VERSION
+        assert not (trace_dir / (INDEX_FILENAME + ".tmp")).exists()
+
+
+class TestSummariesFromIndex:
+    def test_index_answers_equal_direct_summaries(self, trace_dir):
+        direct = summarize_trace_dir(trace_dir)
+        indexed = summaries_from_index(trace_dir, refresh_trace_index(trace_dir))
+        assert [s.path for s in indexed] == [s.path for s in direct]
+        assert [s.fingerprint for s in indexed] == [s.fingerprint for s in direct]
+        assert [s.rounds for s in indexed] == [s.rounds for s in direct]
+        assert [
+            s.mean_realized_drift for s in indexed
+        ] == [s.mean_realized_drift for s in direct]
+
+    def test_paths_reanchor_when_directory_moves(self, trace_dir, tmp_path):
+        index = refresh_trace_index(trace_dir)
+        moved = tmp_path / "mirror"
+        moved.mkdir()
+        for name in ("a.jsonl", "b.ctrace", INDEX_FILENAME):
+            (moved / name).write_bytes((trace_dir / name).read_bytes())
+        summaries = summaries_from_index(moved, load_trace_index(moved))
+        assert all(s.path.startswith(str(moved)) for s in summaries)
+
+    def test_summarize_trace_dir_use_index(self, trace_dir):
+        direct = summarize_trace_dir(trace_dir)
+        via_index = summarize_trace_dir(trace_dir, use_index=True)
+        assert [s.fingerprint for s in via_index] == [
+            s.fingerprint for s in direct
+        ]
+        # A second call answers purely from the cache.
+        assert refresh_trace_index(trace_dir)["refreshed"] == 0
+
+    def test_formats_agree_through_the_index(self, tmp_path):
+        _write_trace(tmp_path / "a.jsonl", seed=5)
+        jsonl_to_columnar(tmp_path / "a.jsonl", tmp_path / "b.ctrace")
+        summaries = summaries_from_index(
+            tmp_path, refresh_trace_index(tmp_path)
+        )
+        a, b = summaries
+        assert a.fingerprint == b.fingerprint
+        assert a.rounds == b.rounds
+        assert a.mean_realized_drift == pytest.approx(b.mean_realized_drift)

@@ -82,6 +82,37 @@ class TestSummarizeTrace:
         assert by_name["voter(ell=1)"].rounds_p50 is not None
         assert by_name["minority(ell=3)"].runs == 1
 
+    def test_columnar_summary_equals_jsonl_summary(self, tmp_path):
+        # The zero-reparse fast path must read the same analytics out of
+        # the column buffers that the JSONL re-parse computes from dicts.
+        from repro.telemetry import jsonl_to_columnar
+
+        jsonl = tmp_path / "run.jsonl"
+        _write_trace(jsonl, voter(1), seed=3)
+        columnar = tmp_path / "run.ctrace"
+        jsonl_to_columnar(jsonl, columnar)
+        a = summarize_trace(jsonl)
+        b = summarize_trace(columnar)
+        assert b.path.endswith(".ctrace")
+        for field in (
+            "runner", "protocol", "n", "fingerprint", "rounds", "converged",
+            "rounds_to_consensus", "mean_realized_drift",
+            "mean_predicted_drift", "drift_gap",
+        ):
+            assert getattr(a, field) == getattr(b, field), field
+        assert a.spans == b.spans
+
+    def test_dir_summary_spans_both_formats(self, tmp_path):
+        from repro.telemetry import jsonl_to_columnar
+
+        _write_trace(tmp_path / "a.jsonl", voter(1), seed=3)
+        jsonl_to_columnar(tmp_path / "a.jsonl", tmp_path / "b.ctrace")
+        summaries = summarize_trace_dir(tmp_path)
+        assert [s.path.rsplit("/", 1)[-1] for s in summaries] == [
+            "a.jsonl", "b.ctrace"
+        ]
+        assert summaries[0].fingerprint == summaries[1].fingerprint
+
 
 class TestLedgerGate:
     """The acceptance test: a 2x slowdown is flagged, noise is not."""

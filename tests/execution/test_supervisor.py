@@ -179,6 +179,22 @@ class TestMergedTrace:
         _run(workers=4, trace_path=b)
         assert a.read_bytes() == b.read_bytes()
 
+    def test_columnar_merge_carries_the_same_records(self, tmp_path):
+        from repro.telemetry import detect_trace_format, read_trace
+
+        jsonl = tmp_path / "a.jsonl"
+        columnar = tmp_path / "b.ctrace"
+        _run(workers=2, trace_path=jsonl)
+        _run(
+            workers=2, trace_path=columnar,
+            supervisor_kwargs={"trace_format": "columnar"},
+        )
+        assert detect_trace_format(columnar) == "columnar"
+        records = validate_trace(columnar)
+        assert records == read_trace(jsonl)
+        # Shard fragments are merged and removed in this format too.
+        assert sorted(tmp_path.iterdir()) == [jsonl, columnar]
+
 
 class TestCheckpointing:
     def test_per_shard_checkpoints_resume(self, tmp_path):

@@ -329,6 +329,82 @@ class TestDurabilityCommands:
         assert salvaged[0]["kind"] == "run_start"
         assert len(salvaged) == len(lines) - 2
 
+    def test_run_trace_format_columnar(self, tmp_path, capsys):
+        from repro.telemetry import detect_trace_format, read_trace
+
+        ctrace = tmp_path / "run.ctrace"
+        jsonl = tmp_path / "run.jsonl"
+        assert main(
+            self.RUN_ARGS + ["--trace", str(ctrace),
+                             "--trace-format", "columnar"]
+        ) == 0
+        assert main(self.RUN_ARGS + ["--trace", str(jsonl)]) == 0
+        capsys.readouterr()
+        assert detect_trace_format(ctrace) == "columnar"
+
+        timing_fields = ("wall_s", "wall_clock_s", "rounds_per_second")
+
+        def timing_free(path):
+            return [
+                {k: v for k, v in record.items() if k not in timing_fields}
+                for record in read_trace(path)
+                if record.get("kind") != "span"
+            ]
+
+        assert timing_free(ctrace) == timing_free(jsonl)
+        assert main(["trace", "validate", str(ctrace)]) == 0
+        assert "complete=true" in capsys.readouterr().out
+
+    def test_trace_convert_both_directions(self, tmp_path, capsys):
+        jsonl = tmp_path / "run.jsonl"
+        main(self.RUN_ARGS + ["--trace", str(jsonl)])
+        capsys.readouterr()
+        ctrace = tmp_path / "run.ctrace"
+        assert main(["trace", "convert", str(jsonl), str(ctrace)]) == 0
+        out = capsys.readouterr().out
+        assert "source_format=jsonl" in out
+        assert "target_format=columnar" in out
+        back = tmp_path / "back.jsonl"
+        assert main(["trace", "convert", str(ctrace), str(back)]) == 0
+        assert "target_format=jsonl" in capsys.readouterr().out
+        assert back.read_bytes() == jsonl.read_bytes()
+
+    def test_trace_convert_invalid_exits_three(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "round", "t": 1, "count": 3}\n')
+        code = main(["trace", "convert", str(bad), str(tmp_path / "o.ctrace")])
+        assert code == EXIT_INVALID_TRACE
+        assert "invalid trace" in capsys.readouterr().err
+        assert not (tmp_path / "o.ctrace").exists()
+
+    def test_trace_convert_missing_source_exits_one(self, tmp_path, capsys):
+        code = main(
+            ["trace", "convert", str(tmp_path / "absent.jsonl"),
+             str(tmp_path / "o.ctrace")]
+        )
+        assert code == EXIT_INVALID_TRACE or code == EXIT_ERROR
+
+    def test_trace_index_command(self, tmp_path, capsys):
+        main(self.RUN_ARGS + ["--trace", str(tmp_path / "a.jsonl")])
+        main(self.RUN_ARGS + ["--trace", str(tmp_path / "b.ctrace"),
+                              "--trace-format", "columnar"])
+        capsys.readouterr()
+        assert main(["trace", "index", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "traces=2" in out and "refreshed=2" in out
+        assert "a.jsonl: format=jsonl" in out
+        assert "b.ctrace: format=columnar" in out
+        # Warm second run: answered from the cache.
+        assert main(["trace", "index", str(tmp_path)]) == 0
+        assert "refreshed=0" in capsys.readouterr().out
+        # And --rebuild forces a full re-summarization.
+        assert main(["trace", "index", str(tmp_path), "--rebuild"]) == 0
+        assert "refreshed=2" in capsys.readouterr().out
+
+    def test_trace_index_missing_directory(self, tmp_path, capsys):
+        assert main(["trace", "index", str(tmp_path / "nope")]) == EXIT_ERROR
+        assert "no directory" in capsys.readouterr().err
+
     def test_bench_timeout_flags_slow_experiment(self, tmp_path, monkeypatch):
         import time as time_module
 

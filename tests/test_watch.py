@@ -121,6 +121,32 @@ class TestTraceTailing:
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
         assert tail_trace_round(empty) is None
+        # An empty columnar file is equally roundless, not an error.
+        empty_columnar = tmp_path / "empty.ctrace"
+        empty_columnar.write_bytes(b"")
+        assert tail_trace_round(empty_columnar) is None
+
+    def test_trace_ending_in_span_record(self, tmp_path):
+        # The tail reader must skip past trailing non-round records in
+        # both containers and still surface the last round.
+        span = {
+            "kind": "span", "name": "sim", "path": "sim", "depth": 0,
+            "calls": 1, "wall_s": 0.25, "counters": {},
+        }
+        records = [
+            {"kind": "round", "t": 5, "count": 40},
+            {"kind": "round", "t": 6, "count": 39},
+            span,
+        ]
+        jsonl = tmp_path / "run.jsonl"
+        jsonl.write_text("".join(json.dumps(r) + "\n" for r in records))
+        assert tail_trace_round(jsonl)["t"] == 6
+
+        from repro.telemetry import write_trace_records
+
+        columnar = tmp_path / "run.ctrace"
+        write_trace_records(columnar, records, "columnar", chunk_rounds=1)
+        assert tail_trace_round(columnar)["t"] == 6
 
     def test_discover_traces_excludes_tmp(self, tmp_path):
         base = tmp_path / "run.ckpt"
@@ -129,6 +155,45 @@ class TestTraceTailing:
         (tmp_path / "unrelated.jsonl").write_text("")
         names = [p.name for p in discover_traces(base)]
         assert names == ["run.ckpt.jsonl"]
+
+    def test_discover_traces_mixed_shard_tagged_directory(self, tmp_path):
+        # A supervised run that switched formats mid-history: shard
+        # fragments and merged traces in both containers, plus in-flight
+        # tmp files that must stay hidden.
+        base = tmp_path / "run.ckpt"
+        for name in (
+            "run.ckpt.jsonl",
+            "run.ckpt.shard0.jsonl",
+            "run.ckpt.shard1.ctrace",
+            "run.ckpt.ctrace",
+        ):
+            (tmp_path / name).write_text("")
+        (tmp_path / "run.ckpt.shard2.ctrace.tmp").write_text("")
+        (tmp_path / "other.ctrace").write_text("")
+        names = [p.name for p in discover_traces(base)]
+        assert names == [
+            "run.ckpt.ctrace",
+            "run.ckpt.jsonl",
+            "run.ckpt.shard0.jsonl",
+            "run.ckpt.shard1.ctrace",
+        ]
+
+    def test_tail_agrees_across_formats_after_round_trip(self, tmp_path):
+        from repro.dynamics.config import Configuration
+        from repro.dynamics.rng import make_rng
+        from repro.dynamics.run import simulate
+        from repro.protocols import voter
+        from repro.telemetry import JsonlTraceWriter, jsonl_to_columnar
+
+        jsonl = tmp_path / "run.jsonl"
+        with JsonlTraceWriter(jsonl, include_timings=False) as writer:
+            simulate(
+                voter(1), Configuration(n=64, z=1, x0=1), 50_000,
+                make_rng(0), recorder=writer,
+            )
+        columnar = tmp_path / "run.ctrace"
+        jsonl_to_columnar(jsonl, columnar, chunk_rounds=16)
+        assert tail_trace_round(columnar) == tail_trace_round(jsonl)
 
 
 class TestWatchLoop:
