@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test doctest docs-check bench bench-smoke examples report perf-gate trace-smoke trace-roundtrip fault-smoke ensemble-smoke metrics-smoke clean
+.PHONY: install test doctest docs-check bench bench-smoke examples report perf-gate trace-smoke trace-roundtrip fault-smoke ensemble-smoke metrics-smoke scenario-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -50,6 +50,10 @@ fault-smoke:
 
 ensemble-smoke:
 	$(PYTHON) scripts/fault_smoke.py --parallel ensemble:after_round:25
+
+scenario-smoke:
+	$(PYTHON) scripts/scenario_smoke.py ensemble:after_round:25
+	$(PYTHON) scripts/scenario_smoke.py checkpoint:after_tmp_write:3
 
 metrics-smoke:
 	$(PYTHON) scripts/metrics_smoke.py

@@ -1,0 +1,103 @@
+"""E13e — scenario-engine overhead on the batched engine (docs/SCENARIOS.md).
+
+The hostile-world hooks run once per *round*, so routing an ensemble
+through the scenario kernel must cost almost nothing when the world is
+null: the gated claim is that a ``scenario="null"`` run stays within
+15% of the wall clock of a clean ``scenario=None`` run on the batched
+engine (same censored workload, so fixed work on both sides).  The
+record also archives the cost of a real composite —
+churn + message loss + a mid-run source flip — which legitimately pays
+for its churn draws (hypergeometric inversions) and is *not* gated,
+plus the null/clean and composite/clean ratios so the ledger catches
+creep in either.
+
+``repro bench --scenario SPEC`` exports ``REPRO_BENCH_SCENARIO``; when
+set, that spec replaces the default composite row, so one-off scenario
+costings go through the same ledger plumbing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from _harness import emit, note_field, note_rounds, pick, run_once
+from repro.analysis.series import Table
+from repro.dynamics.config import Configuration
+from repro.dynamics.rng import make_rng
+from repro.dynamics.run import simulate_ensemble
+from repro.protocols import voter
+
+DEFAULT_COMPOSITE = "churn:period=8,amplitude=4+lossy:rate=0.1+flip-source:at=12"
+
+# The null-run gate.  Measured slack is ~1% (the hooks are per-round,
+# the draws per-replica); 15% leaves room for noisy shared runners
+# while still catching an accidentally per-replica hook.
+MAX_NULL_OVERHEAD = 0.15
+
+
+def _bench_scenario_spec() -> str:
+    return os.environ.get("REPRO_BENCH_SCENARIO") or DEFAULT_COMPOSITE
+
+
+def test_scenario_overhead_batched(benchmark):
+    """E13e — clean vs null-scenario vs composite wall clock."""
+    protocol = voter(1)
+    n = pick(10**5, 10**4)
+    rounds = pick(60, 15)
+    replicas = 1000
+    # Censored workload: voter from a balanced start, budget far below
+    # the convergence scale, so every replica executes exactly ``rounds``
+    # rounds in every variant — fixed, comparable work.
+    config = Configuration(n=n, z=1, x0=n // 2)
+    composite = _bench_scenario_spec()
+
+    def run(scenario):
+        return simulate_ensemble(
+            protocol, config, rounds, make_rng(17), replicas,
+            engine="batched", scenario=scenario,
+        )
+
+    def best_of(scenario, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run(scenario)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    clean_s = best_of(None)
+    null_times = run_once(benchmark, run, "null", experiment="E13e_scenarios")
+    null_s = best_of("null")
+    composite_s = best_of(composite)
+
+    null_overhead = null_s / clean_s - 1.0
+    composite_ratio = composite_s / clean_s
+    replica_rounds = rounds * replicas
+
+    note_rounds(replica_rounds)
+    note_field("null_overhead", round(null_overhead, 4))
+    note_field("composite_scenario", composite)
+    note_field("composite_ratio", round(composite_ratio, 4))
+    table = Table(
+        f"scenario overhead: {replicas} replicas, {rounds} rounds at "
+        f"n={n} (batched engine)",
+        ["world", "wall s", "vs clean"],
+    )
+    table.add_row("clean (scenario=None)", round(clean_s, 4), 1.0)
+    table.add_row("null scenario", round(null_s, 4), round(null_s / clean_s, 4))
+    table.add_row(composite, round(composite_s, 4), round(composite_ratio, 4))
+    emit("E13e_scenarios", table)
+
+    # The null world consumes exactly the clean stream, so the results —
+    # not just the distributions — must agree bit-for-bit.
+    np.testing.assert_array_equal(run(None), null_times)
+    # The gate: scenario plumbing must stay per-round, not per-replica.
+    assert null_overhead < MAX_NULL_OVERHEAD, (
+        f"null-scenario run is {null_overhead:.1%} slower than clean "
+        f"(gate: {MAX_NULL_OVERHEAD:.0%})"
+    )
+    # Sanity floor on the composite: it must actually have run hostile.
+    assert composite_ratio > 1.0

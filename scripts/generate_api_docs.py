@@ -24,7 +24,7 @@ MODULES = [
     "repro.dynamics.run", "repro.dynamics.sequential", "repro.dynamics.kactivation",
     "repro.dynamics.multiopinion", "repro.dynamics.noise", "repro.dynamics.zealots",
     "repro.dynamics.adversary", "repro.dynamics.graphs", "repro.dynamics.heterogeneous",
-    "repro.dynamics.rng",
+    "repro.dynamics.rng", "repro.dynamics.scenarios",
     "repro.telemetry.recorder", "repro.telemetry.jsonl",
     "repro.telemetry.columnar",
     "repro.telemetry.resources", "repro.telemetry.heartbeat",

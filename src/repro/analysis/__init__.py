@@ -1,6 +1,11 @@
 """Ensemble statistics, scaling fits, trace analytics, and text rendering."""
 
-from repro.analysis.ensemble import ConvergenceStats, convergence_ensemble, summarize_times
+from repro.analysis.ensemble import (
+    ConvergenceStats,
+    convergence_ensemble,
+    summarize_recovery,
+    summarize_times,
+)
 from repro.analysis.report import (
     ComparisonRow,
     ProtocolReport,
@@ -41,6 +46,7 @@ __all__ = [
     "ConvergenceStats",
     "convergence_ensemble",
     "summarize_times",
+    "summarize_recovery",
     "PowerLawFit",
     "fit_power_law",
     "normalized_ratios",

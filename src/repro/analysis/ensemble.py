@@ -21,7 +21,12 @@ from repro.dynamics.run import simulate_ensemble
 from repro.execution.checkpoint import DEFAULT_CHECKPOINT_EVERY
 from repro.telemetry import NULL_RECORDER, Recorder, span
 
-__all__ = ["ConvergenceStats", "summarize_times", "convergence_ensemble"]
+__all__ = [
+    "ConvergenceStats",
+    "summarize_times",
+    "summarize_recovery",
+    "convergence_ensemble",
+]
 
 
 @dataclass(frozen=True)
@@ -124,6 +129,42 @@ def summarize_times(
     )
 
 
+def summarize_recovery(
+    times: np.ndarray,
+    settle: int,
+    budget: Optional[int] = None,
+    *,
+    failed_shards: int = 0,
+    attempted_trials: Optional[int] = None,
+) -> ConvergenceStats:
+    """Summarize recovery times: rounds past the scenario's settle round.
+
+    Under a hostile scenario the engine refuses to declare convergence
+    before the perturbation schedule settles (the source told its last lie,
+    the opinion flipped for the last time — ``Scenario.settle_round``), so
+    every finite entry of ``times`` is ``>= settle``.  The *recovery time*
+    is ``tau - settle``: how long the population needs to re-converge once
+    the world stops moving.  This shifts the samples and the budget by
+    ``settle`` and reuses :func:`summarize_times`, so censoring semantics
+    (``nan`` = ran out of budget, lower-bound quantiles) carry over
+    unchanged.  With ``settle == 0`` (e.g. the null scenario) this is
+    exactly :func:`summarize_times`.
+    """
+    times = np.asarray(times, dtype=float)
+    finite = times[np.isfinite(times)]
+    if finite.size and float(finite.min()) < settle:
+        raise ValueError(
+            f"convergence time {finite.min()} precedes settle round {settle}; "
+            "these times were not produced under the scenario's settle gate"
+        )
+    return summarize_times(
+        times - float(settle),
+        budget=None if budget is None else budget - settle,
+        failed_shards=failed_shards,
+        attempted_trials=attempted_trials,
+    )
+
+
 def convergence_ensemble(
     protocol: Protocol,
     config: Configuration,
@@ -136,8 +177,16 @@ def convergence_ensemble(
     shards=None,
     supervisor=None,
     engine=None,
+    scenario=None,
 ) -> ConvergenceStats:
     """Run ``replicas`` independent chains and summarize their ``tau``.
+
+    ``scenario`` (a spec string, :class:`~repro.dynamics.config.
+    ScenarioConfig`, or built :class:`~repro.dynamics.scenarios.Scenario`)
+    runs the ensemble in a hostile world; it is forwarded verbatim to the
+    runner, so the summarized times obey the scenario's settle gate.  Use
+    :func:`summarize_recovery` on the raw times when recovery statistics
+    (time past the settle round) are wanted instead of absolute ``tau``.
 
     ``engine`` selects the stepping backend and is forwarded verbatim
     (``"loop"`` | ``"batched"`` | ``"batched+numba"`` | ``"lockstep"``;
@@ -189,13 +238,14 @@ def convergence_ensemble(
                 ),
                 guard=checkpoint.guard if checkpoint is not None else None,
                 engine=engine,
+                scenario=scenario,
             )
             with span(recorder, "summarize"):
                 stats = summarize_supervised(result, budget=max_rounds)
         else:
             times = simulate_ensemble(
                 protocol, config, max_rounds, rng, replicas, recorder,
-                checkpoint=checkpoint, engine=engine,
+                checkpoint=checkpoint, engine=engine, scenario=scenario,
             )
             with span(recorder, "summarize"):
                 stats = summarize_times(times, budget=max_rounds)

@@ -42,10 +42,12 @@ from repro.telemetry.columnar import detect_trace_format, load_columnar_data
 __all__ = [
     "TraceSummary",
     "ProtocolReport",
+    "ScenarioReport",
     "ComparisonRow",
     "summarize_trace",
     "summarize_trace_dir",
     "group_by_protocol",
+    "group_by_scenario",
     "load_bench_records",
     "load_baseline",
     "compare_against_baseline",
@@ -103,6 +105,15 @@ class TraceSummary:
             per-round gap by 1, so large values flag a broken engine.
         spans: per-path ``{"calls", "wall_s", "counters"}`` totals from the
             trace's ``span`` records.
+        scenario: canonical hostile-world spec from the run provenance
+            (``None`` for clean runs; see docs/SCENARIOS.md).
+        settle_round: round the scenario's perturbation schedule settles
+            (``None`` for clean runs).
+        recovered: replicas that re-converged after the settle round
+            (``None`` for clean runs).
+        recovery_p50, recovery_p90: recovery-time percentiles from the
+            run_end summary (``None`` for clean runs or when nothing
+            recovered).
     """
 
     path: str
@@ -119,6 +130,11 @@ class TraceSummary:
     mean_predicted_drift: Optional[float]
     drift_gap: Optional[float]
     spans: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    scenario: Optional[str] = None
+    settle_round: Optional[int] = None
+    recovered: Optional[int] = None
+    recovery_p50: Optional[float] = None
+    recovery_p90: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -148,6 +164,31 @@ class ProtocolReport:
     mean_rounds_per_second: float
     mean_drift_gap: float
     span_wall_s: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Aggregate over every trace run under one hostile-world scenario.
+
+    Attributes:
+        scenario: the canonical scenario spec (the pooling key).
+        runs: number of traces.
+        converged_runs: traces whose run reported convergence.
+        settle_round: the scenario's settle round (max over traces, in
+            case the same spec ran under different round budgets).
+        recovered: total replicas that re-converged after settling.
+        recovery_p50, recovery_p90: recovery-time percentiles pooled over
+            the per-trace percentiles (median of p50s, max of p90s —
+            conservative without the raw per-replica times).
+    """
+
+    scenario: str
+    runs: int
+    converged_runs: int
+    settle_round: int
+    recovered: int
+    recovery_p50: float
+    recovery_p90: float
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +237,7 @@ def summarize_trace(path: Union[str, Path]) -> TraceSummary:
     )
 
     return TraceSummary(
+        **_scenario_fields(params, end),
         path=str(path),
         runner=start.get("runner", "?"),
         protocol=protocol_info.get("name", "?"),
@@ -249,6 +291,7 @@ def _summarize_columnar(path: Union[str, Path]) -> TraceSummary:
     )
 
     return TraceSummary(
+        **_scenario_fields(params, end),
         path=str(path),
         runner=start.get("runner", "?"),
         protocol=protocol_info.get("name", "?"),
@@ -264,6 +307,30 @@ def _summarize_columnar(path: Union[str, Path]) -> TraceSummary:
         drift_gap=gap,
         spans=_aggregate_spans(data.spans),
     )
+
+
+def _scenario_fields(
+    params: Mapping[str, Any], end: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Scenario provenance and recovery statistics for a :class:`TraceSummary`.
+
+    The spec travels in the run_start params and the recovery summary in
+    the run_end (serial and supervised runners both emit them; see
+    docs/OBSERVABILITY.md).  Clean traces carry neither, so every field
+    stays ``None`` and old traces summarize exactly as before.
+    """
+    scenario = params.get("scenario") or end.get("scenario")
+    if scenario is None:
+        return {}
+    settle = params.get("settle_round", end.get("settle_round"))
+    recovered = end.get("recovered")
+    return {
+        "scenario": str(scenario),
+        "settle_round": int(settle) if settle is not None else None,
+        "recovered": int(recovered) if recovered is not None else None,
+        "recovery_p50": end.get("recovery_p50"),
+        "recovery_p90": end.get("recovery_p90"),
+    }
 
 
 def _aggregate_spans(
@@ -380,6 +447,32 @@ def group_by_protocol(summaries: Sequence[TraceSummary]) -> List[ProtocolReport]
                 ),
                 mean_drift_gap=float(np.mean(gaps)) if gaps else float("nan"),
                 span_wall_s=span_wall,
+            )
+        )
+    return reports
+
+
+def group_by_scenario(summaries: Sequence[TraceSummary]) -> List[ScenarioReport]:
+    """Pool trace summaries by canonical scenario spec (clean runs skipped)."""
+    groups: Dict[str, List[TraceSummary]] = {}
+    for summary in summaries:
+        if summary.scenario is not None:
+            groups.setdefault(summary.scenario, []).append(summary)
+    reports = []
+    for scenario, members in sorted(groups.items()):
+        p50s = [m.recovery_p50 for m in members if m.recovery_p50 is not None]
+        p90s = [m.recovery_p90 for m in members if m.recovery_p90 is not None]
+        reports.append(
+            ScenarioReport(
+                scenario=scenario,
+                runs=len(members),
+                converged_runs=sum(1 for m in members if m.converged),
+                settle_round=max(
+                    (m.settle_round or 0) for m in members
+                ),
+                recovered=sum(m.recovered or 0 for m in members),
+                recovery_p50=float(np.median(p50s)) if p50s else float("nan"),
+                recovery_p90=float(np.max(p90s)) if p90s else float("nan"),
             )
         )
     return reports
@@ -654,6 +747,7 @@ def build_report(
         baseline_path = results_dir / "BASELINE.json"
     summaries = summarize_trace_dir(results_dir, use_index=use_index)
     protocols = group_by_protocol(summaries)
+    scenarios = group_by_scenario(summaries)
     current = load_bench_records(results_dir)
     baseline = load_baseline(baseline_path)
     comparison = compare_against_baseline(
@@ -676,6 +770,7 @@ def build_report(
         "baseline": str(baseline_path),
         "traces": [asdict(s) for s in summaries],
         "protocols": [asdict(p) for p in protocols],
+        "scenarios": [asdict(s) for s in scenarios],
         "benchmarks": [asdict(row) for row in comparison],
         "resources": resources,
         "regressions": [
@@ -714,6 +809,24 @@ def render_report(report: Mapping[str, Any]) -> str:
         span_lines = _render_span_breakdown(protocols)
         if span_lines:
             sections.append(span_lines)
+        scenarios = report.get("scenarios", [])
+        if scenarios:
+            table = Table(
+                "Per-scenario recovery (hostile-world traces)",
+                ["scenario", "runs", "conv", "settle", "recovered",
+                 "recovery p50", "recovery p90"],
+            )
+            for row in scenarios:
+                table.add_row(
+                    row["scenario"],
+                    row["runs"],
+                    row["converged_runs"],
+                    row["settle_round"],
+                    row["recovered"],
+                    _fmt(row["recovery_p50"]),
+                    _fmt(row["recovery_p90"]),
+                )
+            sections.append(table.render())
     else:
         sections.append(
             f"no traces under {report.get('results_dir')} "

@@ -18,6 +18,9 @@ Usage (installed as ``python -m repro``):
     python -m repro report results/ --strict
     python -m repro run voter --replicas 64 --workers 4 --checkpoint run.ckpt \\
         --metrics-port 0
+    python -m repro run voter --replicas 64 --scenario churn:period=16 \\
+        --scenario lossy:rate=0.1
+    python -m repro scenarios list
     python -m repro watch run.ckpt
 
 Protocols are resolved from the registry (:mod:`repro.protocols.registry`)
@@ -113,6 +116,26 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios_list(_: argparse.Namespace) -> int:
+    """Print the scenario registry with parameter schemas (machine-greppable).
+
+    One ``name: summary`` line per scenario, then one indented
+    ``  key (kind, default=...): doc`` line per parameter — the same
+    spec grammar ``--scenario NAME[:k=v,...]`` accepts.
+    """
+    from repro.dynamics.scenarios import available_scenarios, get_scenario_family
+
+    for name in available_scenarios():
+        family = get_scenario_family(name)
+        print(f"{name}: {family.summary}")
+        for param in family.params:
+            print(
+                f"  {param.name} ({param.kind}, default={param.default}): "
+                f"{param.doc}"
+            )
+    return 0
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
     protocol = resolve_protocol(args.protocol, args.n)
     print(f"protocol: {protocol!r}")
@@ -194,7 +217,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     low, high = Configuration.count_bounds(args.n, args.z)
     x0 = args.x0 if args.x0 is not None else wrong_consensus_configuration(args.n, args.z).x0
     config = Configuration(n=args.n, z=args.z, x0=min(max(x0, low), high))
-    if args.replicas > 1 or args.workers is not None or args.shards is not None:
+    if (
+        args.replicas > 1
+        or args.workers is not None
+        or args.shards is not None
+        or args.scenario
+    ):
+        # Scenarios hook the ensemble engines (docs/SCENARIOS.md), so a
+        # --scenario run is an ensemble run even at --replicas 1.
         return _run_ensemble(args, protocol, config)
     # The argv-level inputs travel in the checkpoint's meta block so that
     # `repro resume <path>` can rebuild this exact run with no other flags.
@@ -382,6 +412,18 @@ def _run_ensemble(
         summarize_supervised,
     )
 
+    scenario = None
+    if args.scenario:
+        from repro.dynamics.scenarios import make_scenario
+
+        try:
+            scenario = make_scenario("+".join(args.scenario), config.n)
+        except (KeyError, ValueError) as error:
+            # KeyError's str() wraps the message in quotes; unwrap it.
+            message = error.args[0] if error.args else str(error)
+            print(f"repro: {message}", file=sys.stderr)
+            return EXIT_ERROR
+
     observing = (
         args.metrics_port is not None
         or args.metrics_textfile is not None
@@ -425,6 +467,7 @@ def _run_ensemble(
                 heartbeat_base=hb_base,
                 heartbeat_every_s=0.5 if observing else 1.0,
                 profile_dir=args.profile,
+                scenario=scenario,
             )
         except GracefulExit as stop:
             print(
@@ -467,6 +510,20 @@ def _run_ensemble(
     print(f"q10={stats.q10}")
     print(f"q90={stats.q90}")
     print(f"mean_converged={stats.mean_converged}")
+    if scenario is not None:
+        from repro.analysis.ensemble import summarize_recovery
+
+        settle = scenario.settle_round(args.rounds)
+        recovery = summarize_recovery(
+            result.times, settle, budget=args.rounds,
+            failed_shards=result.failed_shards,
+            attempted_trials=result.attempted_trials,
+        )
+        print(f"scenario={scenario.spec()}")
+        print(f"settle_round={settle}")
+        print(f"recovery_median={recovery.median}")
+        print(f"recovery_q90={recovery.q90}")
+        print(f"recovery_mean_converged={recovery.mean_converged}")
     if result.retries or result.timeouts:
         print(
             f"supervision: retries={result.retries} timeouts={result.timeouts}",
@@ -734,6 +791,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         env["REPRO_BENCH_TIMEOUT"] = str(args.timeout)
     if args.workers is not None:
         env["REPRO_BENCH_WORKERS"] = str(args.workers)
+    if args.scenario is not None:
+        env["REPRO_BENCH_SCENARIO"] = args.scenario
     env["PYTHONPATH"] = os.pathsep.join(
         [str(repo_root / "src")]
         + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
@@ -956,6 +1015,13 @@ def build_parser() -> argparse.ArgumentParser:
              "docs/ENGINES.md for the backend contract)",
     )
     run.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME[:k=v,...]",
+        help="run the ensemble in a hostile world (repeatable; repeats "
+             "compose left-to-right, e.g. --scenario churn:period=16 "
+             "--scenario lossy:rate=0.1); see `repro scenarios list` and "
+             "docs/SCENARIOS.md",
+    )
+    run.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",
         help="serve GET /metrics (Prometheus text exposition) from a "
              "background thread; 0 binds an ephemeral port, announced on "
@@ -1131,7 +1197,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", metavar="N", type=int, default=None,
         help="worker processes for ensemble benchmarks (REPRO_BENCH_WORKERS)",
     )
+    bench.add_argument(
+        "--scenario", metavar="SPEC", default=None,
+        help="scenario spec for the scenario-overhead benchmarks "
+             "(REPRO_BENCH_SCENARIO; default: their built-in composite)",
+    )
     bench.set_defaults(handler=_cmd_bench)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="inspect the hostile-world scenario registry",
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scenarios_list = scenarios_sub.add_parser(
+        "list",
+        help="list registered scenarios with their parameter schemas",
+    )
+    scenarios_list.set_defaults(handler=_cmd_scenarios_list)
 
     assemble = sub.add_parser(
         "assemble", help="assemble results/E*.txt into REPORT.md"

@@ -82,18 +82,31 @@ def simulated_worst_start(
     rng: np.random.Generator,
     replicas: int = 10,
     grid_points: int = 17,
+    scenario=None,
+    engine=None,
 ) -> WorstStart:
     """Adversarial start by simulation over a grid of starting counts.
 
     Censored medians are recorded as ``inf`` (worse than anything finite),
     matching the adversary's preference.
+
+    ``scenario`` runs every probed start in the same hostile world (a spec
+    string, :class:`~repro.dynamics.config.ScenarioConfig`, or built
+    :class:`~repro.dynamics.scenarios.Scenario`), so the search answers
+    "which start is worst *under this perturbation schedule*"; ``engine``
+    is forwarded alongside it.  With both ``None`` the ensemble call —
+    and hence the consumed random stream — is exactly the clean search's.
     """
     low, high = Configuration.count_bounds(n, z)
     counts = np.unique(np.linspace(low, high, grid_points).astype(np.int64))
+    scenario = _resolved_scenario(scenario, n)
     medians = []
     for x0 in counts:
         config = Configuration(n=n, z=z, x0=int(x0))
-        times = simulate_ensemble(protocol, config, max_rounds, rng, replicas)
+        times = simulate_ensemble(
+            protocol, config, max_rounds, rng, replicas,
+            engine=engine, scenario=scenario,
+        )
         padded = np.where(np.isnan(times), np.inf, times)
         medians.append(float(np.median(padded)))
     profile = np.asarray(medians)
@@ -104,3 +117,16 @@ def simulated_worst_start(
         profile=profile,
         probed_counts=counts,
     )
+
+
+def _resolved_scenario(scenario, n: int):
+    """Build the scenario once so the grid shares one hostile world.
+
+    Per-start resolution would rebuild identical objects; resolving here
+    also surfaces a bad spec before any simulation time is spent.
+    """
+    if scenario is None:
+        return None
+    from repro.dynamics.scenarios import as_scenario
+
+    return as_scenario(scenario, n)

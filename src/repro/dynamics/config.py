@@ -15,6 +15,7 @@ from typing import List
 
 __all__ = [
     "Configuration",
+    "ScenarioConfig",
     "validate_count",
     "validate_counts",
     "consensus_configuration",
@@ -67,6 +68,37 @@ class Configuration:
     @property
     def fraction(self) -> float:
         return self.x0 / self.n
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A declarative hostile-world selection: a scenario spec string.
+
+    The engine-independent companion of :class:`Configuration`: it names
+    *which* perturbation schedule a run lives in (``"null"``,
+    ``"churn:period=8+lossy:rate=0.2"``, ...) without binding to a
+    population size.  ``build(n)`` resolves it against the scenario
+    registry.  Runners accept a ``ScenarioConfig``, a spec string, or a
+    built :class:`~repro.dynamics.scenarios.Scenario` interchangeably.
+
+    Scenario randomness needs no configuration here: every scenario draws
+    from the same per-replica counter streams as the clean engines (the
+    ``SeedSequence`` spawn tree hashed by
+    :func:`repro.dynamics.batched.replica_keys`), claiming draw indices
+    the clean step never touches — see docs/SCENARIOS.md.
+    """
+
+    spec: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.spec, str) or not self.spec.strip():
+            raise ValueError(f"scenario spec must be a non-empty string, got {self.spec!r}")
+
+    def build(self, n: int):
+        """Resolve the spec into a :class:`~repro.dynamics.scenarios.Scenario`."""
+        from repro.dynamics.scenarios import make_scenario
+
+        return make_scenario(self.spec, n)
 
 
 def validate_count(n: int, z: int, x: int) -> tuple:

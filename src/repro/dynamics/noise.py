@@ -64,16 +64,24 @@ def step_count_noisy(
     delta: float,
     rng: np.random.Generator,
 ) -> int:
-    """One parallel round of the count chain under observation noise."""
+    """One parallel round of the count chain under observation noise.
+
+    A thin wrapper over the registered ``corrupt`` scenario
+    (:mod:`repro.dynamics.scenarios`), whose response transform evaluates
+    the protocol at the same ``p~`` expression as
+    :func:`distorted_fraction`; the shared-``Generator`` stream it
+    consumes is bit-identical to the pre-scenario implementation.
+    """
+    if not 0.0 <= delta <= 0.5:
+        raise ValueError(f"noise level delta must lie in [0, 0.5], got {delta}")
     low, high = Configuration.count_bounds(n, z)
     if not low <= x <= high:
         raise ValueError(f"count x must lie in [{low}, {high}] for n={n}, z={z}; got {x}")
-    p0, p1 = noisy_response_probabilities(protocol, x / n, delta)
-    m1 = x - z
-    m0 = n - x - (1 - z)
-    ones_kept = int(rng.binomial(m1, p1)) if m1 > 0 else 0
-    zeros_flipped = int(rng.binomial(m0, p0)) if m0 > 0 else 0
-    return z + ones_kept + zeros_flipped
+    from repro.dynamics.scenarios import CorruptScenario, scenario_step_generator
+
+    return scenario_step_generator(
+        protocol, CorruptScenario(n, delta=delta), x, 1, z, rng
+    )
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,12 @@ from repro.execution.checkpoint import (
     encode_times,
     run_signature,
 )
+from repro.dynamics.scenarios import (
+    as_scenario,
+    scenario_step_count,
+    scenario_step_counts,
+    scenario_target,
+)
 from repro.execution.shutdown import GracefulExit
 from repro.telemetry import NULL_RECORDER, Recorder, run_provenance, span
 
@@ -60,6 +66,7 @@ __all__ = [
     "RunResult",
     "simulate",
     "simulate_ensemble",
+    "recovery_summary",
     "escape_time",
     "escape_time_ensemble",
     "time_to_leave_consensus",
@@ -233,6 +240,7 @@ def simulate_ensemble(
     shards: Optional[int] = None,
     supervisor=None,
     engine: Optional[str] = None,
+    scenario=None,
 ) -> np.ndarray:
     """Convergence times of ``replicas`` independent runs, advanced in lock-step.
 
@@ -278,6 +286,18 @@ def simulate_ensemble(
     their retry budget are *dropped* from the returned array (with a
     ``RuntimeWarning``) — use ``run_supervised_ensemble`` directly when
     the loss accounting matters.
+
+    ``scenario`` applies a hostile-world perturbation schedule (a
+    :class:`repro.dynamics.scenarios.Scenario`, a spec string like
+    ``"churn+lossy:rate=0.2"``, or a
+    :class:`~repro.dynamics.config.ScenarioConfig`).  Scenarios run only
+    on the keyed engine families (``loop``/``batched``); they draw from
+    the same counter streams (churn claims draw indices 2/3), so the
+    ``null`` scenario is bit-identical to ``scenario=None``.  Convergence
+    then means "every free agent displays the current true opinion",
+    replicas never retire before the scenario's settle round, and the
+    scenario's canonical spec is folded into the checkpoint signature —
+    resume refuses a mismatched hostile world.  See docs/SCENARIOS.md.
     """
     if workers is not None or shards is not None or supervisor is not None:
         import warnings
@@ -298,6 +318,7 @@ def simulate_ensemble(
             ),
             guard=checkpoint.guard if checkpoint is not None else None,
             engine=engine,
+            scenario=scenario,
         )
         if result.failed_shards:
             warnings.warn(
@@ -318,16 +339,30 @@ def simulate_ensemble(
     resolved_engine = resolve_engine(engine)
     family = engine_family(resolved_engine)
     use_numba = resolved_engine == "batched+numba"
+    scenario = as_scenario(scenario, config.n)
+    if scenario is not None and family not in ("batched", "loop"):
+        raise ValueError(
+            f"scenarios require a keyed engine family (loop/batched), "
+            f"not {resolved_engine!r}"
+        )
+    settle = scenario.settle_round(max_rounds) if scenario is not None else 0
     start_round = 0
     resumed = None
     if checkpoint is not None:
         # The signature keys on the engine *family*: the random stream (and
         # with it the result) is a function of the family, so a run
         # checkpointed under ``batched+numba`` resumes under ``batched``.
-        signature = run_signature(
-            "simulate_ensemble", protocol, rng,
+        # The scenario spec joins the signature only when one is active, so
+        # pre-scenario checkpoints stay valid and a resume under a different
+        # hostile world is refused.
+        signature_params = dict(
             n=config.n, z=config.z, x0=config.x0,
             max_rounds=max_rounds, replicas=replicas, engine=family,
+        )
+        if scenario is not None:
+            signature_params["scenario"] = scenario.spec()
+        signature = run_signature(
+            "simulate_ensemble", protocol, rng, **signature_params
         )
         resumed = checkpoint.begin("simulate_ensemble", signature)
         if resumed is not None and resumed.complete:
@@ -351,15 +386,32 @@ def simulate_ensemble(
         counts = np.full(replicas, config.x0, dtype=np.int64)
         times = np.full(replicas, np.nan)
         active = np.ones(replicas, dtype=bool)
-        newly_done = counts == target
+        if scenario is None:
+            newly_done = counts == target
+        elif settle <= 0:
+            newly_done = counts == scenario_target(scenario, 0, config.z)
+        else:
+            # The world has scheduled hostility ahead: nothing may retire
+            # before the settle round.
+            newly_done = np.zeros(replicas, dtype=bool)
         times[newly_done] = 0.0
         active &= ~newly_done
+    scenario_events: dict = {}
+    if scenario is not None:
+        for event_round, kind in scenario.events(max_rounds):
+            if event_round in scenario_events:
+                scenario_events[event_round] += "+" + kind
+            else:
+                scenario_events[event_round] = kind
     recording = recorder.enabled
     if recording:
         params = dict(
             n=config.n, z=config.z, x0=config.x0,
             max_rounds=max_rounds, replicas=replicas, engine=family,
         )
+        if scenario is not None:
+            params["scenario"] = scenario.spec()
+            params["settle_round"] = settle
         if resumed is not None:
             params["resumed_from"] = start_round
             params["resumed_count"] = float(counts.mean())
@@ -371,34 +423,55 @@ def simulate_ensemble(
         for t in range(start_round + 1, max_rounds + 1):
             if not active.any():
                 break
-            if family == "batched":
-                counts[active] = step_counts_keyed(
-                    protocol, config.n, config.z, counts[active],
-                    keys[active], t, recorder, use_numba=use_numba,
-                )
-            elif family == "loop":
-                for j in np.nonzero(active)[0]:
-                    counts[j] = step_count_keyed(
-                        protocol, config.n, config.z, int(counts[j]),
-                        keys[j], t, recorder,
+            if scenario is not None:
+                if family == "batched":
+                    counts[active] = scenario_step_counts(
+                        protocol, scenario, config.z, counts[active],
+                        keys[active], t, recorder, use_numba=use_numba,
                     )
-            else:  # lockstep: the legacy shared-Generator stream
-                counts[active] = step_counts_batch(
-                    protocol, config.n, config.z, counts[active], rng, recorder
-                )
-            newly_done = active & (counts == target)
+                else:  # loop
+                    for j in np.nonzero(active)[0]:
+                        counts[j] = scenario_step_count(
+                            protocol, scenario, config.z, int(counts[j]),
+                            keys[j], t, recorder,
+                        )
+                if t >= settle:
+                    round_target = scenario_target(scenario, t, config.z)
+                    newly_done = active & (counts == round_target)
+                else:
+                    newly_done = np.zeros(replicas, dtype=bool)
+            else:
+                if family == "batched":
+                    counts[active] = step_counts_keyed(
+                        protocol, config.n, config.z, counts[active],
+                        keys[active], t, recorder, use_numba=use_numba,
+                    )
+                elif family == "loop":
+                    for j in np.nonzero(active)[0]:
+                        counts[j] = step_count_keyed(
+                            protocol, config.n, config.z, int(counts[j]),
+                            keys[j], t, recorder,
+                        )
+                else:  # lockstep: the legacy shared-Generator stream
+                    counts[active] = step_counts_batch(
+                        protocol, config.n, config.z, counts[active], rng, recorder
+                    )
+                newly_done = active & (counts == target)
             times[newly_done] = float(t)
             active &= ~newly_done
             final_round = t
             if recording:
-                recorder.round_recorded(
-                    t,
-                    float(counts.mean()),
-                    {
-                        "active": int(active.sum()),
-                        "newly_converged": int(newly_done.sum()),
-                    },
-                )
+                extra = {
+                    "active": int(active.sum()),
+                    "newly_converged": int(newly_done.sum()),
+                }
+                if scenario is not None:
+                    if t in scenario_events:
+                        extra["scenario_event"] = scenario_events[t]
+                    population = scenario.population(t)
+                    if population != config.n:
+                        extra["population"] = population
+                recorder.round_recorded(t, float(counts.mean()), extra)
             if faults.armed():
                 # One visit per replica that converged this round, so
                 # REPRO_FAULT=ensemble:after_replica:k kills the process
@@ -431,14 +504,35 @@ def simulate_ensemble(
         )
     if recording:
         censored = int(np.isnan(times).sum())
-        recorder.run_finished(
-            {
-                "converged": replicas - censored,
-                "censored": censored,
-                "final_round": final_round,
-            }
-        )
+        summary = {
+            "converged": replicas - censored,
+            "censored": censored,
+            "final_round": final_round,
+        }
+        if scenario is not None:
+            summary["scenario"] = scenario.spec()
+            summary["settle_round"] = settle
+            summary.update(recovery_summary(times, settle))
+        recorder.run_finished(summary)
     return times
+
+
+def recovery_summary(times: np.ndarray, settle: int) -> dict:
+    """Recovery-time percentiles over the converged replicas.
+
+    ``recovery = tau - settle_round`` per converged replica (censored ones
+    are excluded — the censor-aware statistics live in
+    :func:`repro.analysis.ensemble.summarize_recovery`).  Returned as
+    JSON-safe scalars for ``run_end`` trace records.
+    """
+    recovery = np.asarray(times, dtype=float) - float(settle)
+    finite = recovery[np.isfinite(recovery)]
+    out = {"recovered": int(finite.size)}
+    if finite.size:
+        out["recovery_mean"] = float(finite.mean())
+        out["recovery_p50"] = float(np.quantile(finite, 0.5, method="lower"))
+        out["recovery_p90"] = float(np.quantile(finite, 0.9, method="lower"))
+    return out
 
 
 def _ensemble_payload(counts, times, active) -> dict:

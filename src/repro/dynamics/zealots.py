@@ -61,22 +61,41 @@ class ZealotPopulation:
         return (self.s1, self.n - self.s0)
 
 
+def _zealots_scenario(population: ZealotPopulation):
+    """The registered ``zealots`` scenario equivalent of ``population``.
+
+    ``None`` in the degenerate everyone-is-a-zealot case, where no agent
+    ever updates (the scenario registry requires at least one free agent).
+    """
+    if population.free_agents == 0:
+        return None
+    from repro.dynamics.scenarios import ZealotsScenario
+
+    return ZealotsScenario(population.n, s1=population.s1, s0=population.s0)
+
+
 def step_count_zealots(
     protocol: Protocol,
     population: ZealotPopulation,
     x: int,
     rng: np.random.Generator,
 ) -> int:
-    """One parallel round: free agents update, zealots never do."""
+    """One parallel round: free agents update, zealots never do.
+
+    A thin wrapper over the registered ``zealots`` scenario
+    (:mod:`repro.dynamics.scenarios`); the shared-``Generator`` stream it
+    consumes is bit-identical to the pre-scenario implementation,
+    including the skipped draws when either free bucket is empty.
+    """
     low, high = population.count_bounds()
     if not low <= x <= high:
         raise ValueError(f"count x must lie in [{low}, {high}], got {x}")
-    p0, p1 = protocol.response_probabilities(x / population.n)
-    free_ones = x - population.s1
-    free_zeros = population.n - x - population.s0
-    kept = int(rng.binomial(free_ones, p1)) if free_ones > 0 else 0
-    flipped = int(rng.binomial(free_zeros, p0)) if free_zeros > 0 else 0
-    return population.s1 + kept + flipped
+    scenario = _zealots_scenario(population)
+    if scenario is None:
+        return x  # everyone is pinned; nothing draws, nothing moves
+    from repro.dynamics.scenarios import scenario_step_generator
+
+    return scenario_step_generator(protocol, scenario, x, 1, 1, rng)
 
 
 def stationary_profile(
@@ -97,9 +116,17 @@ def stationary_profile(
         raise ValueError(f"rounds ({rounds}) must exceed burn_in ({burn_in})")
     low, high = population.count_bounds()
     x = (low + high) // 2 if x0 is None else x0
+    if not low <= x <= high:
+        raise ValueError(f"count x must lie in [{low}, {high}], got {x}")
+    # Scenario built once, stepped directly: same stream as calling
+    # step_count_zealots round by round, without rebuilding the scenario.
+    scenario = _zealots_scenario(population)
+    from repro.dynamics.scenarios import scenario_step_generator
+
     trace = np.empty(rounds - burn_in, dtype=np.int64)
     for t in range(rounds):
-        x = step_count_zealots(protocol, population, x, rng)
+        if scenario is not None:
+            x = scenario_step_generator(protocol, scenario, x, 1, 1, rng)
         if t >= burn_in:
             trace[t - burn_in] = x
     return trace

@@ -305,6 +305,7 @@ class _ShardTask:
     heartbeat_every_s: float = 1.0
     attempt: int = 1
     profile_path: Optional[str] = None
+    scenario: object = None
 
 
 def _shard_worker(task: _ShardTask) -> None:
@@ -375,6 +376,7 @@ def _shard_worker(task: _ShardTask) -> None:
                 recorder=compose_recorders(trace, beat),
                 checkpoint=checkpoint,
                 engine=task.engine,
+                scenario=task.scenario,
             )
     finally:
         if trace is not None:
@@ -478,6 +480,7 @@ def run_supervised_ensemble(
     heartbeat_base: Optional[Union[str, Path]] = None,
     heartbeat_every_s: float = 1.0,
     profile_dir: Optional[Union[str, Path]] = None,
+    scenario=None,
     _worker=_shard_worker,
 ) -> SupervisedTimes:
     """Run ``replicas`` independent chains sharded over a worker pool.
@@ -547,6 +550,16 @@ def run_supervised_ensemble(
     # crash-retry cycles), and normalized to the stream-identity family so
     # provenance matches what the shards actually run.
     family = engine_family(resolve_engine(engine))
+    # Resolved in the parent for the same reason as the engine: a bad spec
+    # fails fast, and every shard then steps the exact same hostile world.
+    from repro.dynamics.scenarios import as_scenario
+
+    scenario = as_scenario(scenario, config.n)
+    if scenario is not None and family not in ("batched", "loop"):
+        raise ValueError(
+            f"scenarios require a keyed engine family (batched/loop), got {family!r}"
+        )
+    settle = scenario.settle_round(max_rounds) if scenario is not None else 0
     shards = cfg.shards if cfg.shards is not None else min(replicas, DEFAULT_SHARD_COUNT)
     sizes = shard_sizes(replicas, shards)
 
@@ -558,10 +571,14 @@ def run_supervised_ensemble(
         # ``workers`` is deliberately absent: results (and the merged
         # trace) are a function of (seed, shards) only, so the provenance
         # must not vary with the worker count.
-        provenance = run_provenance(
-            "supervised_ensemble", protocol, rng,
+        provenance_params = dict(
             n=config.n, z=config.z, x0=config.x0, max_rounds=max_rounds,
             replicas=replicas, shards=shards, engine=family,
+        )
+        if scenario is not None:
+            provenance_params["scenario"] = scenario.spec()
+        provenance = run_provenance(
+            "supervised_ensemble", protocol, rng, **provenance_params,
         )
     shard_rngs = spawn_rngs(rng, shards)
     timeout = _effective_timeout(cfg.timeout_s)
@@ -706,6 +723,7 @@ def run_supervised_ensemble(
                 if profile_dir is not None
                 else None
             ),
+            scenario=scenario,
         )
         process = context.Process(target=_worker, args=(task,), daemon=True)
         process.start()
@@ -848,23 +866,30 @@ def run_supervised_ensemble(
             timing.incr("retries", retries)
             timing.incr("timeouts", timeouts)
             timing.incr("failed_shards", result.failed_shards)
+    scenario_summary = None
+    if scenario is not None:
+        from repro.dynamics.run import recovery_summary
+
+        scenario_summary = {"scenario": scenario.spec(), "settle_round": settle}
+        scenario_summary.update(recovery_summary(result.times, settle))
     if trace_path is not None:
         _write_merged_trace(
             Path(trace_path), provenance, result, shard_trace_path,
-            trace_format=cfg.trace_format,
+            trace_format=cfg.trace_format, scenario_summary=scenario_summary,
         )
     if recording:
         censored = int(np.isnan(result.times).sum())
-        recorder.run_finished(
-            {
-                "converged": int(result.times.size) - censored,
-                "censored": censored,
-                "failed_shards": result.failed_shards,
-                "attempted_trials": result.attempted_trials,
-                "retries": retries,
-                "timeouts": timeouts,
-            }
-        )
+        summary = {
+            "converged": int(result.times.size) - censored,
+            "censored": censored,
+            "failed_shards": result.failed_shards,
+            "attempted_trials": result.attempted_trials,
+            "retries": retries,
+            "timeouts": timeouts,
+        }
+        if scenario_summary is not None:
+            summary.update(scenario_summary)
+        recorder.run_finished(summary)
     return result
 
 
@@ -874,7 +899,8 @@ def run_supervised_ensemble(
 
 
 def _write_merged_trace(
-    target, provenance, result, shard_trace_path, trace_format="jsonl"
+    target, provenance, result, shard_trace_path, trace_format="jsonl",
+    scenario_summary=None,
 ) -> None:
     """Merge per-shard traces into one deterministic, validating trace.
 
@@ -929,6 +955,8 @@ def _write_merged_trace(
         "timeouts": result.timeouts,
         "rounds_recorded": len(rounds),
     }
+    if scenario_summary:
+        end.update(scenario_summary)
     start = {"kind": "run_start", "schema": TRACE_SCHEMA_VERSION}
     start.update(provenance.to_dict())
     write_trace_records(target, [start, *rounds, *spans, end], trace_format)

@@ -18,7 +18,7 @@ from repro.analysis.report import (
     summarize_trace_dir,
     update_baseline,
 )
-from repro.dynamics.config import wrong_consensus_configuration
+from repro.dynamics.config import Configuration, wrong_consensus_configuration
 from repro.dynamics.rng import make_rng
 from repro.dynamics.run import simulate, simulate_ensemble
 from repro.protocols import minority, voter
@@ -372,3 +372,79 @@ class TestResourceUsage:
         assert row["max_rss_bytes"] == 2147483648
         assert row["cpu_s"] is None
         assert "2.0GB" in render_report(report)
+
+
+class TestScenarioReporting:
+    SPEC = "flip-source:at=12"
+
+    def _write_hostile(self, path, seed=5, replicas=4):
+        config = Configuration(n=48, z=1, x0=24)
+        with JsonlTraceWriter(path) as writer:
+            simulate_ensemble(
+                voter(1), config, 4000, make_rng(seed), replicas=replicas,
+                recorder=writer, scenario=self.SPEC,
+            )
+
+    def test_summary_carries_scenario_fields(self, tmp_path):
+        path = tmp_path / "hostile.jsonl"
+        self._write_hostile(path)
+        summary = summarize_trace(path)
+        assert summary.scenario == self.SPEC
+        assert summary.settle_round == 12
+        assert summary.recovered == 4
+        assert summary.recovery_p50 >= 1
+        assert summary.recovery_p90 >= summary.recovery_p50
+
+    def test_clean_summary_has_no_scenario_fields(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        _write_trace(path, voter(1), seed=3)
+        summary = summarize_trace(path)
+        assert summary.scenario is None
+        assert summary.recovered is None
+
+    def test_columnar_summary_matches_jsonl(self, tmp_path):
+        from repro.telemetry import jsonl_to_columnar
+
+        jsonl = tmp_path / "hostile.jsonl"
+        self._write_hostile(jsonl)
+        columnar = tmp_path / "hostile.ctrace"
+        jsonl_to_columnar(jsonl, columnar)
+        a = summarize_trace(jsonl)
+        b = summarize_trace(columnar)
+        for field in ("scenario", "settle_round", "recovered",
+                      "recovery_p50", "recovery_p90"):
+            assert getattr(a, field) == getattr(b, field), field
+
+    def test_group_by_scenario_pools_hostile_runs_only(self, tmp_path):
+        from repro.analysis.report import group_by_scenario
+
+        self._write_hostile(tmp_path / "a.jsonl", seed=5)
+        self._write_hostile(tmp_path / "b.jsonl", seed=6)
+        _write_trace(tmp_path / "clean.jsonl", voter(1), seed=3)
+        groups = group_by_scenario(summarize_trace_dir(tmp_path))
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.scenario == self.SPEC
+        assert group.runs == 2
+        assert group.settle_round == 12
+        assert group.recovered == 8
+
+    def test_report_renders_scenario_table(self, tmp_path):
+        self._write_hostile(tmp_path / "a.jsonl")
+        report = build_report(tmp_path)
+        assert report["scenarios"]
+        assert report["scenarios"][0]["scenario"] == self.SPEC
+        rendered = render_report(report)
+        assert "Per-scenario recovery" in rendered
+        assert self.SPEC in rendered
+
+    def test_index_round_trip_keeps_scenario_fields(self, tmp_path):
+        from repro.analysis.index import refresh_trace_index, summaries_from_index
+
+        self._write_hostile(tmp_path / "a.jsonl")
+        index = refresh_trace_index(tmp_path)
+        (from_index,) = summaries_from_index(tmp_path, index)
+        direct = summarize_trace(tmp_path / "a.jsonl")
+        assert from_index.scenario == direct.scenario == self.SPEC
+        assert from_index.settle_round == direct.settle_round
+        assert from_index.recovery_p90 == direct.recovery_p90

@@ -526,3 +526,69 @@ class TestEnsembleRuns:
     def test_bench_workers_rejects_nonpositive(self, capsys):
         assert main(["bench", "--workers", "0", "--list"]) == EXIT_ERROR
         assert "--workers" in capsys.readouterr().err
+
+
+class TestScenarioCli:
+    ARGS = [
+        "run", "voter", "--n", "48", "--x0", "24", "--rounds", "4000",
+        "--seed", "11",
+    ]
+
+    def test_scenarios_list_prints_registry(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("null", "churn", "lossy", "corrupt", "lying-source",
+                     "flip-source", "drift", "zealots"):
+            assert f"{name}:" in out
+        assert "rate" in out  # parameter schemas are printed too
+
+    def test_scenario_run_prints_recovery_stats(self, capsys):
+        code = main(self.ARGS + ["--replicas", "6", "--scenario",
+                                 "flip-source:at=12"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario=flip-source:at=12" in out
+        assert "settle_round=12" in out
+        assert "recovery_median=" in out
+        assert "recovery_q90=" in out
+
+    def test_scenario_flag_alone_routes_to_ensemble(self, capsys):
+        # --scenario without --replicas still runs the ensemble machinery
+        code = main(self.ARGS + ["--scenario", "lossy:rate=0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trials=1" in out
+        assert "scenario=lossy:rate=0.1" in out
+
+    def test_repeated_scenario_flags_compose(self, capsys):
+        code = main(
+            self.ARGS
+            + ["--replicas", "4", "--scenario", "lossy:rate=0.1",
+               "--scenario", "flip-source:at=12"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario=lossy:rate=0.1+flip-source:at=12" in out
+
+    def test_unknown_scenario_is_a_clean_error(self, capsys):
+        code = main(self.ARGS + ["--replicas", "4", "--scenario", "bogus"])
+        captured = capsys.readouterr()
+        assert code == EXIT_ERROR
+        assert "unknown scenario" in captured.err
+        assert '"' not in captured.err.split("repro:")[1].split("\n")[0]
+
+    def test_scenario_trace_round_trips_through_report(self, tmp_path, capsys):
+        trace = tmp_path / "hostile.jsonl"
+        code = main(
+            self.ARGS
+            + ["--replicas", "4", "--scenario", "flip-source:at=12",
+               "--trace", str(trace)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert main(["trace", "validate", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "flip-source:at=12" in out
+        assert "recovery" in out
