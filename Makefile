@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test doctest docs-check bench bench-smoke examples report perf-gate trace-smoke trace-roundtrip fault-smoke ensemble-smoke metrics-smoke scenario-smoke clean
+.PHONY: install test doctest docs-check bench bench-smoke examples report perf-gate trace-smoke trace-roundtrip fault-smoke ensemble-smoke metrics-smoke scenario-smoke service-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,6 +14,7 @@ doctest:
 	$(PYTHON) -m pytest --doctest-modules \
 	    src/repro/dynamics/rng.py \
 	    src/repro/dynamics/batched.py \
+	    src/repro/execution/backoff.py \
 	    src/repro/execution/supervisor.py
 
 docs-check:
@@ -57,6 +58,12 @@ scenario-smoke:
 
 metrics-smoke:
 	$(PYTHON) scripts/metrics_smoke.py
+
+service-smoke:
+	$(PYTHON) scripts/service_smoke.py jobstore:mid_commit:2
+	$(PYTHON) scripts/service_smoke.py service:mid_dispatch:1
+	$(PYTHON) scripts/service_smoke.py jobstore:mid_compact:1
+	$(PYTHON) scripts/service_smoke.py kill:mid_job
 
 clean:
 	rm -rf results/*.txt .pytest_cache

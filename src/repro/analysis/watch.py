@@ -15,6 +15,13 @@ Staleness is the liveness signal: a non-terminal heartbeat older than
 rewrites its file at least once per interval.  Torn heartbeats (the
 ``heartbeat:mid_write`` fault, or a crash mid-rename on a non-atomic
 filesystem) render as ``UNREADABLE`` rather than being hidden.
+
+Pointed at a *service* root (a directory holding ``jobs.journal`` /
+``jobs.snapshot.json``, see docs/SERVICE.md) the watcher switches to the
+job view: one line per job with its journaled state, attempt/retry
+counts, and the per-job heartbeat — an active job whose heartbeat is
+stale (or missing) is flagged ``ORPHANED?``, exactly the condition the
+service's own restart recovery acts on.
 """
 
 from __future__ import annotations
@@ -34,7 +41,9 @@ from repro.telemetry.jsonl import COLUMNAR_MAGIC
 
 __all__ = [
     "discover_traces",
+    "is_service_root",
     "render_frame",
+    "render_service_frame",
     "tail_trace_round",
     "watch",
 ]
@@ -237,6 +246,82 @@ def render_frame(
     return "\n".join(lines)
 
 
+def is_service_root(path: Union[str, Path]) -> bool:
+    """True when ``path`` is a service directory (holds the job journal)."""
+    path = Path(path)
+    return path.is_dir() and (
+        (path / "jobs.journal").exists() or (path / "jobs.snapshot.json").exists()
+    )
+
+
+def _job_line(job, beat, now: float, stale_after: float) -> str:
+    parts = [f"{job.id:<12}", f"{job.state:<9}"]
+    active = job.state in ("running", "degraded")
+    if beat is not None and not job.terminal:
+        parts.append(_bar(_progress_fraction(beat)))
+        if beat.replicas is not None:
+            done = beat.replicas_done if beat.replicas_done is not None else "?"
+            parts.append(f"{done}/{beat.replicas} replicas")
+        if beat.max_rounds:
+            parts.append(f"round {beat.round}/{beat.max_rounds}")
+    if job.attempt > 1 or job.retries:
+        parts.append(f"attempt {job.attempt}")
+    if job.retries:
+        parts.append(f"retries {job.retries}/{job.max_retries}")
+    if job.state == "failed" and job.exit_name:
+        parts.append(job.exit_name)
+    if active:
+        if beat is None:
+            parts.append("no heartbeat  ORPHANED?")
+        else:
+            age = beat.age_s(now)
+            parts.append(f"age {_format_duration(age)}")
+            if age > stale_after:
+                parts.append("ORPHANED?")
+    if job.error and job.state in ("failed", "queued"):
+        parts.append(f"({job.error})")
+    return "  ".join(part for part in parts if part)
+
+
+def render_service_frame(
+    root: Union[str, Path],
+    *,
+    now: Optional[float] = None,
+    stale_after: float = 5.0,
+) -> str:
+    """Render one frame of the service job view (one line per job).
+
+    Job states come from replaying the journal read-only (torn tails
+    tolerated, never truncated); liveness of active jobs comes from their
+    heartbeat files, so a ``running`` job whose worker died renders as
+    ``ORPHANED?`` even though the journal still says it runs.
+    """
+    from repro.service.jobstore import load_jobs
+    from repro.telemetry.heartbeat import heartbeat_path, read_heartbeat
+
+    now = time.time() if now is None else now
+    root = Path(root)
+    store = load_jobs(root)
+    counts = store.counts()
+    summary = "  ".join(
+        f"{state} {counts[state]}" for state in counts if counts[state]
+    ) or "no jobs"
+    lines = [f"{'service':<12} {summary}  (journal seq {store.seq})"]
+    for job in store.jobs():
+        beat = read_heartbeat(heartbeat_path(root / job.id / "job"))
+        lines.append(_job_line(job, beat, now, stale_after))
+    return "\n".join(lines)
+
+
+def _all_jobs_terminal(root: Union[str, Path]) -> bool:
+    from repro.service.jobstore import TERMINAL_STATES, load_jobs
+
+    counts = load_jobs(root).counts()
+    total = sum(counts.values())
+    done = sum(counts[state] for state in TERMINAL_STATES)
+    return total > 0 and done == total
+
+
 def _all_terminal(entries: List[Tuple[Path, Optional[Heartbeat]]]) -> bool:
     beats = [beat for _, beat in entries if beat is not None]
     return bool(beats) and all(beat.terminal for beat in beats)
@@ -252,13 +337,24 @@ def watch(
 ) -> int:
     """Tail the heartbeats (and traces) under ``path`` until they finish.
 
-    ``path`` is a run/checkpoint base or a directory.  Redraws every
-    ``interval`` seconds (ANSI clear on a TTY, plain frames otherwise);
-    exits 0 once every readable heartbeat is terminal (or immediately with
-    ``once=True``), and 1 when no heartbeat files exist at all.
+    ``path`` is a run/checkpoint base, a directory, or a *service root*
+    (then the job view renders instead — see :func:`render_service_frame`).
+    Redraws every ``interval`` seconds (ANSI clear on a TTY, plain frames
+    otherwise); exits 0 once every readable heartbeat is terminal / every
+    job is in a terminal state (or immediately with ``once=True``), and 1
+    when no heartbeat files exist at all.
     """
     stream = sys.stdout if stream is None else stream
     clear = "\x1b[2J\x1b[H" if getattr(stream, "isatty", lambda: False)() else ""
+    if is_service_root(path):
+        while True:
+            frame = render_service_frame(path, stale_after=stale_after)
+            print(f"{clear}{frame}", file=stream, flush=True)
+            if once or _all_jobs_terminal(path):
+                return 0
+            time.sleep(interval)
+            if not clear:
+                print("", file=stream)
     while True:
         entries = discover_heartbeats(path)
         if not entries:

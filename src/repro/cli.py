@@ -562,6 +562,29 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived simulation service (docs/SERVICE.md)."""
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        workers=args.workers,
+        poll_s=args.poll,
+        stale_after_s=args.stale_after,
+        backoff_base_s=args.backoff_base,
+        backoff_cap_s=args.backoff_cap,
+        default_max_retries=args.max_retries,
+    )
+    with ShutdownGuard() as guard:
+        return serve(
+            args.root,
+            host=args.host,
+            port=args.port,
+            metrics_port=args.metrics_port,
+            config=config,
+            guard=guard,
+        )
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
     """Rebuild and continue a run from its checkpoint's meta block."""
     try:
@@ -1063,6 +1086,57 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 5.0)",
     )
     watch.set_defaults(handler=_cmd_watch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the crash-safe simulation service (HTTP job API; "
+             "docs/SERVICE.md)",
+    )
+    serve.add_argument(
+        "root",
+        help="service directory: holds the job journal, snapshot, and "
+             "per-job checkpoints/heartbeats/traces",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="API port (default 0: ephemeral; the chosen URL is printed "
+             "to stderr)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also expose /metrics on a dedicated Prometheus port "
+             "(0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="K",
+        help="concurrent job worker processes (default 1)",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="default per-job failure budget before `failed` (default 2)",
+    )
+    serve.add_argument(
+        "--stale-after", type=float, default=30.0, metavar="SECONDS",
+        help="heartbeat age past which a worker is presumed stuck and "
+             "killed (default 30)",
+    )
+    serve.add_argument(
+        "--backoff-base", type=float, default=0.5, metavar="SECONDS",
+        help="base requeue delay; doubles per failure with seeded jitter "
+             "(default 0.5)",
+    )
+    serve.add_argument(
+        "--backoff-cap", type=float, default=30.0, metavar="SECONDS",
+        help="upper bound on the requeue delay (default 30)",
+    )
+    serve.add_argument(
+        "--poll", type=float, default=0.05, metavar="SECONDS",
+        help="dispatch loop wakeup interval (default 0.05)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     resume = sub.add_parser(
         "resume", help="continue an interrupted run from its checkpoint"

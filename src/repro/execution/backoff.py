@@ -1,0 +1,69 @@
+"""Deterministic retry backoff with seeded jitter.
+
+Retries across the repository share one delay schedule: capped exponential
+growth with a *deterministic* jitter derived from a caller-supplied key.
+Plain capped-exponential synchronizes retry storms (every failed shard of a
+run wakes at the same instant); random jitter desynchronizes them but makes
+retry timing — and therefore supervision logs, heartbeat sequences, and
+wall-clock-sensitive tests — irreproducible.  Hashing ``(key, attempt)``
+gives both properties at once: shards (or service jobs) with different keys
+spread out, while re-running the same seed replays the exact same schedule.
+
+Callers build the key from whatever pins their identity and randomness:
+
+- the supervisor uses ``"<rng state hash>:shard<k>"`` so the schedule is a
+  function of (run seed, shard index) — reruns of a seed retry at the same
+  offsets, different shards never thunder together;
+- the service job queue uses ``"<job seed>:<job id>"`` for the same reason.
+
+The jitter multiplies the raw exponential delay into ``[raw/2, raw)``, so
+delays stay bounded by ``cap_s`` and never collapse to zero.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["backoff_delay_s", "seeded_jitter"]
+
+
+def seeded_jitter(key: str, attempt: int) -> float:
+    """A reproducible fraction in ``[0, 1)`` derived from ``(key, attempt)``.
+
+    The fraction is the top 64 bits of ``sha256(f"{key}:{attempt}")`` scaled
+    to the unit interval — uniform enough to desynchronize retry schedules,
+    and a pure function of its inputs so schedules replay exactly.
+
+    >>> seeded_jitter("run:shard0", 1) == seeded_jitter("run:shard0", 1)
+    True
+    >>> seeded_jitter("run:shard0", 1) != seeded_jitter("run:shard1", 1)
+    True
+    """
+    digest = hashlib.sha256(f"{key}:{int(attempt)}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def backoff_delay_s(
+    attempt: int, *, base_s: float, cap_s: float, key: str
+) -> float:
+    """Delay in seconds before retry number ``attempt`` (1-based).
+
+    The raw schedule is ``min(cap_s, base_s * 2**(attempt - 1))``; the
+    seeded jitter then maps it into ``[raw/2, raw)``.  Properties relied on
+    by the supervisor and the service job queue:
+
+    - **bounded**: never exceeds ``cap_s``;
+    - **non-degenerate**: never below ``base_s / 2`` (no hot-loop retries);
+    - **reproducible**: a pure function of ``(attempt, base_s, cap_s, key)``;
+    - **desynchronized**: distinct keys jitter independently.
+
+    >>> d = backoff_delay_s(3, base_s=0.1, cap_s=5.0, key="run:shard2")
+    >>> 0.2 <= d < 0.4
+    True
+    >>> d == backoff_delay_s(3, base_s=0.1, cap_s=5.0, key="run:shard2")
+    True
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    raw = min(float(cap_s), float(base_s) * (2.0 ** (attempt - 1)))
+    return raw * (0.5 + 0.5 * seeded_jitter(key, attempt))

@@ -65,6 +65,7 @@ import numpy as np
 
 from repro.dynamics.rng import spawn_rngs
 from repro.execution import faults
+from repro.execution.backoff import backoff_delay_s
 from repro.execution.checkpoint import (
     DEFAULT_CHECKPOINT_EVERY,
     CheckpointError,
@@ -77,6 +78,7 @@ from repro.telemetry import (
     NULL_RECORDER,
     Recorder,
     compose_recorders,
+    rng_provenance,
     run_provenance,
     span,
 )
@@ -137,6 +139,11 @@ class SupervisorConfig:
         max_retries: retries per shard before quarantine (attempts are
             ``1 + max_retries``).
         backoff_base_s: delay before the first retry; doubles per failure.
+            The actual delay carries deterministic seeded jitter (see
+            :func:`repro.execution.backoff.backoff_delay_s`): a function of
+            the run's RNG state and the shard index, so retry schedules are
+            reproducible per seed while distinct shards never retry in
+            lock-step.
         backoff_cap_s: upper bound on the backoff delay.
         poll_s: supervision loop wakeup interval.
         trace_timings: forward wall-clock fields into per-shard traces
@@ -580,6 +587,10 @@ def run_supervised_ensemble(
         provenance = run_provenance(
             "supervised_ensemble", protocol, rng, **provenance_params,
         )
+    # Backoff jitter key, captured before ``spawn_rngs`` consumes the parent
+    # stream: the retry schedule becomes a pure function of (run seed, shard
+    # index), reproducible across reruns and independent of worker count.
+    backoff_key = rng_provenance(rng)["state_hash"]
     shard_rngs = spawn_rngs(rng, shards)
     timeout = _effective_timeout(cfg.timeout_s)
 
@@ -757,9 +768,11 @@ def run_supervised_ensemble(
             flush_supervisor_heartbeat(force=True)
             return
         retries += 1
-        backoff = min(
-            cfg.backoff_cap_s,
-            cfg.backoff_base_s * (2 ** (len(failures[index]) - 1)),
+        backoff = backoff_delay_s(
+            len(failures[index]),
+            base_s=cfg.backoff_base_s,
+            cap_s=cfg.backoff_cap_s,
+            key=f"{backoff_key}:shard{index}",
         )
         not_before[index] = now + backoff
         pending.append(index)

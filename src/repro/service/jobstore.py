@@ -1,0 +1,601 @@
+"""Journaled job store: crash-safe state for the simulation service.
+
+Every job-state change is committed to an append-only write-ahead journal
+*before* the in-memory view changes, so the store's durable state is always
+at least as advanced as anything the service has acknowledged.  Restarting
+after a crash — mid-append, mid-compaction, ``kill -9`` — replays the
+journal back to exactly the acknowledged state:
+
+- **Framing** mirrors the columnar trace container
+  (:mod:`repro.telemetry.columnar`): each record is
+  ``b"RJNL" | body_len:u32 | body(JSON) | crc32(body):u32 | rec_len:u32``,
+  little-endian.  A torn final record (crash mid-``write``) fails its
+  length or CRC check and is salvaged away — the journal is truncated to
+  the longest valid prefix on the next open, and every complete record
+  survives.
+- **Commits** are atomic at the record level: the frame is written in one
+  ``write`` call, flushed, and ``fsync``'d before the transition is
+  applied in memory or acknowledged to a client.
+- **Replay is idempotent**: every record carries a monotonic ``seq``;
+  records at or below the last applied sequence are skipped, so duplicated
+  records (a crash between append and acknowledge, then a retried append)
+  cannot double-apply.  Records that are illegal against the replayed
+  state (e.g. a stale transition for a job that already reached a terminal
+  state) are skipped and counted rather than trusted — on replay the
+  journal is evidence, not authority.
+- **Compaction** folds the journal into an atomically-published snapshot
+  (``jobs.snapshot.json``, tmp + fsync + rename) and then resets the
+  journal the same way.  A crash between the two leaves a snapshot *and* a
+  journal whose records are all ``seq <=`` the snapshot's — replay skips
+  them, so recovery is correct from either side of the window.
+- **Version skew is refused**, not guessed at: a journal record or
+  snapshot written by a newer schema raises :class:`JobStoreError` with
+  instructions instead of silently dropping state.  (Contrast with the
+  trace index, which may rebuild because it is a pure cache — the journal
+  is the *only* copy of job state.)
+
+Deterministic crashpoints (``REPRO_FAULT``, :mod:`repro.execution.faults`)
+cover the two interesting windows: ``jobstore:mid_commit`` tears a journal
+append in half, ``jobstore:mid_compact`` dies between snapshot publish and
+journal reset.  ``scripts/service_smoke.py`` drives both end to end.
+
+Job lifecycle (full state machine in docs/SERVICE.md)::
+
+    queued ──> running ──> done | failed | cancelled
+      │  ^        │
+      │  └────────┤  (requeue: worker died / heartbeat stale)
+      └─> degraded ┘  (re-dispatch after >= 1 failure)
+
+``degraded`` is "running, but not on the first attempt" — the service
+analogue of the supervisor's degraded-mode statistics: visible at a
+glance, never silently folded into ``running``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.execution import faults
+
+__all__ = [
+    "JOBSTORE_SCHEMA_VERSION",
+    "JOURNAL_MAGIC",
+    "JOB_STATES",
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "LEGAL_TRANSITIONS",
+    "JobStoreError",
+    "Job",
+    "JobStore",
+    "load_jobs",
+    "frame_record",
+    "iter_journal_records",
+]
+
+JOBSTORE_SCHEMA_VERSION = 1
+JOURNAL_MAGIC = b"RJNL"
+JOURNAL_NAME = "jobs.journal"
+SNAPSHOT_NAME = "jobs.snapshot.json"
+
+#: Journal size that triggers an automatic compaction on the next commit.
+DEFAULT_COMPACT_BYTES = 256 * 1024
+
+JOB_STATES = ("queued", "running", "degraded", "done", "failed", "cancelled")
+ACTIVE_STATES = frozenset({"running", "degraded"})
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: Legal state transitions.  ``queued -> degraded`` is the re-dispatch of a
+#: previously failed attempt; ``running|degraded -> queued`` is a requeue
+#: after a worker death or stale heartbeat.  The active-state self-loops
+#: are *field-update* records (the dispatcher journals the worker pid the
+#: instant it knows it).  Terminal states are absorbing.
+LEGAL_TRANSITIONS: Dict[str, frozenset] = {
+    "queued": frozenset({"running", "degraded", "cancelled"}),
+    "running": frozenset(
+        {"queued", "running", "degraded", "done", "failed", "cancelled"}
+    ),
+    "degraded": frozenset({"queued", "degraded", "done", "failed", "cancelled"}),
+    "done": frozenset(),
+    "failed": frozenset(),
+    "cancelled": frozenset(),
+}
+
+_U32 = struct.Struct("<I")
+_HEAD_LEN = len(JOURNAL_MAGIC) + _U32.size          # magic + body_len
+_TAIL_LEN = 2 * _U32.size                            # crc32 + rec_len
+
+#: Job fields a transition record may update (beyond ``state``).
+_MUTABLE_FIELDS = frozenset({
+    "attempt", "retries", "max_retries", "not_before", "backoff_s",
+    "worker_pid", "error", "exit_code", "exit_name", "result",
+})
+
+
+class JobStoreError(RuntimeError):
+    """Raised for corrupt-beyond-salvage or version-skewed store files."""
+
+
+# ---------------------------------------------------------------------------
+# Journal framing
+
+
+def frame_record(body: bytes) -> bytes:
+    """Frame one journal record: magic, length, body, CRC, total length."""
+    rec_len = _HEAD_LEN + len(body) + _TAIL_LEN
+    return b"".join((
+        JOURNAL_MAGIC,
+        _U32.pack(len(body)),
+        body,
+        _U32.pack(zlib.crc32(body) & 0xFFFFFFFF),
+        _U32.pack(rec_len),
+    ))
+
+
+def iter_journal_records(data: bytes) -> Iterator[Tuple[Dict[str, Any], int]]:
+    """Yield ``(record, end_offset)`` for the longest valid journal prefix.
+
+    Walks frames from offset 0; stops at the first torn or corrupt frame
+    (truncated header/body, bad CRC, unparseable JSON) — that is the
+    salvage boundary, exactly the ``telemetry.columnar`` idiom.  A frame
+    whose magic is wrong at offset 0 means the file is not a journal at
+    all and raises :class:`JobStoreError`; mid-file it ends the walk like
+    any other torn tail.  A *valid* frame whose record declares a newer
+    ``schema`` raises :class:`JobStoreError`: version skew must refuse,
+    never silently drop job state.
+    """
+    size = len(data)
+    pos = 0
+    while pos < size:
+        if size - pos < _HEAD_LEN:
+            return  # torn header
+        magic = bytes(data[pos:pos + len(JOURNAL_MAGIC)])
+        if magic != JOURNAL_MAGIC:
+            if pos == 0:
+                raise JobStoreError(
+                    f"not a job journal: bad magic {magic!r} at offset 0 "
+                    f"(expected {JOURNAL_MAGIC!r})"
+                )
+            return  # garbage tail
+        (body_len,) = _U32.unpack(data[pos + len(JOURNAL_MAGIC):pos + _HEAD_LEN])
+        end = pos + _HEAD_LEN + body_len + _TAIL_LEN
+        if end > size:
+            return  # torn body/tail
+        body = bytes(data[pos + _HEAD_LEN:pos + _HEAD_LEN + body_len])
+        stored_crc, stored_len = struct.unpack(
+            "<II", data[pos + _HEAD_LEN + body_len:end]
+        )
+        if stored_crc != (zlib.crc32(body) & 0xFFFFFFFF) or stored_len != end - pos:
+            return  # corrupt record: salvage boundary
+        try:
+            record = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return
+        if not isinstance(record, dict):
+            return
+        schema = record.get("schema")
+        if schema != JOBSTORE_SCHEMA_VERSION:
+            raise JobStoreError(
+                f"job journal record schema v{schema!r} is not supported by "
+                f"this build (expected v{JOBSTORE_SCHEMA_VERSION}); refusing "
+                f"to replay — upgrade repro, or move the journal aside to "
+                f"start fresh"
+            )
+        yield record, end
+        pos = end
+
+
+# ---------------------------------------------------------------------------
+# Job model
+
+
+@dataclass
+class Job:
+    """One submitted job and everything the service knows about it.
+
+    Attributes:
+        id: store-assigned identifier (``J000001``, ...), unique per root.
+        spec: the validated submission payload (kind, protocol, sizes,
+            seed — see :func:`repro.service.worker.validate_spec`).
+        state: one of :data:`JOB_STATES`.
+        created_at / updated_at: wall-clock (``time.time``) bounds.
+        attempt: 1-based count of dispatches so far (0 = never dispatched).
+        retries: failed attempts so far; compared against ``max_retries``.
+        max_retries: failure budget before the job lands in ``failed``.
+        not_before: earliest wall-clock time the next dispatch may happen
+            (set by the seeded-backoff requeue path).
+        backoff_s: the exact delay the last requeue computed — journaled so
+            retry schedules are auditable and testable after the fact.
+        worker_pid: pid of the worker process while active, else ``None``.
+        error: human-readable failure description (terminal failures and
+            intermediate requeues both record one).
+        exit_code / exit_name: the ``execution.shutdown.EXIT_CODES``
+            taxonomy entry for the final failure (the job error contract).
+        result: worker-produced result payload once ``done``.
+    """
+
+    id: str
+    spec: Dict[str, Any]
+    state: str = "queued"
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    attempt: int = 0
+    retries: int = 0
+    max_retries: int = 2
+    not_before: float = 0.0
+    backoff_s: Optional[float] = None
+    worker_pid: Optional[int] = None
+    error: Optional[str] = None
+    exit_code: Optional[int] = None
+    exit_name: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "spec": dict(self.spec),
+            "state": self.state,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "attempt": self.attempt,
+            "retries": self.retries,
+            "max_retries": self.max_retries,
+            "not_before": self.not_before,
+            "backoff_s": self.backoff_s,
+            "worker_pid": self.worker_pid,
+            "error": self.error,
+            "exit_code": self.exit_code,
+            "exit_name": self.exit_name,
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Job":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+# ---------------------------------------------------------------------------
+# The store
+
+
+class JobStore:
+    """Durable job state backed by the WAL + snapshot pair under ``root``.
+
+    Thread-safe: every public method takes the internal lock, so the HTTP
+    handler threads and the dispatch loop can share one instance.  All
+    mutations are journaled before they are applied; see the module
+    docstring for the crash-consistency argument.
+
+    Opening a root salvages a torn journal tail (truncating the file to
+    the longest valid prefix, recorded in :attr:`salvaged_bytes`) and
+    counts replay anomalies in :attr:`replay_skipped` — duplicated or
+    stale records that idempotent replay ignored.
+    """
+
+    def __init__(
+        self,
+        root,
+        *,
+        compact_bytes: int = DEFAULT_COMPACT_BYTES,
+        readonly: bool = False,
+    ) -> None:
+        self.root = Path(root)
+        self.compact_bytes = int(compact_bytes)
+        self.readonly = bool(readonly)
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._seq = 0
+        self._next_job = 1
+        self._handle = None
+        self.salvaged_bytes = 0
+        self.replay_skipped = 0
+        if not self.readonly:
+            self.root.mkdir(parents=True, exist_ok=True)
+        self._load_snapshot()
+        self._replay_journal()
+        if not self.readonly:
+            self._handle = open(self.journal_path, "ab")
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / JOURNAL_NAME
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.root / SNAPSHOT_NAME
+
+    def job_dir(self, job_id: str) -> Path:
+        """Scratch directory for one job's checkpoint/heartbeat/trace."""
+        return self.root / job_id
+
+    # -- recovery ---------------------------------------------------------
+
+    def _load_snapshot(self) -> None:
+        try:
+            raw = self.snapshot_path.read_text()
+        except FileNotFoundError:
+            return
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise JobStoreError(
+                f"job snapshot {self.snapshot_path} is corrupt ({exc}); "
+                f"refusing to guess — move it aside to rebuild from the "
+                f"journal alone"
+            ) from exc
+        schema = payload.get("schema") if isinstance(payload, dict) else None
+        if schema != JOBSTORE_SCHEMA_VERSION:
+            raise JobStoreError(
+                f"job snapshot schema v{schema!r} is not supported by this "
+                f"build (expected v{JOBSTORE_SCHEMA_VERSION}); refusing to "
+                f"replay — upgrade repro, or move the snapshot aside"
+            )
+        self._seq = int(payload.get("seq", 0))
+        self._next_job = int(payload.get("next_job", 1))
+        for job_id, doc in payload.get("jobs", {}).items():
+            self._jobs[job_id] = Job.from_dict(doc)
+
+    def _replay_journal(self) -> None:
+        try:
+            data = self.journal_path.read_bytes()
+        except FileNotFoundError:
+            return
+        valid_end = 0
+        for record, end in iter_journal_records(data):
+            self._apply(record, strict=False)
+            valid_end = end
+        if valid_end < len(data):
+            self.salvaged_bytes = len(data) - valid_end
+            if not self.readonly:
+                # Durable salvage: truncate the torn tail so the next append
+                # starts on a record boundary (the torn bytes are by
+                # definition unacknowledged, so nothing is lost).
+                with open(self.journal_path, "r+b") as handle:
+                    handle.truncate(valid_end)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+
+    # -- record application ----------------------------------------------
+
+    def _apply(self, record: Dict[str, Any], *, strict: bool) -> Optional[Job]:
+        seq = int(record.get("seq", 0))
+        if seq <= self._seq and not strict:
+            # Idempotent replay: at-or-below the applied watermark means the
+            # record (or its effect, via the snapshot) is already in.
+            self.replay_skipped += 1
+            return None
+        job_id = record.get("job")
+        to = record.get("to")
+        at = float(record.get("at", 0.0))
+        fields = record.get("fields") or {}
+        job = self._jobs.get(job_id)
+        if job is None:
+            if to == "queued" and "spec" in fields:
+                job = Job(
+                    id=job_id,
+                    spec=fields["spec"],
+                    state="queued",
+                    created_at=at,
+                    updated_at=at,
+                    max_retries=int(fields.get("max_retries", 2)),
+                )
+                self._jobs[job_id] = job
+                self._seq = max(self._seq, seq)
+                self._bump_next_job(job_id)
+                return job
+            if strict:
+                raise JobStoreError(f"unknown job {job_id!r}")
+            self.replay_skipped += 1
+            self._seq = max(self._seq, seq)
+            return None
+        if to == "queued" and "spec" in fields:
+            # Duplicate submit for an existing id: replay-only, skip.
+            if strict:
+                raise JobStoreError(f"job {job_id!r} already exists")
+            self.replay_skipped += 1
+            self._seq = max(self._seq, seq)
+            return job
+        if to not in LEGAL_TRANSITIONS.get(job.state, frozenset()):
+            if strict:
+                raise JobStoreError(
+                    f"illegal transition {job.state!r} -> {to!r} for job "
+                    f"{job_id!r}"
+                )
+            self.replay_skipped += 1
+            self._seq = max(self._seq, seq)
+            return job
+        job.state = to
+        job.updated_at = at
+        for key, value in fields.items():
+            if key in _MUTABLE_FIELDS:
+                setattr(job, key, value)
+        self._seq = max(self._seq, seq)
+        return job
+
+    def _bump_next_job(self, job_id: str) -> None:
+        if job_id.startswith("J"):
+            try:
+                self._next_job = max(self._next_job, int(job_id[1:]) + 1)
+            except ValueError:
+                pass
+
+    # -- the committed write path ----------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self.readonly or self._handle is None:
+            raise JobStoreError("job store opened read-only")
+        frame = frame_record(
+            json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+        )
+        if faults.should_trip("jobstore:mid_commit"):
+            # Deterministic torn commit: half the frame reaches the disk,
+            # then the process dies.  Restart must salvage the torn tail
+            # and recover every previously committed record.
+            self._handle.write(frame[: len(frame) // 2])
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            faults.trip("jobstore:mid_commit")
+        self._handle.write(frame)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def _commit(self, job_id: str, to: str, at: float, fields: Dict[str, Any]) -> Job:
+        record = {
+            "schema": JOBSTORE_SCHEMA_VERSION,
+            "seq": self._seq + 1,
+            "job": job_id,
+            "to": to,
+            "at": at,
+            "fields": fields,
+        }
+        self._append(record)
+        job = self._apply(record, strict=True)
+        assert job is not None
+        self._maybe_compact()
+        return job
+
+    # -- public mutations -------------------------------------------------
+
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        *,
+        max_retries: int = 2,
+        at: Optional[float] = None,
+    ) -> Job:
+        """Durably enqueue a new job; returns it once the WAL holds it."""
+        with self._lock:
+            job_id = f"J{self._next_job:06d}"
+            self._next_job += 1
+            return self._commit(
+                job_id,
+                "queued",
+                time.time() if at is None else at,
+                {"spec": spec, "max_retries": int(max_retries)},
+            )
+
+    def transition(
+        self, job_id: str, to: str, *, at: Optional[float] = None, **fields: Any
+    ) -> Job:
+        """Durably move ``job_id`` to state ``to``, updating ``fields``.
+
+        Raises :class:`JobStoreError` if the job is unknown or the
+        transition is illegal — the live path is strict; only crash
+        *replay* is forgiving.
+        """
+        with self._lock:
+            if job_id not in self._jobs:
+                raise JobStoreError(f"unknown job {job_id!r}")
+            unknown = set(fields) - _MUTABLE_FIELDS
+            if unknown:
+                raise JobStoreError(f"unknown job fields {sorted(unknown)!r}")
+            return self._commit(
+                job_id, to, time.time() if at is None else at, fields
+            )
+
+    # -- queries ----------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise JobStoreError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> List[Job]:
+        """All jobs, oldest submission first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.id)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of jobs per state (every state present, zeros included)."""
+        out = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for job in self._jobs.values():
+                out[job.state] = out.get(job.state, 0) + 1
+        return out
+
+    @property
+    def seq(self) -> int:
+        return self._seq
+
+    # -- compaction -------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        if self._handle is None:
+            return
+        try:
+            size = self.journal_path.stat().st_size
+        except OSError:
+            return
+        if size >= self.compact_bytes:
+            self.compact()
+
+    def compact(self) -> None:
+        """Fold the journal into a fresh snapshot and reset the journal.
+
+        Both publishes are atomic (tmp + fsync + rename); the
+        ``jobstore:mid_compact`` crashpoint sits in the window between
+        them, where the snapshot already covers every journal record —
+        replay after a crash there skips the stale records by sequence
+        number, so no state is lost or duplicated.
+        """
+        with self._lock:
+            if self.readonly or self._handle is None:
+                raise JobStoreError("job store opened read-only")
+            snapshot = {
+                "schema": JOBSTORE_SCHEMA_VERSION,
+                "seq": self._seq,
+                "next_job": self._next_job,
+                "jobs": {job_id: job.to_dict() for job_id, job in self._jobs.items()},
+            }
+            tmp = self.snapshot_path.with_suffix(".json.tmp")
+            with open(tmp, "w") as handle:
+                json.dump(snapshot, handle, sort_keys=True, indent=None)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.snapshot_path)
+            faults.crashpoint("jobstore:mid_compact")
+            self._handle.close()
+            jtmp = self.journal_path.with_suffix(".journal.tmp")
+            with open(jtmp, "wb") as handle:
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(jtmp, self.journal_path)
+            self._handle = open(self.journal_path, "ab")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_jobs(root) -> JobStore:
+    """Read-only view of a service root (no salvage truncation, no appends).
+
+    This is what ``repro watch`` and other observers use: it replays the
+    snapshot + journal entirely in memory, tolerating a torn tail, and
+    never mutates the files it reads.
+    """
+    return JobStore(root, readonly=True)

@@ -1,0 +1,52 @@
+"""Deterministic seeded-jitter backoff (shared by supervisor + service)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution.backoff import backoff_delay_s, seeded_jitter
+
+
+class TestSeededJitter:
+    def test_pure_function_of_key_and_attempt(self):
+        assert seeded_jitter("k", 3) == seeded_jitter("k", 3)
+
+    def test_distinct_keys_and_attempts_differ(self):
+        assert seeded_jitter("a", 1) != seeded_jitter("b", 1)
+        assert seeded_jitter("a", 1) != seeded_jitter("a", 2)
+
+    def test_unit_interval(self):
+        for attempt in range(1, 50):
+            assert 0.0 <= seeded_jitter("key", attempt) < 1.0
+
+
+class TestBackoffDelay:
+    def test_reproducible(self):
+        first = backoff_delay_s(2, base_s=0.1, cap_s=5.0, key="seed:shard0")
+        again = backoff_delay_s(2, base_s=0.1, cap_s=5.0, key="seed:shard0")
+        assert first == again
+
+    def test_bounded_by_cap_and_never_degenerate(self):
+        for attempt in range(1, 40):
+            delay = backoff_delay_s(attempt, base_s=0.1, cap_s=5.0, key="k")
+            raw = min(5.0, 0.1 * 2 ** (attempt - 1))
+            assert raw / 2 <= delay < raw
+            assert delay <= 5.0
+
+    def test_exponential_envelope_grows_until_the_cap(self):
+        envelopes = [
+            min(5.0, 0.1 * 2 ** (attempt - 1)) for attempt in range(1, 10)
+        ]
+        assert envelopes == sorted(envelopes)
+        assert envelopes[-1] == 5.0
+
+    def test_distinct_shards_desynchronize(self):
+        delays = {
+            backoff_delay_s(1, base_s=0.1, cap_s=5.0, key=f"seed:shard{k}")
+            for k in range(8)
+        }
+        assert len(delays) == 8
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            backoff_delay_s(0, base_s=0.1, cap_s=5.0, key="k")

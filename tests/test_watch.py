@@ -196,6 +196,108 @@ class TestTraceTailing:
         assert tail_trace_round(columnar) == tail_trace_round(jsonl)
 
 
+class TestServiceView:
+    @staticmethod
+    def make_root(tmp_path):
+        from repro.service.jobstore import JobStore
+
+        root = tmp_path / "svc"
+        store = JobStore(root)
+        return root, store
+
+    def test_is_service_root(self, tmp_path):
+        from repro.analysis.watch import is_service_root
+
+        root, store = self.make_root(tmp_path)
+        store.close()
+        assert is_service_root(root)
+        assert not is_service_root(tmp_path / "elsewhere")
+        assert not is_service_root(tmp_path)
+
+    def test_frame_lists_jobs_with_counts(self, tmp_path):
+        from repro.analysis.watch import render_service_frame
+
+        root, store = self.make_root(tmp_path)
+        store.submit({"kind": "ensemble"})
+        done = store.submit({"kind": "ensemble"})
+        store.transition(done.id, "running", attempt=1)
+        store.transition(done.id, "done")
+        store.close()
+
+        frame = render_service_frame(root, now=NOW)
+        lines = frame.splitlines()
+        assert lines[0].startswith("service")
+        assert "queued 1" in lines[0] and "done 1" in lines[0]
+        assert f"(journal seq {store.seq})" in lines[0]
+        assert any(line.startswith("J000001") and "queued" in line for line in lines)
+        assert any(line.startswith("J000002") and "done" in line for line in lines)
+
+    def test_running_job_without_heartbeat_flagged_orphaned(self, tmp_path):
+        from repro.analysis.watch import render_service_frame
+
+        root, store = self.make_root(tmp_path)
+        job = store.submit({"kind": "ensemble"})
+        store.transition(job.id, "running", attempt=1, worker_pid=12345)
+        store.close()
+
+        frame = render_service_frame(root, now=NOW)
+        assert "no heartbeat  ORPHANED?" in frame
+
+    def test_stale_heartbeat_flagged_orphaned_fresh_not(self, tmp_path):
+        from repro.analysis.watch import render_service_frame
+
+        root, store = self.make_root(tmp_path)
+        job = store.submit({"kind": "ensemble"})
+        store.transition(job.id, "running", attempt=1)
+        store.close()
+        beat = Heartbeat(
+            role="job", status="running", updated_at=NOW - 1.0,
+            round=10, max_rounds=100, replicas=4, replicas_done=1,
+        )
+        (root / job.id).mkdir()
+        write_heartbeat(heartbeat_path(root / job.id / "job"), beat)
+        fresh = render_service_frame(root, now=NOW, stale_after=5.0)
+        assert "ORPHANED?" not in fresh
+        assert "1/4 replicas" in fresh
+
+        stale = render_service_frame(root, now=NOW + 60, stale_after=5.0)
+        assert "ORPHANED?" in stale
+
+    def test_failed_job_shows_taxonomy_and_error(self, tmp_path):
+        from repro.analysis.watch import render_service_frame
+
+        root, store = self.make_root(tmp_path)
+        job = store.submit({"kind": "ensemble"}, max_retries=1)
+        store.transition(job.id, "running", attempt=1)
+        store.transition(
+            job.id, "failed", retries=2, exit_code=1,
+            exit_name="EXIT_ERROR", error="worker exited 1",
+        )
+        store.close()
+
+        frame = render_service_frame(root, now=NOW)
+        assert "EXIT_ERROR" in frame
+        assert "retries 2/1" in frame
+        assert "(worker exited 1)" in frame
+
+    def test_watch_loop_exits_when_all_jobs_terminal(self, tmp_path):
+        root, store = self.make_root(tmp_path)
+        job = store.submit({"kind": "ensemble"})
+        store.transition(job.id, "cancelled")
+        store.close()
+        stream = io.StringIO()
+        assert watch(root, interval=0.01, stream=stream) == 0
+        assert "cancelled" in stream.getvalue()
+
+    def test_watch_once_on_active_service_root(self, tmp_path):
+        root, store = self.make_root(tmp_path)
+        store.submit({"kind": "ensemble"})
+        store.close()
+        stream = io.StringIO()
+        assert watch(root, once=True, stream=stream) == 0
+        assert "queued 1" in stream.getvalue()
+
+
 class TestWatchLoop:
     def test_no_heartbeats_exits_one(self, tmp_path):
         stream = io.StringIO()
